@@ -1,0 +1,74 @@
+package ertree
+
+import (
+	"ertree/internal/baseline/aspiration"
+	"ertree/internal/baseline/mwf"
+	"ertree/internal/baseline/rootsplit"
+	"ertree/internal/baseline/treesplit"
+)
+
+// The baseline parallel algorithms the paper surveys (§4) and proposes
+// comparing against (§8). All run on virtual time with the same cost models
+// as Simulate, so their results are directly comparable with parallel ER's.
+
+// AspirationOptions configures Baudet's parallel aspiration search (§4.1).
+type AspirationOptions = aspiration.Options
+
+// AspirationResult reports a parallel aspiration search.
+type AspirationResult = aspiration.Result
+
+// Aspiration runs parallel aspiration search: the window is divided among
+// the workers and each searches the whole tree with its own slice.
+func Aspiration(pos Position, depth int, opt AspirationOptions, cost CostModel) AspirationResult {
+	return aspiration.Search(pos, depth, opt, cost)
+}
+
+// MWFOptions configures mandatory-work-first (§4.2).
+type MWFOptions = mwf.Options
+
+// MWFResult reports an MWF run.
+type MWFResult = mwf.Result
+
+// MWF runs the Mandatory Work First algorithm of Akl, Barnard and Doran on
+// P virtual processors.
+func MWF(pos Position, depth int, opt MWFOptions, cost CostModel) MWFResult {
+	return mwf.Search(pos, depth, opt, cost)
+}
+
+// TreeSplitOptions configures tree-splitting and pv-splitting (§4.3-4.4):
+// a processor tree of the given height and fanout.
+type TreeSplitOptions = treesplit.Options
+
+// TreeSplitResult reports a tree-splitting or pv-splitting run.
+type TreeSplitResult = treesplit.Result
+
+// TreeSplit runs Fishburn's tree-splitting algorithm.
+func TreeSplit(pos Position, depth int, opt TreeSplitOptions, cost CostModel) TreeSplitResult {
+	return treesplit.Search(pos, depth, opt, cost)
+}
+
+// PVSplit runs Marsland's principal-variation splitting.
+func PVSplit(pos Position, depth int, opt TreeSplitOptions, cost CostModel) TreeSplitResult {
+	return treesplit.PVSplit(pos, depth, opt, cost)
+}
+
+// PVSplitMW runs the Marsland-Popowich pv-splitting variant of the paper's
+// footnote 3: rightmost children along the principal variation are verified
+// with parallel minimal-window searches.
+func PVSplitMW(pos Position, depth int, opt TreeSplitOptions, cost CostModel) TreeSplitResult {
+	return treesplit.PVSplitMW(pos, depth, opt, cost)
+}
+
+// RootSplitOptions configures the naive root-partitioning baseline from the
+// paper's introduction.
+type RootSplitOptions = rootsplit.Options
+
+// RootSplitResult reports a root-splitting run.
+type RootSplitResult = rootsplit.Result
+
+// RootSplit deals the root's subtrees round-robin to independent serial
+// alpha-beta workers with private windows — the strawman the paper's
+// introduction dismisses for its low efficiency (experiment E0).
+func RootSplit(pos Position, depth int, opt RootSplitOptions, cost CostModel) RootSplitResult {
+	return rootsplit.Search(pos, depth, opt, cost)
+}

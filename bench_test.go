@@ -1,0 +1,334 @@
+// Benchmarks that regenerate each artifact of the paper's evaluation
+// (DESIGN.md §5 maps every table and figure to its benchmark). The figure
+// benchmarks run one representative workload per iteration and report the
+// derived quantity the figure plots as a custom metric; `go run ./cmd/figures`
+// produces the complete tables.
+package ertree_test
+
+import (
+	"testing"
+
+	"ertree"
+	"ertree/internal/core"
+	"ertree/internal/dib"
+	"ertree/internal/experiments"
+	"ertree/internal/game"
+	"ertree/internal/metrics"
+	"ertree/internal/othello"
+	"ertree/internal/randtree"
+	"ertree/internal/serial"
+)
+
+var benchCost = core.DefaultCostModel()
+
+func workload(name string) experiments.Workload {
+	for _, w := range experiments.Table3() {
+		if w.Name == name {
+			return w
+		}
+	}
+	panic("unknown workload " + name)
+}
+
+// BenchmarkTable3_Workloads builds every Table 3 workload and its serial
+// baselines (the inputs every figure shares).
+func BenchmarkTable3_Workloads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ws := experiments.Table3()
+		if len(ws) != 6 {
+			b.Fatal("workload count")
+		}
+		// Baseline the cheapest workload each iteration to keep the
+		// benchmark meaningful but bounded.
+		base := experiments.Baseline(ws[3], benchCost) // O1
+		if base.Best() <= 0 {
+			b.Fatal("bad baseline")
+		}
+	}
+}
+
+// BenchmarkFigure10_EfficiencyOthello regenerates one Othello curve of
+// Figure 10 and reports the P=16 efficiency.
+func BenchmarkFigure10_EfficiencyOthello(b *testing.B) {
+	w := workload("O1")
+	var eff float64
+	for i := 0; i < b.N; i++ {
+		er, _, _ := experiments.EfficiencyFigure(w, benchCost, []int{1, 4, 16})
+		eff = er.Points[2].Efficiency
+	}
+	b.ReportMetric(eff, "efficiency@16")
+}
+
+// BenchmarkFigure11_EfficiencyRandom regenerates one random-tree curve of
+// Figure 11 and reports the P=16 efficiency.
+func BenchmarkFigure11_EfficiencyRandom(b *testing.B) {
+	w := workload("R3")
+	var eff float64
+	for i := 0; i < b.N; i++ {
+		er, _, _ := experiments.EfficiencyFigure(w, benchCost, []int{1, 4, 16})
+		eff = er.Points[2].Efficiency
+	}
+	b.ReportMetric(eff, "efficiency@16")
+}
+
+// BenchmarkFigure12_NodesOthello regenerates one Othello group of Figure 12
+// and reports the node growth from P=1 to P=16.
+func BenchmarkFigure12_NodesOthello(b *testing.B) {
+	w := workload("O1")
+	var growth float64
+	for i := 0; i < b.N; i++ {
+		er, _ := experiments.NodesFigure(w, benchCost, []int{1, 16})
+		growth = float64(er.Points[1].Nodes) / float64(er.Points[0].Nodes)
+	}
+	b.ReportMetric(growth, "nodes16/nodes1")
+}
+
+// BenchmarkFigure13_NodesRandom regenerates one random-tree group of
+// Figure 13 and reports the node growth from P=1 to P=16.
+func BenchmarkFigure13_NodesRandom(b *testing.B) {
+	w := workload("R3")
+	var growth float64
+	for i := 0; i < b.N; i++ {
+		er, _ := experiments.NodesFigure(w, benchCost, []int{1, 16})
+		growth = float64(er.Points[1].Nodes) / float64(er.Points[0].Nodes)
+	}
+	b.ReportMetric(growth, "nodes16/nodes1")
+}
+
+// BenchmarkE1_Aspiration regenerates the aspiration-search comparison and
+// reports the speedup plateau (P=16).
+func BenchmarkE1_Aspiration(b *testing.B) {
+	w := workload("R3")
+	var sp float64
+	for i := 0; i < b.N; i++ {
+		s := experiments.E1Aspiration(w, benchCost, []int{1, 4, 16})
+		sp = s.Points[2].Speedup
+	}
+	b.ReportMetric(sp, "speedup@16")
+}
+
+// BenchmarkE2_MWF regenerates the mandatory-work-first comparison on an
+// Akl-style tree and reports the plateau speedup.
+func BenchmarkE2_MWF(b *testing.B) {
+	w := experiments.AklWorkloads()[0]
+	var sp float64
+	for i := 0; i < b.N; i++ {
+		s := experiments.E2MWF(w, benchCost, []int{1, 16})
+		sp = s.Points[1].Speedup
+	}
+	b.ReportMetric(sp, "speedup@16")
+}
+
+// BenchmarkE3_TreeSplitPVSplit regenerates the tree-splitting/pv-splitting
+// comparison and reports tree-splitting's efficiency at 16 slaves.
+func BenchmarkE3_TreeSplitPVSplit(b *testing.B) {
+	var eff float64
+	for i := 0; i < b.N; i++ {
+		ts, _ := experiments.E3TreeSplit(benchCost, []int{0, 2, 4})
+		eff = ts.Points[2].Efficiency
+	}
+	b.ReportMetric(eff, "ts-efficiency@16")
+}
+
+// BenchmarkA1_SpeculationAblation runs the §5 mechanism ablation at P=16 and
+// reports the makespan ratio of no-speculation to full speculation.
+func BenchmarkA1_SpeculationAblation(b *testing.B) {
+	w := workload("R3")
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		series := experiments.A1Ablation(w, 16, benchCost)
+		var full, none float64
+		for _, s := range series {
+			switch s.Name {
+			case "full":
+				full = float64(s.Points[0].Time)
+			case "none":
+				none = float64(s.Points[0].Time)
+			}
+		}
+		ratio = none / full
+	}
+	b.ReportMetric(ratio, "none/full-time")
+}
+
+// --- Micro-benchmarks of the substrates ---
+
+func BenchmarkSerialAlphaBeta_R3(b *testing.B) {
+	tr := randtree.R3()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var s serial.Searcher
+		if v := s.AlphaBeta(tr.Root(), 6, game.FullWindow()); v == game.NoValue {
+			b.Fatal("bad value")
+		}
+	}
+}
+
+func BenchmarkSerialER_R3(b *testing.B) {
+	tr := randtree.R3()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var s serial.Searcher
+		if v := s.ER(tr.Root(), 6, game.FullWindow()); v == game.NoValue {
+			b.Fatal("bad value")
+		}
+	}
+}
+
+func BenchmarkParallelER_Simulated16(b *testing.B) {
+	tr := randtree.R3()
+	opt := core.DefaultOptions()
+	opt.Workers = 16
+	opt.SerialDepth = 4
+	for i := 0; i < b.N; i++ {
+		res := core.Simulate(tr.Root(), 6, opt, benchCost)
+		if res.Value == game.NoValue {
+			b.Fatal("bad value")
+		}
+	}
+}
+
+func BenchmarkParallelER_RealGoroutines(b *testing.B) {
+	tr := randtree.R3()
+	opt := core.DefaultOptions()
+	opt.Workers = 8
+	opt.SerialDepth = 4
+	for i := 0; i < b.N; i++ {
+		res := core.Search(tr.Root(), 6, opt)
+		if res.Value == game.NoValue {
+			b.Fatal("bad value")
+		}
+	}
+}
+
+func BenchmarkOthelloMoveGeneration(b *testing.B) {
+	pos := othello.O1()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(pos.Moves()) == 0 {
+			b.Fatal("no moves")
+		}
+	}
+}
+
+func BenchmarkOthelloEvaluate(b *testing.B) {
+	pos := othello.O2()
+	var sink ertree.Value
+	for i := 0; i < b.N; i++ {
+		sink += pos.Value()
+	}
+	_ = sink
+}
+
+func BenchmarkOthelloChildren(b *testing.B) {
+	pos := othello.O3()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(pos.Children()) == 0 {
+			b.Fatal("no children")
+		}
+	}
+}
+
+func BenchmarkRandomTreeChildren(b *testing.B) {
+	tr := randtree.R1()
+	root := tr.Root()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		kids := root.Children()
+		if len(kids) != 4 {
+			b.Fatal("bad degree")
+		}
+	}
+}
+
+func BenchmarkMetricsTable(b *testing.B) {
+	series := []metrics.Series{{Name: "x", Points: []metrics.Point{
+		{Workers: 1, Efficiency: 1}, {Workers: 16, Efficiency: 0.5},
+	}}}
+	for i := 0; i < b.N; i++ {
+		if metrics.Table("t", "efficiency", series) == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkSerialPVS_Strong(b *testing.B) {
+	tr := randtree.Marsland(7, 4, 7)
+	order := game.StaticOrder{MaxPly: 5}
+	for i := 0; i < b.N; i++ {
+		s := serial.Searcher{Order: order}
+		if v := s.PVS(tr.Root(), 7, game.FullWindow()); v == game.NoValue {
+			b.Fatal("bad value")
+		}
+	}
+}
+
+func BenchmarkAlphaBetaTT_Connect4(b *testing.B) {
+	pos := ertree.Connect4()
+	for i := 0; i < b.N; i++ {
+		table := ertree.NewTranspositionTable(16)
+		var s ertree.Serial
+		if v := s.AlphaBetaTT(pos, 7, ertree.FullWindow(), table); v == game.NoValue {
+			b.Fatal("bad value")
+		}
+	}
+}
+
+func BenchmarkCheckersMoveGeneration(b *testing.B) {
+	pos := ertree.Checkers()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(pos.Moves()) != 7 {
+			b.Fatal("bad move count")
+		}
+	}
+}
+
+func BenchmarkConnect4Search6(b *testing.B) {
+	pos := ertree.Connect4()
+	for i := 0; i < b.N; i++ {
+		if v := ertree.AlphaBeta(pos, 6); v == game.NoValue {
+			b.Fatal("bad value")
+		}
+	}
+}
+
+func BenchmarkDIBNQueens8(b *testing.B) {
+	spec := dib.Count(
+		func(q nqueens) []nqueens { return q.children() },
+		func(q nqueens) bool { return len(q.cols) == q.n },
+	)
+	for i := 0; i < b.N; i++ {
+		if got := dib.Run(nqueens{n: 8}, spec, 4); got != 92 {
+			b.Fatalf("n-queens = %d", got)
+		}
+	}
+}
+
+// nqueens mirrors the DIB package's test example for benchmarking.
+type nqueens struct {
+	n    int
+	cols []int
+}
+
+func (q nqueens) children() []nqueens {
+	if len(q.cols) == q.n {
+		return nil
+	}
+	var out []nqueens
+	row := len(q.cols)
+	for c := 0; c < q.n; c++ {
+		valid := true
+		for r, qc := range q.cols {
+			if qc == c || qc-c == row-r || c-qc == row-r {
+				valid = false
+				break
+			}
+		}
+		if valid {
+			out = append(out, nqueens{n: q.n, cols: append(append([]int{}, q.cols...), c)})
+		}
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package ertree
+
+import "ertree/internal/serial"
+
+// Move pairs a move index (position in the root's Children slice, natural
+// move order) with its exact negamax score from the root player's view.
+type Move struct {
+	Index int
+	Score Value
+}
+
+// BestMove searches each child of pos to depth-1 with parallel ER and
+// returns the move with the highest score, together with all scored moves.
+// It returns ok=false when pos has no children. Every child is searched
+// with a full window, so all returned scores are exact — what a
+// game-playing program needs for move selection and analysis.
+func BestMove(pos Position, depth int, cfg Config) (best Move, all []Move, ok bool) {
+	kids := pos.Children()
+	if len(kids) == 0 {
+		return Move{}, nil, false
+	}
+	best = Move{Index: -1, Score: -Inf - 1}
+	for i, k := range kids {
+		var v Value
+		if depth <= 1 {
+			var s serial.Searcher
+			s.Stats = cfg.Stats
+			v = -s.Negmax(k, 0)
+		} else {
+			res := Search(k, depth-1, cfg)
+			v = -res.Value
+		}
+		m := Move{Index: i, Score: v}
+		all = append(all, m)
+		if v > best.Score {
+			best = m
+		}
+	}
+	return best, all, true
+}
+
+// BestLine returns the principal variation from pos to the given depth as a
+// sequence of child indices (natural move order at each step), by repeatedly
+// selecting the best move with parallel ER. The line has up to depth moves;
+// it stops early at terminal positions.
+func BestLine(pos Position, depth int, cfg Config) []Move {
+	var line []Move
+	cur := pos
+	for d := depth; d > 0; d-- {
+		best, _, ok := BestMove(cur, d, cfg)
+		if !ok {
+			break
+		}
+		line = append(line, best)
+		cur = cur.Children()[best.Index]
+	}
+	return line
+}
+
+// IterativeDeepening runs serial iterative deepening with aspiration windows
+// (a serial application of Baudet's §4.1 idea) up to maxDepth, returning the
+// per-depth values. The final entry is the exact value at maxDepth.
+func IterativeDeepening(pos Position, maxDepth int, delta Value, order Orderer) []DeepeningResult {
+	s := serial.Searcher{Order: order}
+	return s.IterativeDeepening(pos, serial.DeepeningOptions{MaxDepth: maxDepth, Delta: delta})
+}
+
+// DeepeningResult reports one iteration of IterativeDeepening.
+type DeepeningResult = serial.DeepeningResult

@@ -1,0 +1,197 @@
+// Command ertree searches a position with any of the repository's
+// algorithms and reports the value and search statistics.
+//
+// Usage:
+//
+//	ertree -game othello -root O1 -depth 7 -algo er-par -workers 16 -serial-depth 5
+//	ertree -game random -seed 7 -degree 4 -tree-depth 10 -depth 10 -algo ab
+//	ertree -game ttt -algo negmax -depth 9
+//	ertree -game strong -degree 8 -tree-depth 6 -depth 6 -algo pvsplit -workers 4
+//
+// Algorithms: negmax, ab (alpha-beta), ab-tt (with transposition table),
+// ab-select (selective sorting), abnd (without deep cutoffs), id (iterative
+// deepening), er (serial ER), er-par (parallel ER on the deterministic
+// simulator), er-real (parallel ER on goroutines), aspiration, mwf,
+// rootsplit, treesplit, pvsplit, pvsplit-mw.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ertree"
+	"ertree/internal/metrics"
+)
+
+func main() {
+	var (
+		gameName    = flag.String("game", "othello", "game: othello, ttt, connect4, checkers, random, strong")
+		rootName    = flag.String("root", "", "othello root: empty for the initial position, or O1/O2/O3")
+		seed        = flag.Uint64("seed", 1, "random/strong tree seed")
+		degree      = flag.Int("degree", 4, "random/strong tree degree")
+		treeDepth   = flag.Int("tree-depth", 8, "random/strong tree height")
+		depth       = flag.Int("depth", 6, "search depth (plies)")
+		algo        = flag.String("algo", "er-par", "algorithm")
+		workers     = flag.Int("workers", 4, "processors for parallel algorithms")
+		serialDepth = flag.Int("serial-depth", 3, "depth at or below which subtrees are searched serially")
+		sortPly     = flag.Int("sort-ply", 5, "statically sort children above this ply (0 disables)")
+		show        = flag.Bool("show", false, "print the position before searching")
+		timeline    = flag.Bool("timeline", false, "with er-par: print the worker-utilization timeline")
+		bestLine    = flag.Bool("bestmove", false, "also print the best move and principal variation (parallel ER)")
+	)
+	flag.Parse()
+
+	pos, defaultOrder, err := buildPosition(*gameName, *rootName, *seed, *degree, *treeDepth)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ertree:", err)
+		os.Exit(1)
+	}
+	if *show {
+		fmt.Printf("%v\n", pos)
+	}
+	var order ertree.Orderer
+	if defaultOrder && *sortPly > 0 {
+		order = ertree.StaticOrder{MaxPly: *sortPly}
+	}
+
+	var stats ertree.Stats
+	cfg := ertree.Config{Workers: *workers, SerialDepth: *serialDepth, Order: order, Stats: &stats}
+	cost := ertree.DefaultCostModel()
+
+	switch *algo {
+	case "negmax":
+		report(ertree.Negmax(pos, *depth), nil)
+	case "ab":
+		s := ertree.Serial{Order: order, Stats: &stats}
+		report(s.AlphaBeta(pos, *depth, ertree.FullWindow()), &stats)
+	case "ab-tt":
+		s := ertree.Serial{Order: order, Stats: &stats}
+		table := ertree.NewTranspositionTable(20)
+		report(s.AlphaBetaTT(pos, *depth, ertree.FullWindow(), table), &stats)
+		fmt.Printf("transposition table: %d probes, %d hits (%.1f%%), %d stores\n",
+			table.Probes, table.Hits, 100*table.HitRate(), table.Stores)
+	case "ab-select":
+		s := ertree.Serial{Order: order, Stats: &stats}
+		report(s.AlphaBetaSelectiveSort(pos, *depth, ertree.FullWindow()), &stats)
+	case "abnd":
+		s := ertree.Serial{Order: order, Stats: &stats}
+		report(s.AlphaBetaNoDeep(pos, *depth, ertree.Inf), &stats)
+	case "id":
+		for _, r := range ertree.IterativeDeepening(pos, *depth, 64, order) {
+			fmt.Printf("depth %2d: value %6d (%d re-searches)\n", r.Depth, r.Value, r.Researches)
+		}
+	case "er":
+		s := ertree.Serial{Order: order, Stats: &stats}
+		report(s.ER(pos, *depth, ertree.FullWindow()), &stats)
+	case "er-par":
+		cfg2 := cfg
+		cfg2.Trace = *timeline
+		res := ertree.Simulate(pos, *depth, cfg2, cost)
+		report(res.Value, &stats)
+		fmt.Printf("virtual time %d on %d processors (busy %d, starved %d, lock wait %d)\n",
+			res.VirtualTime, res.Workers, res.BusyTime, res.StarveTime, res.LockTime)
+		fmt.Printf("serial tasks %d, speculative pops %d, cancelled %d\n",
+			res.SerialTasks, res.SpecPops, res.CutoffDrops+res.Dropped)
+		if *timeline {
+			spans := make([][]metrics.Span, len(res.Timeline))
+			for i, iv := range res.Timeline {
+				for _, s := range iv {
+					spans[i] = append(spans[i], metrics.Span{Start: s.Start, End: s.End})
+				}
+			}
+			fmt.Print(metrics.Timeline("worker utilization", spans, res.VirtualTime, 64))
+		}
+	case "er-real":
+		res := ertree.Search(pos, *depth, cfg)
+		report(res.Value, &stats)
+		fmt.Printf("elapsed %v on %d workers\n", res.Elapsed, res.Workers)
+	case "aspiration":
+		res := ertree.Aspiration(pos, *depth, ertree.AspirationOptions{Workers: *workers, Bound: 12000, Order: order}, cost)
+		report(res.Value, nil)
+		fmt.Printf("parallel time %d, total nodes %d across %d windows\n",
+			res.ParallelTime, res.TotalNodes, len(res.Windows))
+	case "mwf":
+		res := ertree.MWF(pos, *depth, ertree.MWFOptions{Workers: *workers, SerialDepth: *serialDepth, Order: order}, cost)
+		report(res.Value, nil)
+		fmt.Printf("virtual time %d, nodes %d, tasks %d\n", res.VirtualTime, res.Nodes, res.Tasks)
+	case "rootsplit":
+		res := ertree.RootSplit(pos, *depth, ertree.RootSplitOptions{Workers: *workers, Order: order}, cost)
+		report(res.Value, nil)
+		fmt.Printf("virtual time %d on %d processors, nodes %d\n", res.Time, res.Workers, res.Nodes)
+	case "treesplit", "pvsplit", "pvsplit-mw":
+		opt := ertree.TreeSplitOptions{Height: heightFor(*workers), Fanout: 2, Order: order}
+		var res ertree.TreeSplitResult
+		switch *algo {
+		case "treesplit":
+			res = ertree.TreeSplit(pos, *depth, opt, cost)
+		case "pvsplit-mw":
+			res = ertree.PVSplitMW(pos, *depth, opt, cost)
+		default:
+			res = ertree.PVSplit(pos, *depth, opt, cost)
+		}
+		report(res.Value, nil)
+		fmt.Printf("virtual time %d on %d slave processors, nodes %d, aborts %d\n",
+			res.Time, opt.Processors(), res.Nodes, res.Aborts)
+	default:
+		fmt.Fprintf(os.Stderr, "ertree: unknown algorithm %q\n", *algo)
+		os.Exit(1)
+	}
+
+	if *bestLine {
+		line := ertree.BestLine(pos, *depth, cfg)
+		if len(line) == 0 {
+			fmt.Println("no moves (terminal position)")
+			return
+		}
+		fmt.Printf("principal variation (child indices, natural move order):")
+		for _, mv := range line {
+			fmt.Printf(" %d(%+d)", mv.Index, mv.Score)
+		}
+		fmt.Println()
+	}
+}
+
+// buildPosition constructs the root position; the bool reports whether the
+// game benefits from static move ordering.
+func buildPosition(gameName, rootName string, seed uint64, degree, treeDepth int) (ertree.Position, bool, error) {
+	switch gameName {
+	case "othello":
+		if rootName == "" {
+			return ertree.Othello(), true, nil
+		}
+		b, err := ertree.OthelloRoot(rootName)
+		return b, true, err
+	case "ttt":
+		return ertree.TicTacToe(), false, nil
+	case "connect4":
+		return ertree.Connect4(), false, nil
+	case "checkers":
+		return ertree.Checkers(), true, nil
+	case "random":
+		return ertree.NewRandomTree(seed, degree, treeDepth).Root(), false, nil
+	case "strong":
+		return ertree.NewStrongTree(seed, degree, treeDepth).Root(), true, nil
+	default:
+		return nil, false, fmt.Errorf("unknown game %q", gameName)
+	}
+}
+
+// heightFor returns the binary processor-tree height closest to the
+// requested worker count from below.
+func heightFor(workers int) int {
+	h := 0
+	for 1<<(h+1) <= workers {
+		h++
+	}
+	return h
+}
+
+func report(v ertree.Value, stats *ertree.Stats) {
+	fmt.Printf("value %d\n", v)
+	if stats != nil {
+		s := stats.Snapshot()
+		fmt.Printf("nodes generated %d, static evaluations %d (+%d for ordering), cutoffs %d\n",
+			s.Generated, s.Evaluated, s.SortEvals, s.Cutoffs)
+	}
+}

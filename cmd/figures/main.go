@@ -1,0 +1,234 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation, plus the extension experiments E1-E3 and the ablation A1
+// (DESIGN.md §5), as fixed-width text tables on stdout.
+//
+// Usage:
+//
+//	figures               # everything
+//	figures -fig 10       # one artifact: table3, 10, 11, 12, 13, e1, e2, e3, a1
+//	figures -workers 1,2,4,8,12,16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ertree/internal/core"
+	"ertree/internal/experiments"
+	"ertree/internal/metrics"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which artifact to regenerate: table3, 10, 11, 12, 13, e1, e2, e3, e0, a1, a3, a4, a5, a6, all")
+	workersFlag := flag.String("workers", "1,2,4,8,12,16", "processor counts for the figure axes")
+	format := flag.String("format", "table", "output format for the figure artifacts: table or csv")
+	flag.Parse()
+	csvOut = *format == "csv"
+
+	workers, err := parseInts(*workersFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "figures: bad -workers: %v\n", err)
+		os.Exit(1)
+	}
+	cost := core.DefaultCostModel()
+
+	run := func(name string, f func()) {
+		if *fig == "all" || *fig == name {
+			f()
+		}
+	}
+
+	run("table3", func() { table3() })
+	run("10", func() {
+		efficiencyFigure("Figure 10: efficiency of ER for Othello game trees", "othello", cost, workers)
+	})
+	run("11", func() { efficiencyFigure("Figure 11: efficiency of ER for random game trees", "random", cost, workers) })
+	run("12", func() { nodesFigure("Figure 12: nodes generated for Othello game trees", "othello", cost, workers) })
+	run("13", func() { nodesFigure("Figure 13: nodes generated for random game trees", "random", cost, workers) })
+	run("e0", func() { e0(cost, workers) })
+	run("e1", func() { e1(cost, workers) })
+	run("e2", func() { e2(cost, workers) })
+	run("e3", func() { e3(cost) })
+	run("a1", func() { a1(cost) })
+	run("a3", func() { a3(cost) })
+	run("a4", func() { a4(cost) })
+	run("a5", func() { a5(cost) })
+	run("a6", func() { a6(cost) })
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("worker count %d < 1", n)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// csvOut switches the figure renderers from fixed-width tables to CSV.
+var csvOut bool
+
+// render prints series in the selected format.
+func render(title, column string, series []metrics.Series) {
+	if csvOut {
+		fmt.Printf("# %s\n%s\n", title, metrics.CSV(column, series))
+		return
+	}
+	fmt.Println(metrics.Table(title, column, series))
+}
+
+func table3() {
+	fmt.Println("Table 3: descriptions of the game trees used in the experiments")
+	fmt.Printf("%-6s %-8s %-8s %-12s %-12s\n", "Name", "Type", "Degree", "SearchDepth", "SerialDepth")
+	for _, w := range experiments.Table3() {
+		degree := "varying"
+		if w.Kind == "random" {
+			// Degree is part of the workload definition; recover it from
+			// the root's child count (uniform trees).
+			degree = fmt.Sprint(len(w.Root.Children()))
+		}
+		fmt.Printf("%-6s %-8s %-8s %-12d %-12d\n", w.Name, w.Kind, degree, w.Depth, w.SerialDepth)
+	}
+	fmt.Println()
+}
+
+func efficiencyFigure(title, kind string, cost core.CostModel, workers []int) {
+	var series []metrics.Series
+	for _, w := range experiments.Table3() {
+		if w.Kind != kind {
+			continue
+		}
+		er, ab, base := experiments.EfficiencyFigure(w, cost, workers)
+		series = append(series, er, ab)
+		last := er.Points[len(er.Points)-1]
+		fmt.Printf("# %s: value=%d bestSerial=%d  speedup(P=%d)=%.2f\n",
+			w.Name, base.Value, base.Best(), last.Workers, last.Speedup)
+	}
+	render(title+" (columns: ER per tree, then serial alpha-beta reference)", "efficiency", series)
+}
+
+func nodesFigure(title, kind string, cost core.CostModel, workers []int) {
+	var series []metrics.Series
+	for _, w := range experiments.Table3() {
+		if w.Kind != kind {
+			continue
+		}
+		er, ab := experiments.NodesFigure(w, cost, workers)
+		series = append(series, er, ab)
+	}
+	render(title+" (columns: ER per tree, then serial alpha-beta reference)", "nodes", series)
+}
+
+func e0(cost core.CostModel, workers []int) {
+	var series []metrics.Series
+	for _, w := range experiments.Table3() {
+		if w.Name != "R3" && w.Name != "O1" {
+			continue
+		}
+		series = append(series, experiments.E0RootSplit(w, cost, workers))
+	}
+	render("E0: naive root partitioning (the introduction's strawman; low efficiency)", "efficiency", series)
+}
+
+func e1(cost core.CostModel, workers []int) {
+	var series []metrics.Series
+	for _, w := range experiments.Table3() {
+		if w.Kind != "random" {
+			continue
+		}
+		series = append(series, experiments.E1Aspiration(w, cost, workers))
+	}
+	render("E1: parallel aspiration search speedup (Baudet, §4.1; plateaus at ~5-6)", "speedup", series)
+}
+
+func e2(cost core.CostModel, workers []int) {
+	var series []metrics.Series
+	for _, w := range experiments.AklWorkloads() {
+		series = append(series, experiments.E2MWF(w, cost, workers))
+	}
+	render("E2: mandatory-work-first speedup (Akl et al., §4.2; plateaus near 6)", "speedup", series)
+}
+
+func e3(cost core.CostModel) {
+	ts, pv := experiments.E3TreeSplit(cost, []int{0, 1, 2, 3, 4})
+	tsc, pvc := experiments.E3TreeSplitCheckers(cost, []int{0, 1, 2, 3, 4})
+	render("E3: tree-splitting vs pv-splitting, strongly ordered tree (S1) and checkers (CK) (efficiency; O(1/sqrt k) for tree-splitting)",
+		"efficiency", []metrics.Series{ts, pv, tsc, pvc})
+}
+
+func a1(cost core.CostModel) {
+	for _, w := range experiments.Table3() {
+		if w.Name != "R3" && w.Name != "O1" {
+			continue
+		}
+		series := experiments.A1Ablation(w, 16, cost)
+		fmt.Println(metrics.Table(
+			fmt.Sprintf("A1: speculation ablation on %s at P=16 (virtual time; lower is better)", w.Name),
+			"time", series))
+	}
+}
+
+func a3(cost core.CostModel) {
+	for _, w := range experiments.Table3() {
+		if w.Name != "R3" && w.Name != "O1" {
+			continue
+		}
+		series := experiments.A3SpecRank(w, 16, cost)
+		fmt.Println(metrics.Table(
+			fmt.Sprintf("A3: speculative-queue ranking policies on %s at P=16 (virtual time; §8 future work)", w.Name),
+			"time", series))
+	}
+}
+
+func a4(cost core.CostModel) {
+	fmt.Println("A4: serial ER vs alpha-beta with selective sorting (§7 open question; virtual cost units)")
+	fmt.Printf("%-6s %12s %12s %12s %14s %14s\n",
+		"tree", "ab(sorted)", "ab(select)", "serial-ER", "sortEvals(ab)", "sortEvals(sel)")
+	for _, w := range experiments.Table3() {
+		if w.Kind != "othello" {
+			continue
+		}
+		r := experiments.A4SelectiveSort(w, cost)
+		fmt.Printf("%-6s %12d %12d %12d %14d %14d\n",
+			r.Workload, r.AlphaBeta, r.AlphaBetaSelective, r.SerialER,
+			r.SortEvalsFull, r.SortEvalsSelective)
+	}
+	fmt.Println()
+}
+
+func a5(cost core.CostModel) {
+	for _, w := range experiments.Table3() {
+		if w.Name != "R1" && w.Name != "O1" {
+			continue
+		}
+		fmt.Printf("A5: serial-depth grain study on %s at P=16 (the §7 contention/starvation tradeoff)\n", w.Name)
+		fmt.Printf("%8s %10s %10s %10s %10s %10s\n", "serial", "time", "nodes", "starve", "lockwait", "heapops")
+		for _, p := range experiments.A5SerialDepth(w, 16, cost, []int{2, 3, 4, 5, 6, 7}) {
+			fmt.Printf("%8d %10d %10d %10d %10d %10d\n",
+				p.SerialDepth, p.Time, p.Nodes, p.StarveTime, p.LockTime, p.HeapOps)
+		}
+		fmt.Println()
+	}
+}
+
+func a6(cost core.CostModel) {
+	fmt.Println("A6: eager speculative admission (extension) vs the paper's all-but-one rule, P=16")
+	fmt.Printf("%-6s %-8s %10s %10s %10s %10s %12s\n",
+		"tree", "policy", "time", "nodes", "starve", "specpops", "efficiency")
+	for _, w := range experiments.Table3() {
+		for _, p := range experiments.A6EagerSpec(w, 16, cost) {
+			fmt.Printf("%-6s %-8s %10d %10d %10d %10d %12.3f\n",
+				w.Name, p.Name, p.Time, p.Nodes, p.StarveTime, p.SpecPops, p.Efficiency)
+		}
+	}
+	fmt.Println()
+}

@@ -1,0 +1,142 @@
+package ertree_test
+
+// Repository-wide cross-validation: every algorithm in the library must
+// return the exact negmax value on the same inputs. This is the soak
+// version of the per-package agreement tests: more trees, more shapes, all
+// engines, run together. Skipped under -short.
+
+import (
+	"math/rand"
+	"testing"
+
+	"ertree"
+	"ertree/internal/game"
+	"ertree/internal/gtree"
+)
+
+func TestEveryAlgorithmAgreesEverywhere(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test; skipped with -short")
+	}
+	rng := rand.New(rand.NewSource(0xC0FFEE))
+	specs := []gtree.RandomSpec{
+		{MinDegree: 1, MaxDegree: 4, MinDepth: 2, MaxDepth: 5, ValueRange: 100},
+		{MinDegree: 2, MaxDegree: 2, MinDepth: 5, MaxDepth: 7, ValueRange: 4},
+		{MinDegree: 1, MaxDegree: 6, MinDepth: 1, MaxDepth: 3, ValueRange: 10000},
+		{MinDegree: 3, MaxDegree: 5, MinDepth: 3, MaxDepth: 4, ValueRange: 60, StaticNoise: 10},
+	}
+	cost := ertree.DefaultCostModel()
+	checked := 0
+	for si, spec := range specs {
+		for i := 0; i < 40; i++ {
+			root := spec.Generate(rng)
+			h := root.Height()
+			want := ertree.Negmax(root, h)
+			checked++
+
+			assert := func(name string, got ertree.Value) {
+				if got != want {
+					t.Fatalf("spec %d tree %d: %s = %d, want %d\n%s",
+						si, i, name, got, want, root)
+				}
+			}
+
+			assert("AlphaBeta", ertree.AlphaBeta(root, h))
+			assert("SerialER", ertree.SerialER(root, h))
+			assert("PVS", ertree.PVS(root, h))
+
+			var s ertree.Serial
+			assert("AlphaBetaNoDeep", s.AlphaBetaNoDeep(root, h, ertree.Inf))
+			assert("AlphaBetaSelectiveSort", s.AlphaBetaSelectiveSort(root, h, ertree.FullWindow()))
+			assert("AlphaBetaTT", s.AlphaBetaTT(root, h, ertree.FullWindow(), ertree.NewTranspositionTable(10)))
+
+			cfg := ertree.Config{Workers: 1 + rng.Intn(16), SerialDepth: rng.Intn(h + 1)}
+			assert("Search", ertree.Search(root, h, cfg).Value)
+			assert("Simulate", ertree.Simulate(root, h, cfg, cost).Value)
+
+			cfgAlt := cfg
+			cfgAlt.SpecRank = ertree.SpecRankBound
+			cfgAlt.EagerSpec = true
+			assert("Simulate/bound+eager", ertree.Simulate(root, h, cfgAlt, cost).Value)
+
+			assert("Aspiration", ertree.Aspiration(root, h,
+				ertree.AspirationOptions{Workers: 1 + rng.Intn(8), Bound: spec.ValueRange + 10}, cost).Value)
+			assert("MWF", ertree.MWF(root, h,
+				ertree.MWFOptions{Workers: 1 + rng.Intn(8), SerialDepth: rng.Intn(h + 1)}, cost).Value)
+
+			tsOpt := ertree.TreeSplitOptions{Height: rng.Intn(3), Fanout: 2 + rng.Intn(2)}
+			assert("TreeSplit", ertree.TreeSplit(root, h, tsOpt, cost).Value)
+			assert("PVSplit", ertree.PVSplit(root, h, tsOpt, cost).Value)
+			assert("PVSplitMW", ertree.PVSplitMW(root, h, tsOpt, cost).Value)
+
+			if id := ertree.IterativeDeepening(root, h, 8, nil); id[len(id)-1].Value != want {
+				t.Fatalf("spec %d tree %d: IterativeDeepening = %d, want %d",
+					si, i, id[len(id)-1].Value, want)
+			}
+		}
+	}
+	t.Logf("cross-checked %d trees across 14 algorithms", checked)
+}
+
+// TestAlgorithmsAgreeOnRealGames repeats the cross-check on positions from
+// the three real games.
+func TestAlgorithmsAgreeOnRealGames(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test; skipped with -short")
+	}
+	rng := rand.New(rand.NewSource(7))
+	cost := ertree.DefaultCostModel()
+	type testCase struct {
+		name  string
+		pos   ertree.Position
+		depth int
+	}
+	var cases []testCase
+
+	o := ertree.Othello()
+	for i := 0; i < 10; i++ {
+		kids := o.Children()
+		o = kids[rng.Intn(len(kids))].(ertree.OthelloBoard)
+	}
+	cases = append(cases, testCase{"othello", o, 4})
+
+	c4 := ertree.Connect4()
+	for i := 0; i < 8; i++ {
+		kids := c4.Children()
+		c4 = kids[rng.Intn(len(kids))].(ertree.Connect4Board)
+	}
+	cases = append(cases, testCase{"connect4", c4, 6})
+
+	ck := ertree.Checkers()
+	for i := 0; i < 10; i++ {
+		moves := ck.Moves()
+		ck = ck.Apply(moves[rng.Intn(len(moves))])
+	}
+	cases = append(cases, testCase{"checkers", ck, 5})
+
+	cases = append(cases, testCase{"tictactoe", ertree.TicTacToe(), 9})
+
+	for _, tc := range cases {
+		want := ertree.Negmax(tc.pos, tc.depth)
+		order := ertree.StaticOrder{MaxPly: 3}
+		s := ertree.Serial{Order: order}
+		if got := s.AlphaBeta(tc.pos, tc.depth, ertree.FullWindow()); got != want {
+			t.Errorf("%s: sorted alpha-beta %d, want %d", tc.name, got, want)
+		}
+		if got := s.PVS(tc.pos, tc.depth, ertree.FullWindow()); got != want {
+			t.Errorf("%s: PVS %d, want %d", tc.name, got, want)
+		}
+		if got := s.ER(tc.pos, tc.depth, ertree.FullWindow()); got != want {
+			t.Errorf("%s: serial ER %d, want %d", tc.name, got, want)
+		}
+		for _, p := range []int{2, 7, 16} {
+			cfg := ertree.Config{Workers: p, SerialDepth: tc.depth / 2, Order: order}
+			if got := ertree.Simulate(tc.pos, tc.depth, cfg, cost); got.Value != want {
+				t.Errorf("%s P=%d: parallel ER %d, want %d", tc.name, p, got.Value, want)
+			}
+		}
+		if game.Position(tc.pos) == nil {
+			t.Errorf("%s: nil position", tc.name)
+		}
+	}
+}

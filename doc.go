@@ -1,0 +1,35 @@
+// Package ertree is a from-scratch reproduction of "Searching Game Trees in
+// Parallel" (Igor Steinberg and Marvin Solomon, ICPP 1990): the ER parallel
+// game-tree search algorithm, the serial algorithms it is measured against
+// (negmax, alpha-beta with and without deep cutoffs, serial ER), the
+// baseline parallel algorithms it is compared with (aspiration search,
+// mandatory-work-first, tree-splitting, pv-splitting), and the workloads of
+// the paper's evaluation (uniform random game trees and 7-ply Othello
+// searches).
+//
+// # Quick start
+//
+// Define a game by implementing Position (or use a built-in game):
+//
+//	board := ertree.Othello()                   // initial Othello position
+//	res := ertree.Search(board, 6, ertree.Config{Workers: 8, SerialDepth: 4})
+//	fmt.Println(res.Value)                      // exact negamax value, 6 plies
+//
+// Search runs parallel ER on goroutines. Simulate runs the identical
+// algorithm on P virtual processors of a deterministic discrete-event
+// simulator and additionally reports virtual time, starvation and lock
+// contention — this is how the paper's speedup figures are regenerated on
+// any host (see EXPERIMENTS.md).
+//
+// # The algorithm
+//
+// ER decomposes game-tree search into evaluating some nodes (e-nodes: exact
+// value needed) and refuting others (r-nodes: a bound suffices). Before
+// committing to which child of an e-node to evaluate, ER evaluates every
+// child's first grandchild — the elder grandchildren — and uses those
+// tentative values to pick the most promising child, order the refutations
+// of the rest, and rank speculative work. The parallel implementation is a
+// problem-heap algorithm: a primary queue of scheduled work (deepest first)
+// and a speculative queue of e-nodes that can absorb idle processors by
+// growing additional e-children (fewest e-children first, then shallowest).
+package ertree

@@ -1,0 +1,168 @@
+package ertree
+
+import (
+	"ertree/internal/core"
+	"ertree/internal/game"
+	"ertree/internal/serial"
+	"ertree/internal/tt"
+)
+
+// Position is a game state from the point of view of the player to move.
+// Implement it to search your own game; Othello, TicTacToe and the random
+// trees in this package already do.
+type Position = game.Position
+
+// Value is a position score in the negamax convention: always from the
+// point of view of the player to move, bounded by (-Inf, Inf).
+type Value = game.Value
+
+// Inf bounds every legal score's magnitude.
+const Inf = game.Inf
+
+// Window is an alpha-beta window.
+type Window = game.Window
+
+// FullWindow returns the unrestricted window (-Inf, Inf).
+func FullWindow() Window { return game.FullWindow() }
+
+// Orderer is a move-ordering policy.
+type Orderer = game.Orderer
+
+// NaturalOrder searches children in the game's natural move order.
+type NaturalOrder = game.NaturalOrder
+
+// StaticOrder sorts children by static evaluation down to a ply limit, the
+// ordering used by the paper's Othello experiments.
+type StaticOrder = game.StaticOrder
+
+// Stats accumulates node accounting for a search.
+type Stats = game.Stats
+
+// StatsSnapshot is an immutable copy of Stats.
+type StatsSnapshot = game.StatsSnapshot
+
+// Negmax computes the exact value of pos searched to the given depth by
+// visiting every node (paper §2). It is the reference oracle.
+func Negmax(pos Position, depth int) Value {
+	var s serial.Searcher
+	return s.Negmax(pos, depth)
+}
+
+// AlphaBeta computes the exact value of pos using serial fail-soft
+// alpha-beta with deep cutoffs (paper §2.1).
+func AlphaBeta(pos Position, depth int) Value {
+	var s serial.Searcher
+	return s.AlphaBeta(pos, depth, game.FullWindow())
+}
+
+// SerialER computes the exact value of pos using the serial ER algorithm of
+// the paper's Figure 8.
+func SerialER(pos Position, depth int) Value {
+	var s serial.Searcher
+	return s.ER(pos, depth, game.FullWindow())
+}
+
+// Serial exposes the serial algorithms with full control over windows, move
+// ordering and statistics.
+type Serial = serial.Searcher
+
+// PVS computes the exact value of pos using serial principal-variation
+// search (minimal-window verification of non-first children), the technique
+// behind the pv-splitting variant of the paper's footnote 3.
+func PVS(pos Position, depth int) Value {
+	var s serial.Searcher
+	return s.PVS(pos, depth, game.FullWindow())
+}
+
+// TranspositionTable caches search results across transpositions for
+// positions that implement Hashable (Othello, Connect Four, tic-tac-toe and
+// the random trees all do). Use it with Serial.AlphaBetaTT.
+type TranspositionTable = tt.Table
+
+// Hashable is the capability a Position implements to enable transposition
+// tables.
+type Hashable = tt.Hashable
+
+// NewTranspositionTable creates a table with 2^bits slots.
+func NewTranspositionTable(bits int) *TranspositionTable { return tt.New(bits) }
+
+// Config configures a parallel ER search.
+type Config struct {
+	// Workers is the number of processors. Defaults to 1.
+	Workers int
+	// SerialDepth is the remaining depth at or below which e-node subtrees
+	// are searched by one serial ER call (the work grain). Zero
+	// parallelizes to the leaves.
+	SerialDepth int
+	// Order is the move-ordering policy for non-e-node expansions; nil
+	// means natural order.
+	Order Orderer
+	// DisableParallelRefutation, DisableMultipleENodes and
+	// DisableEarlyChoice turn off the three speculative-work mechanisms of
+	// §5 (all are on by default, the paper's configuration).
+	DisableParallelRefutation bool
+	DisableMultipleENodes     bool
+	DisableEarlyChoice        bool
+	// SpecRank selects the speculative-queue ordering: SpecRankPaper
+	// (default, fewest e-children then shallowest), SpecRankDepth, or
+	// SpecRankBound (global ranking by most optimistic candidate bound).
+	SpecRank SpecRank
+	// Trace records per-processor busy intervals during Simulate (see
+	// Result.Timeline).
+	Trace bool
+	// EagerSpec admits nodes to the speculative queue after their first
+	// elder grandchild instead of the paper's all-but-one rule. Helps on
+	// uninformed trees, hurts on strongly ordered games (experiment A6).
+	EagerSpec bool
+	// Stats, if non-nil, receives node accounting.
+	Stats *Stats
+}
+
+// SpecRank is a speculative-queue ordering policy.
+type SpecRank = core.SpecRank
+
+// Speculative-queue ordering policies (see core.SpecRank).
+const (
+	SpecRankPaper = core.SpecRankPaper
+	SpecRankDepth = core.SpecRankDepth
+	SpecRankBound = core.SpecRankBound
+)
+
+func (c Config) options() core.Options {
+	return core.Options{
+		Workers:            c.Workers,
+		SerialDepth:        c.SerialDepth,
+		Order:              c.Order,
+		ParallelRefutation: !c.DisableParallelRefutation,
+		MultipleENodes:     !c.DisableMultipleENodes,
+		EarlyChoice:        !c.DisableEarlyChoice,
+		SpecRank:           c.SpecRank,
+		EagerSpec:          c.EagerSpec,
+		Trace:              c.Trace,
+		Stats:              c.Stats,
+	}
+}
+
+// Result reports the outcome of a parallel ER search; see core.Result for
+// field documentation.
+type Result = core.Result
+
+// CostModel maps engine operations to virtual time for Simulate.
+type CostModel = core.CostModel
+
+// DefaultCostModel returns the cost model used by the experiment harness.
+func DefaultCostModel() CostModel { return core.DefaultCostModel() }
+
+// Search runs parallel ER on real goroutines and returns the exact root
+// value. Correct for any worker count; prefer Simulate for speedup
+// measurement on machines with few cores.
+func Search(pos Position, depth int, cfg Config) Result {
+	return core.Search(pos, depth, cfg.options())
+}
+
+// Simulate runs parallel ER on P virtual processors of the deterministic
+// discrete-event simulator under the given cost model, reporting virtual
+// makespan and the starvation/interference loss decomposition of §3.1.
+func Simulate(pos Position, depth int, cfg Config, cost CostModel) Result {
+	return core.Simulate(pos, depth, cfg.options(), cost)
+}

@@ -1,0 +1,114 @@
+package ertree_test
+
+import (
+	"testing"
+
+	"ertree"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	// Tic-tac-toe is a draw (paper Figure 1).
+	if v := ertree.Negmax(ertree.TicTacToe(), 9); v != 0 {
+		t.Fatalf("tic-tac-toe value %d, want 0", v)
+	}
+	// All entry points agree on an Othello position.
+	b := ertree.Othello()
+	want := ertree.Negmax(b, 4)
+	if v := ertree.AlphaBeta(b, 4); v != want {
+		t.Fatalf("AlphaBeta %d, want %d", v, want)
+	}
+	if v := ertree.SerialER(b, 4); v != want {
+		t.Fatalf("SerialER %d, want %d", v, want)
+	}
+	res := ertree.Search(b, 4, ertree.Config{Workers: 4, SerialDepth: 2})
+	if res.Value != want {
+		t.Fatalf("Search %d, want %d", res.Value, want)
+	}
+	sim := ertree.Simulate(b, 4, ertree.Config{Workers: 4, SerialDepth: 2}, ertree.DefaultCostModel())
+	if sim.Value != want {
+		t.Fatalf("Simulate %d, want %d", sim.Value, want)
+	}
+	if sim.VirtualTime <= 0 {
+		t.Fatal("Simulate reported no virtual time")
+	}
+}
+
+func TestPublicAPIWorkloads(t *testing.T) {
+	for _, tr := range []*ertree.RandomTree{ertree.R1(), ertree.R2(), ertree.R3()} {
+		if tr.Degree < 4 || tr.Depth < 7 {
+			t.Fatalf("workload %v implausible", tr)
+		}
+	}
+	tr := ertree.NewRandomTree(1, 3, 5)
+	want := ertree.Negmax(tr.Root(), 5)
+	res := ertree.Simulate(tr.Root(), 5, ertree.Config{Workers: 8, SerialDepth: 2}, ertree.DefaultCostModel())
+	if res.Value != want {
+		t.Fatalf("random tree: %d want %d", res.Value, want)
+	}
+	st := ertree.NewStrongTree(2, 4, 5)
+	if v1, v2 := ertree.Negmax(st.Root(), 5), ertree.SerialER(st.Root(), 5); v1 != v2 {
+		t.Fatalf("strong tree disagreement: %d vs %d", v1, v2)
+	}
+}
+
+func TestPublicAPIOthelloRoots(t *testing.T) {
+	for _, name := range []string{"O1", "O2", "O3"} {
+		b, err := ertree.OthelloRoot(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.BlackToMove() {
+			t.Fatalf("%s: want White to move", name)
+		}
+	}
+	if _, err := ertree.OthelloRoot("bogus"); err == nil {
+		t.Fatal("bogus root accepted")
+	}
+}
+
+func TestPublicAPIBaselines(t *testing.T) {
+	tr := ertree.NewRandomTree(7, 3, 5)
+	cost := ertree.DefaultCostModel()
+	want := ertree.Negmax(tr.Root(), 5)
+	if r := ertree.Aspiration(tr.Root(), 5, ertree.AspirationOptions{Workers: 4, Bound: 11000}, cost); r.Value != want {
+		t.Fatalf("aspiration %d want %d", r.Value, want)
+	}
+	if r := ertree.MWF(tr.Root(), 5, ertree.MWFOptions{Workers: 4, SerialDepth: 2}, cost); r.Value != want {
+		t.Fatalf("mwf %d want %d", r.Value, want)
+	}
+	if r := ertree.TreeSplit(tr.Root(), 5, ertree.TreeSplitOptions{Height: 2, Fanout: 2}, cost); r.Value != want {
+		t.Fatalf("treesplit %d want %d", r.Value, want)
+	}
+	if r := ertree.PVSplit(tr.Root(), 5, ertree.TreeSplitOptions{Height: 2, Fanout: 2}, cost); r.Value != want {
+		t.Fatalf("pvsplit %d want %d", r.Value, want)
+	}
+}
+
+func TestConfigTogglesMapThrough(t *testing.T) {
+	tr := ertree.NewRandomTree(9, 4, 5)
+	want := ertree.Negmax(tr.Root(), 5)
+	cfg := ertree.Config{
+		Workers:                   8,
+		SerialDepth:               2,
+		DisableParallelRefutation: true,
+		DisableMultipleENodes:     true,
+		DisableEarlyChoice:        true,
+	}
+	res := ertree.Simulate(tr.Root(), 5, cfg, ertree.DefaultCostModel())
+	if res.Value != want {
+		t.Fatalf("no-speculation config: %d want %d", res.Value, want)
+	}
+	if res.SpecPops != 0 {
+		t.Fatalf("speculative queue used despite being disabled")
+	}
+}
+
+func TestStatsPlumbing(t *testing.T) {
+	var st ertree.Stats
+	tr := ertree.NewRandomTree(4, 3, 4)
+	ertree.Search(tr.Root(), 4, ertree.Config{Workers: 2, Stats: &st})
+	snap := st.Snapshot()
+	if snap.Generated == 0 || snap.Evaluated == 0 {
+		t.Fatalf("stats not accumulated: %+v", snap)
+	}
+}

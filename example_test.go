@@ -1,0 +1,55 @@
+package ertree_test
+
+import (
+	"fmt"
+
+	"ertree"
+)
+
+// The paper's Figure 1: tic-tac-toe is a draw under optimal play.
+func ExampleNegmax() {
+	v := ertree.Negmax(ertree.TicTacToe(), 9)
+	fmt.Println(v)
+	// Output: 0
+}
+
+// Parallel ER returns the exact negamax value for any worker count.
+func ExampleSearch() {
+	tree := ertree.NewRandomTree(7, 4, 6)
+	serial := ertree.AlphaBeta(tree.Root(), 6)
+	parallel := ertree.Search(tree.Root(), 6, ertree.Config{Workers: 8, SerialDepth: 3})
+	fmt.Println(serial == parallel.Value)
+	// Output: true
+}
+
+// Simulate reproduces the paper's measurements deterministically: the same
+// configuration always yields the same virtual makespan.
+func ExampleSimulate() {
+	tree := ertree.NewRandomTree(7, 4, 6)
+	cfg := ertree.Config{Workers: 16, SerialDepth: 3}
+	a := ertree.Simulate(tree.Root(), 6, cfg, ertree.DefaultCostModel())
+	b := ertree.Simulate(tree.Root(), 6, cfg, ertree.DefaultCostModel())
+	fmt.Println(a.VirtualTime == b.VirtualTime, a.Value == b.Value)
+	// Output: true true
+}
+
+// BestMove scores every move exactly; in Connect Four the center opening is
+// best.
+func ExampleBestMove() {
+	best, _, _ := ertree.BestMove(ertree.Connect4(), 7, ertree.Config{Workers: 4, SerialDepth: 4})
+	// Children are ordered center-out, so index 0 is the center column.
+	fmt.Println(best.Index)
+	// Output: 0
+}
+
+// A transposition table accelerates search on transposition-rich games
+// without changing the result.
+func ExampleNewTranspositionTable() {
+	board := ertree.Connect4()
+	var s ertree.Serial
+	plain := s.AlphaBeta(board, 7, ertree.FullWindow())
+	table := ertree.NewTranspositionTable(16)
+	cached := s.AlphaBetaTT(board, 7, ertree.FullWindow(), table)
+	fmt.Println(plain == cached, table.Hits > 0)
+	// Output: true true
+}

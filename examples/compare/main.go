@@ -1,0 +1,72 @@
+// Algorithm shoot-out: the direct comparison the paper names as future work
+// (§8). Parallel ER, aspiration search, mandatory-work-first, tree-
+// splitting and pv-splitting all search the same strongly ordered tree on
+// the same virtual hardware, and the table shows how their speedups scale
+// with processors.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"ertree"
+)
+
+func main() {
+	var (
+		seed   = flag.Uint64("seed", 99, "tree seed")
+		degree = flag.Int("degree", 4, "tree degree")
+		depth  = flag.Int("depth", 8, "tree height = search depth")
+	)
+	flag.Parse()
+
+	tr := ertree.NewStrongTree(*seed, *degree, *depth)
+	order := ertree.StaticOrder{MaxPly: 5}
+	cost := ertree.DefaultCostModel()
+
+	var abStats ertree.Stats
+	sab := ertree.Serial{Stats: &abStats, Order: order}
+	value := sab.AlphaBeta(tr.Root(), *depth, ertree.FullWindow())
+	serialCost := cost.Of(abStats.Snapshot())
+	fmt.Printf("strongly ordered tree %v, value %d, serial alpha-beta %d units\n\n",
+		tr, value, serialCost)
+
+	check := func(algo string, v ertree.Value) {
+		if v != value {
+			panic(fmt.Sprintf("%s returned %d, want %d", algo, v, value))
+		}
+	}
+
+	fmt.Printf("%4s %12s %12s %12s %12s %12s\n", "P", "parallel-ER", "aspiration", "MWF", "tree-split", "pv-split")
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		er := ertree.Simulate(tr.Root(), *depth,
+			ertree.Config{Workers: p, SerialDepth: *depth - 3, Order: order}, cost)
+		check("parallel ER", er.Value)
+
+		asp := ertree.Aspiration(tr.Root(), *depth,
+			ertree.AspirationOptions{Workers: p, Bound: 3000, Order: order}, cost)
+		check("aspiration", asp.Value)
+
+		mwf := ertree.MWF(tr.Root(), *depth,
+			ertree.MWFOptions{Workers: p, SerialDepth: *depth - 3, Order: order}, cost)
+		check("MWF", mwf.Value)
+
+		// Tree-splitting uses the binary processor tree closest to P.
+		h := 0
+		for 1<<(h+1) <= p {
+			h++
+		}
+		opt := ertree.TreeSplitOptions{Height: h, Fanout: 2, Order: order}
+		ts := ertree.TreeSplit(tr.Root(), *depth, opt, cost)
+		check("tree-splitting", ts.Value)
+		pv := ertree.PVSplit(tr.Root(), *depth, opt, cost)
+		check("pv-splitting", pv.Value)
+
+		sp := func(t int64) float64 { return float64(serialCost) / float64(t) }
+		fmt.Printf("%4d %12.2f %12.2f %12.2f %12.2f %12.2f\n",
+			p, sp(er.VirtualTime), sp(asp.ParallelTime), sp(mwf.VirtualTime),
+			sp(ts.Time), sp(pv.Time))
+	}
+	fmt.Println("\n(table entries are speedups over serial alpha-beta; tree-split and")
+	fmt.Println(" pv-split use the binary processor tree with at most P leaf processors)")
+}

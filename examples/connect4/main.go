@@ -1,0 +1,49 @@
+// Connect Four analysis: BestMove with parallel ER scores every opening
+// reply, then the engine plays out a short game against itself, printing
+// the principal line. Demonstrates the move-selection API on a third game.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ertree"
+)
+
+const (
+	searchDepth = 9
+	playPlies   = 16
+)
+
+func main() {
+	cfg := ertree.Config{Workers: 4, SerialDepth: 6}
+
+	// Score every first move of the game.
+	b := ertree.Connect4()
+	best, all, ok := ertree.BestMove(b, searchDepth, cfg)
+	if !ok {
+		log.Fatal("no moves on the empty board")
+	}
+	fmt.Printf("opening analysis at depth %d (children are center-out: 3,2,4,1,5,0,6):\n", searchDepth)
+	for _, m := range all {
+		marker := " "
+		if m.Index == best.Index {
+			marker = "*"
+		}
+		fmt.Printf("  %s child %d: score %+d\n", marker, m.Index, m.Score)
+	}
+
+	// Self-play: the engine answers itself for a few plies.
+	fmt.Printf("\nself-play, %d plies at depth %d:\n\n", playPlies, searchDepth)
+	for i := 0; i < playPlies && !b.Terminal(); i++ {
+		best, _, ok := ertree.BestMove(b, searchDepth, cfg)
+		if !ok {
+			break
+		}
+		kids := b.Children()
+		b = kids[best.Index].(ertree.Connect4Board)
+	}
+	fmt.Print(b)
+	v := ertree.AlphaBeta(b, 10)
+	fmt.Printf("\nposition after %d plies; 10-ply value for the player to move: %+d\n", b.Ply(), v)
+}

@@ -1,0 +1,94 @@
+// Othello self-play: the paper's real-game workload used as an engine.
+// Parallel ER (White) plays serial alpha-beta (Black) from the standard
+// initial position; both search 5 plies with static move ordering. The
+// example prints the game and the final score, demonstrating the engine on
+// the paper's domain end to end.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ertree"
+)
+
+const searchDepth = 5
+
+// pickMove returns the best move index for the side to move under the given
+// search function (our engine scores a child by the negation of its value).
+func pickMove(b ertree.OthelloBoard, search func(ertree.Position) ertree.Value) int {
+	moves := b.Moves()
+	bestMove, bestScore := -1, -ertree.Inf
+	for _, m := range moves {
+		child, ok := b.Play(m)
+		if !ok {
+			log.Fatalf("legal move rejected: %d", m)
+		}
+		if score := -search(child); score > bestScore {
+			bestMove, bestScore = m, score
+		}
+	}
+	return bestMove
+}
+
+func main() {
+	order := ertree.StaticOrder{MaxPly: 5}
+	parallelER := func(p ertree.Position) ertree.Value {
+		res := ertree.Search(p, searchDepth, ertree.Config{
+			Workers:     4,
+			SerialDepth: 3,
+			Order:       order,
+		})
+		return res.Value
+	}
+	alphaBeta := func(p ertree.Position) ertree.Value {
+		s := ertree.Serial{Order: order}
+		return s.AlphaBeta(p, searchDepth, ertree.FullWindow())
+	}
+
+	b := ertree.Othello()
+	var moveLog []string
+	for !b.Terminal() {
+		moves := b.Moves()
+		if len(moves) == 0 {
+			nb, _ := b.Play(-1) // forced pass
+			b = nb
+			moveLog = append(moveLog, "pass")
+			continue
+		}
+		var mv int
+		if b.BlackToMove() {
+			mv = pickMove(b, alphaBeta)
+		} else {
+			mv = pickMove(b, parallelER)
+		}
+		nb, ok := b.Play(mv)
+		if !ok {
+			log.Fatalf("engine chose an illegal move")
+		}
+		moveLog = append(moveLog, squareName(mv))
+		b = nb
+	}
+
+	fmt.Println("final position:")
+	fmt.Print(b)
+	own, opp := b.Discs()
+	black, white := own, opp
+	if !b.BlackToMove() {
+		black, white = opp, own
+	}
+	fmt.Printf("\nmoves (%d): %v\n", len(moveLog), moveLog)
+	fmt.Printf("score: Black (alpha-beta) %d - White (parallel ER) %d\n", black, white)
+	switch {
+	case white > black:
+		fmt.Println("parallel ER wins")
+	case black > white:
+		fmt.Println("alpha-beta wins")
+	default:
+		fmt.Println("draw")
+	}
+}
+
+func squareName(i int) string {
+	return string([]byte{byte('a' + i%8), byte('1' + i/8)})
+}

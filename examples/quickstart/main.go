@@ -1,0 +1,69 @@
+// Quickstart: define a game by implementing ertree.Position, then search it
+// serially and in parallel.
+//
+// The game here is a tiny "withdrawal" Nim variant: a pile of N stones,
+// players alternately remove 1-3 stones, and taking the last stone WINS.
+// The exact value from the mover's view is +1 unless N % 4 == 0 (the
+// classical losing positions), which the searches verify.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ertree"
+)
+
+// Nim is a pile of stones; the player to move removes 1-3. It implements
+// ertree.Position.
+type Nim int
+
+// Children returns the positions after removing 1, 2 or 3 stones.
+func (n Nim) Children() []ertree.Position {
+	var out []ertree.Position
+	for take := 1; take <= 3 && take <= int(n); take++ {
+		out = append(out, n-Nim(take))
+	}
+	return out
+}
+
+// Value scores a terminal pile: 0 stones means the previous player took the
+// last stone, so the player to move has lost. Non-terminal positions are
+// unknown to the static evaluator (0).
+func (n Nim) Value() ertree.Value {
+	if n == 0 {
+		return -1
+	}
+	return 0
+}
+
+func main() {
+	for pile := 1; pile <= 14; pile++ {
+		depth := pile // enough plies to play the game out
+		want := ertree.Value(1)
+		if pile%4 == 0 {
+			want = -1
+		}
+
+		// Serial reference searches.
+		negmax := ertree.Negmax(Nim(pile), depth)
+		ab := ertree.AlphaBeta(Nim(pile), depth)
+		er := ertree.SerialER(Nim(pile), depth)
+
+		// Parallel ER on 4 goroutine workers.
+		par := ertree.Search(Nim(pile), depth, ertree.Config{Workers: 4, SerialDepth: 3})
+
+		// Parallel ER on 4 virtual processors of the deterministic
+		// simulator, which also reports virtual time.
+		sim := ertree.Simulate(Nim(pile), depth, ertree.Config{Workers: 4, SerialDepth: 3},
+			ertree.DefaultCostModel())
+
+		if negmax != want || ab != want || er != want || par.Value != want || sim.Value != want {
+			log.Fatalf("pile %d: got %d/%d/%d/%d/%d, want %d",
+				pile, negmax, ab, er, par.Value, sim.Value, want)
+		}
+		fmt.Printf("pile %2d: value %+d (virtual time %4d on 4 processors)\n",
+			pile, sim.Value, sim.VirtualTime)
+	}
+	fmt.Println("all searches agree: piles divisible by 4 are lost for the mover")
+}

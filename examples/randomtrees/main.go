@@ -1,0 +1,61 @@
+// Random-tree scaling study: a compact version of the paper's Figures 11
+// and 13 on a user-chosen random tree, printed as text curves. It shows the
+// two headline behaviors: efficiency declines gently as processors are
+// added, and the number of nodes examined grows quickly up to ~4 processors
+// and then plateaus.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"ertree"
+)
+
+func main() {
+	var (
+		seed   = flag.Uint64("seed", 2026, "tree seed")
+		degree = flag.Int("degree", 4, "tree degree")
+		depth  = flag.Int("depth", 8, "tree height = search depth")
+		serial = flag.Int("serial-depth", 5, "serial subtree depth")
+	)
+	flag.Parse()
+
+	tr := ertree.NewRandomTree(*seed, *degree, *depth)
+	cost := ertree.DefaultCostModel()
+
+	// Serial baselines.
+	var abStats, erStats ertree.Stats
+	sab := ertree.Serial{Stats: &abStats}
+	value := sab.AlphaBeta(tr.Root(), *depth, ertree.FullWindow())
+	ser := ertree.Serial{Stats: &erStats}
+	if v := ser.ER(tr.Root(), *depth, ertree.FullWindow()); v != value {
+		panic("serial algorithms disagree")
+	}
+	abCost := cost.Of(abStats.Snapshot())
+	erCost := cost.Of(erStats.Snapshot())
+	best := abCost
+	if erCost < best {
+		best = erCost
+	}
+	fmt.Printf("tree %v, exact value %d\n", tr, value)
+	fmt.Printf("serial alpha-beta: %d cost units; serial ER: %d cost units\n\n", abCost, erCost)
+
+	fmt.Printf("%3s  %10s  %10s  %10s  %s\n", "P", "time", "speedup", "nodes", "efficiency")
+	for _, p := range []int{1, 2, 4, 8, 12, 16} {
+		res := ertree.Simulate(tr.Root(), *depth, ertree.Config{
+			Workers:     p,
+			SerialDepth: *serial,
+		}, cost)
+		if res.Value != value {
+			panic("parallel ER disagrees")
+		}
+		speedup := float64(best) / float64(res.VirtualTime)
+		eff := speedup / float64(p)
+		bar := strings.Repeat("#", int(eff*40+0.5))
+		fmt.Printf("%3d  %10d  %10.2f  %10d  %.3f %s\n",
+			p, res.VirtualTime, speedup, res.Stats.Generated+res.Stats.Evaluated, eff, bar)
+	}
+	fmt.Println("\n(efficiency is speedup over the best serial algorithm divided by P)")
+}

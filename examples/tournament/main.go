@@ -1,0 +1,74 @@
+// Tournament: engines powered by the different search algorithms play a
+// Connect Four round-robin — the library as a game-playing toolkit. Engines
+// of equal depth pick equally good moves and tend to split or draw their
+// games; the shallow engine should finish last.
+package main
+
+import (
+	"fmt"
+
+	"ertree"
+)
+
+func engine(name string, depth int, search func(ertree.Position, int) ertree.Value) ertree.SearchEngine {
+	return ertree.SearchEngine{
+		Label: fmt.Sprintf("%s(d=%d)", name, depth),
+		Search: func(child ertree.Position) ertree.Value {
+			return search(child, depth)
+		},
+	}
+}
+
+func main() {
+	parER := func(p ertree.Position, d int) ertree.Value {
+		return ertree.Search(p, d, ertree.Config{Workers: 4, SerialDepth: d - 2}).Value
+	}
+	alphaBeta := func(p ertree.Position, d int) ertree.Value {
+		var s ertree.Serial
+		return s.AlphaBeta(p, d, ertree.FullWindow())
+	}
+	serialER := func(p ertree.Position, d int) ertree.Value {
+		var s ertree.Serial
+		return s.ER(p, d, ertree.FullWindow())
+	}
+	pvs := func(p ertree.Position, d int) ertree.Value {
+		var s ertree.Serial
+		return s.PVS(p, d, ertree.FullWindow())
+	}
+
+	engines := []ertree.Engine{
+		engine("parallel-er", 7, parER),
+		engine("alpha-beta", 7, alphaBeta),
+		engine("serial-er", 7, serialER),
+		engine("pvs", 7, pvs),
+		engine("shallow-ab", 2, alphaBeta),
+	}
+
+	outcome := func(final ertree.Playable) int {
+		b := final.(ertree.Connect4Board)
+		switch v := b.Value(); {
+		case v <= -9000:
+			return -1
+		case v >= 9000:
+			return 1
+		default:
+			return 0
+		}
+	}
+
+	points := make([]float64, len(engines))
+	fmt.Println("connect four round-robin, 2 games per pairing (colors alternate):")
+	for i := 0; i < len(engines); i++ {
+		for j := i + 1; j < len(engines); j++ {
+			aw, bw, dr := ertree.PlaySeries(ertree.Connect4(), engines[i], engines[j], 2, 42, outcome)
+			points[i] += float64(aw) + float64(dr)/2
+			points[j] += float64(bw) + float64(dr)/2
+			fmt.Printf("  %-18s vs %-18s  %d-%d (%d draws)\n",
+				engines[i].Name(), engines[j].Name(), aw, bw, dr)
+		}
+	}
+	fmt.Println("\nstandings:")
+	for i, e := range engines {
+		fmt.Printf("  %-18s %.1f\n", e.Name(), points[i])
+	}
+}

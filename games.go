@@ -1,0 +1,82 @@
+package ertree
+
+import (
+	"ertree/internal/checkers"
+	"ertree/internal/connect4"
+	"ertree/internal/othello"
+	"ertree/internal/randtree"
+	"ertree/internal/ttt"
+)
+
+// OthelloBoard is a full 8x8 Othello position (bitboard move generation,
+// pass handling, phase-blended positional/mobility evaluator). It
+// implements Position.
+type OthelloBoard = othello.Board
+
+// Othello returns the standard Othello initial position, Black to move.
+func Othello() OthelloBoard { return othello.Start() }
+
+// OthelloRoot returns one of the paper's three experiment roots "O1", "O2"
+// or "O3": deterministic midgame positions with White to move (§7, Figure 9
+// substitution documented in DESIGN.md).
+func OthelloRoot(name string) (OthelloBoard, error) { return othello.Root(name) }
+
+// ParseOthello builds a board from a diagram of 'X'/'O'/'.' cells (rank 8
+// first) and the side to move.
+func ParseOthello(diagram string, blackToMove bool) (OthelloBoard, error) {
+	return othello.Parse(diagram, blackToMove)
+}
+
+// TicTacToeBoard is a tic-tac-toe position (the game of the paper's
+// Figure 1). It implements Position.
+type TicTacToeBoard = ttt.Board
+
+// TicTacToe returns the empty tic-tac-toe board, X to move. Its exact value
+// is 0: the game is a draw (Figure 1).
+func TicTacToe() TicTacToeBoard { return ttt.New() }
+
+// CheckersBoard is an English draughts position (forced captures,
+// multi-jumps, promotion; material/positional evaluator) — the game of
+// Fishburn's tree-splitting experiments cited in §4.4. It implements
+// Position.
+type CheckersBoard = checkers.Board
+
+// Checkers returns the standard checkers initial position, Black to move.
+func Checkers() CheckersBoard { return checkers.Start() }
+
+// Connect4Board is a Connect Four position (bitboards, center-out move
+// ordering, line-potential evaluator). It implements Position.
+type Connect4Board = connect4.Board
+
+// Connect4 returns the empty Connect Four board.
+func Connect4() Connect4Board { return connect4.New() }
+
+// RandomTree describes a uniform random game tree: fixed degree, fixed
+// depth, independent uniform leaf values derived from the seed (§7). The
+// tree is never materialized, so arbitrarily large trees cost no memory.
+type RandomTree = randtree.Tree
+
+// NewRandomTree returns a random game tree workload.
+func NewRandomTree(seed uint64, degree, depth int) *RandomTree {
+	return &randtree.Tree{Seed: seed, Degree: degree, Depth: depth, ValueRange: 10000}
+}
+
+// R1, R2, R3 return the paper's Table 3 random-tree workloads.
+func R1() *RandomTree { return randtree.R1() }
+
+// R2 returns random tree R2 of Table 3 (degree 4, 11 ply).
+func R2() *RandomTree { return randtree.R2() }
+
+// R3 returns random tree R3 of Table 3 (degree 8, 7 ply).
+func R3() *RandomTree { return randtree.R3() }
+
+// StrongTree is a synthetic "strongly ordered" game tree in Marsland's
+// sense (§4.4): the first branch is best most of the time, and interior
+// positions expose an informed static estimate.
+type StrongTree = randtree.StrongTree
+
+// NewStrongTree returns a strongly ordered tree tuned to Marsland's 70%/90%
+// ordering statistics.
+func NewStrongTree(seed uint64, degree, depth int) *StrongTree {
+	return randtree.Marsland(seed, degree, depth)
+}

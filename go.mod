@@ -1,0 +1,3 @@
+module ertree
+
+go 1.22

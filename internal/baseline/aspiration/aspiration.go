@@ -1,0 +1,120 @@
+// Package aspiration implements Baudet's parallel aspiration search (paper
+// §4.1): the alpha-beta window is divided into k disjoint intervals, each
+// processor searches the full tree with its own interval, and exactly one
+// succeeds. The processors never communicate, so the parallel time is simply
+// the time of the search that proves the value; the speedup comes from
+// narrow windows cutting more, and is bounded (Baudet observed a maximum of
+// 5-6) because every processor must still examine at least the minimal tree.
+package aspiration
+
+import (
+	"ertree/internal/core"
+	"ertree/internal/game"
+	"ertree/internal/serial"
+)
+
+// Options configures an aspiration search.
+type Options struct {
+	// Workers is the number of processors (windows). Defaults to 1.
+	Workers int
+	// Bound is the largest value magnitude considered; the interval
+	// [-Bound, Bound] is divided evenly among the workers, with the
+	// outermost windows extended to infinity. Must be positive.
+	Bound game.Value
+	// Order is the move-ordering policy shared by all searches.
+	Order game.Orderer
+}
+
+// WindowResult describes one processor's search.
+type WindowResult struct {
+	Window  game.Window
+	Value   game.Value // fail-soft alpha-beta result
+	Cost    int64      // virtual time of this search
+	Nodes   int64
+	Success bool // the window strictly contained the true value
+}
+
+// Result is the outcome of a parallel aspiration search.
+type Result struct {
+	Value   game.Value
+	Workers int
+	Windows []WindowResult
+	// ParallelTime is the virtual time until the value is proved: the
+	// succeeding window's search, or — when the value falls on a window
+	// boundary — the slower of the two adjacent proofs.
+	ParallelTime int64
+	// TotalNodes across all processors (they all run to completion unless
+	// aborted; Baudet's scheme has no abort channel).
+	TotalNodes int64
+}
+
+// Search runs parallel aspiration search. Because the k searches are fully
+// independent, they are evaluated sequentially here and combined under the
+// cost model: virtual parallel time needs no event simulation.
+func Search(pos game.Position, depth int, opt Options, cost core.CostModel) Result {
+	workers := opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	bound := opt.Bound
+	if bound <= 0 {
+		bound = game.Inf - 1
+	}
+	res := Result{Workers: workers, Value: game.NoValue}
+
+	// Build k contiguous windows covering (-Inf, Inf).
+	cuts := make([]game.Value, workers+1)
+	cuts[0] = -game.Inf
+	cuts[workers] = game.Inf
+	for i := 1; i < workers; i++ {
+		cuts[i] = -bound + game.Value(int64(2*bound)*int64(i)/int64(workers))
+	}
+
+	for i := 0; i < workers; i++ {
+		w := game.Window{Alpha: cuts[i], Beta: cuts[i+1]}
+		var st game.Stats
+		s := serial.Searcher{Order: opt.Order, Stats: &st}
+		v := s.AlphaBeta(pos, depth, w)
+		snap := st.Snapshot()
+		wr := WindowResult{
+			Window:  w,
+			Value:   v,
+			Cost:    cost.Of(snap),
+			Nodes:   snap.Generated + snap.Evaluated,
+			Success: w.Contains(v),
+		}
+		res.Windows = append(res.Windows, wr)
+		res.TotalNodes += wr.Nodes
+		if wr.Success {
+			res.Value = v
+			res.ParallelTime = wr.Cost
+		}
+	}
+
+	if res.Value == game.NoValue {
+		// The true value fell on a window boundary: the window below
+		// failed high at it and the window above failed low at it; the
+		// two proofs together pin the value. Find the boundary b where
+		// windows[i] fails high with value b and windows[i+1] fails low
+		// with value b.
+		for i := 0; i+1 < workers; i++ {
+			lo, hi := res.Windows[i], res.Windows[i+1]
+			if lo.Value >= lo.Window.Beta && hi.Value <= hi.Window.Alpha && lo.Value == hi.Value {
+				res.Value = lo.Value
+				if lo.Cost > hi.Cost {
+					res.ParallelTime = lo.Cost
+				} else {
+					res.ParallelTime = hi.Cost
+				}
+				break
+			}
+		}
+	}
+	if res.Value == game.NoValue {
+		// Single window (workers == 1) or pathological bound settings:
+		// fall back to the full-window search result.
+		res.Value = res.Windows[0].Value
+		res.ParallelTime = res.Windows[0].Cost
+	}
+	return res
+}

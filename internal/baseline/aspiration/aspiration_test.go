@@ -1,0 +1,117 @@
+package aspiration
+
+import (
+	"math/rand"
+	"testing"
+
+	"ertree/internal/core"
+	"ertree/internal/game"
+	"ertree/internal/gtree"
+	"ertree/internal/randtree"
+	"ertree/internal/serial"
+)
+
+func TestExactValueRandomTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	spec := gtree.RandomSpec{MinDegree: 1, MaxDegree: 4, MinDepth: 2, MaxDepth: 5, ValueRange: 40}
+	for i := 0; i < 60; i++ {
+		root := spec.Generate(rng)
+		h := root.Height()
+		var s serial.Searcher
+		want := s.Negmax(root, h)
+		for _, workers := range []int{1, 2, 3, 5, 8} {
+			res := Search(root, h, Options{Workers: workers, Bound: 45}, core.DefaultCostModel())
+			if res.Value != want {
+				t.Fatalf("tree %d P=%d: value %d, want %d", i, workers, res.Value, want)
+			}
+		}
+	}
+}
+
+func TestBoundaryValues(t *testing.T) {
+	// Craft a tree whose value lands exactly on a window cut. With
+	// Bound=4 and 4 workers, cuts fall at -2, 0, 2; value 0 is a cut.
+	root := gtree.N(gtree.L(0), gtree.L(5))
+	var s serial.Searcher
+	want := s.Negmax(root, 1)
+	res := Search(root, 1, Options{Workers: 4, Bound: 4}, core.DefaultCostModel())
+	if res.Value != want {
+		t.Fatalf("boundary value: %d, want %d", res.Value, want)
+	}
+}
+
+func TestExactlyOneSuccessInteriorValue(t *testing.T) {
+	tr := &randtree.Tree{Seed: 3, Degree: 3, Depth: 5, ValueRange: 1000}
+	res := Search(tr.Root(), 5, Options{Workers: 5, Bound: 1100}, core.DefaultCostModel())
+	succ := 0
+	for _, w := range res.Windows {
+		if w.Success {
+			succ++
+		}
+	}
+	if succ > 1 {
+		t.Fatalf("%d windows succeeded, want at most 1", succ)
+	}
+}
+
+func TestNarrowWindowsCheaper(t *testing.T) {
+	// The succeeding narrow window must cost no more than the full-window
+	// serial search (that is the entire point of aspiration).
+	tr := &randtree.Tree{Seed: 9, Degree: 4, Depth: 6, ValueRange: 10000}
+	full := Search(tr.Root(), 6, Options{Workers: 1}, core.DefaultCostModel())
+	split := Search(tr.Root(), 6, Options{Workers: 6, Bound: 11000}, core.DefaultCostModel())
+	if split.Value != full.Value {
+		t.Fatalf("values differ")
+	}
+	if split.ParallelTime > full.ParallelTime {
+		t.Errorf("aspiration slower than serial: %d > %d", split.ParallelTime, full.ParallelTime)
+	}
+	t.Logf("serial %d, aspiration(6) %d, speedup %.2f",
+		full.ParallelTime, split.ParallelTime,
+		float64(full.ParallelTime)/float64(split.ParallelTime))
+}
+
+func TestSpeedupPlateaus(t *testing.T) {
+	// Baudet's key observation: speedup is bounded regardless of
+	// processors (each search still visits at least the minimal tree).
+	tr := &randtree.Tree{Seed: 17, Degree: 4, Depth: 7, ValueRange: 10000}
+	serialTime := Search(tr.Root(), 7, Options{Workers: 1}, core.DefaultCostModel()).ParallelTime
+	best := 0.0
+	for _, workers := range []int{2, 4, 8, 16, 32} {
+		res := Search(tr.Root(), 7, Options{Workers: workers, Bound: 11000}, core.DefaultCostModel())
+		sp := float64(serialTime) / float64(res.ParallelTime)
+		if sp > best {
+			best = sp
+		}
+	}
+	t.Logf("max aspiration speedup observed: %.2f", best)
+	if best > 8 {
+		t.Errorf("aspiration speedup %.2f implausibly high (Baudet bound ~5-6)", best)
+	}
+	if best < 1.0 {
+		t.Errorf("aspiration achieved no speedup at all")
+	}
+}
+
+func TestTotalNodesGrowWithWorkers(t *testing.T) {
+	tr := &randtree.Tree{Seed: 21, Degree: 3, Depth: 6, ValueRange: 1000}
+	n1 := Search(tr.Root(), 6, Options{Workers: 1}, core.DefaultCostModel()).TotalNodes
+	n8 := Search(tr.Root(), 6, Options{Workers: 8, Bound: 1100}, core.DefaultCostModel()).TotalNodes
+	if n8 <= n1 {
+		t.Errorf("8 windows should examine more total nodes than 1 (%d vs %d)", n8, n1)
+	}
+}
+
+func TestDefaultsAndDegenerate(t *testing.T) {
+	leaf := gtree.L(7)
+	res := Search(leaf, 0, Options{}, core.DefaultCostModel())
+	if res.Value != 7 || res.Workers != 1 {
+		t.Fatalf("degenerate search: %+v", res)
+	}
+	if res.ParallelTime <= 0 {
+		t.Fatalf("no time charged")
+	}
+	if !res.Windows[0].Window.Contains(game.Value(7)) {
+		t.Fatalf("full window should contain the value")
+	}
+}

@@ -1,0 +1,356 @@
+// Package mwf implements the Mandatory Work First algorithm of Akl, Barnard
+// and Doran (paper §4.2) on the deterministic simulator.
+//
+// MWF exploits the minimal tree of alpha-beta *without* deep cutoffs: in its
+// first phase the whole minimal tree (all children of 1-nodes, plus the
+// first child of every 2-node) is searched in parallel; in subsequent
+// speculative phases the right children of 2-nodes are searched, each by
+// *serial* alpha-beta, and a right child s_i may not start until the 2-node
+// has a refutation bound (a sibling of the 2-node has finished) and all
+// earlier siblings s_j, j<i, have finished. The phases of the paper's
+// Figure 4 are not represented explicitly; they emerge from these gates.
+package mwf
+
+import (
+	"fmt"
+
+	"ertree/internal/core"
+	"ertree/internal/game"
+	"ertree/internal/serial"
+	"ertree/internal/sim"
+)
+
+// Options configures an MWF search.
+type Options struct {
+	// Workers is the processor count.
+	Workers int
+	// SerialDepth is the remaining depth at or below which minimal-tree
+	// nodes are searched serially as one task (the decomposition grain).
+	// Right children of 2-nodes are always whole serial tasks, per Akl.
+	SerialDepth int
+	// Order is the move-ordering policy.
+	Order game.Orderer
+}
+
+// Result reports an MWF run.
+type Result struct {
+	Value       game.Value
+	Workers     int
+	VirtualTime int64
+	Nodes       int64 // nodes examined across all processors
+	Tasks       int64 // serial subtree tasks executed
+	StarveTime  int64
+	LockTime    int64
+}
+
+type kind int8
+
+const (
+	type1 kind = iota // critical 1-node: all children searched in parallel
+	type2             // critical 2-node: first child mandatory, rest gated
+)
+
+type node struct {
+	pos    game.Position
+	parent *node
+	depth  int
+	ply    int
+	kind   kind
+
+	// serialOnly forces the node to be searched as one serial alpha-beta
+	// task regardless of depth (right children of 2-nodes).
+	serialOnly bool
+
+	value game.Value
+	done  bool
+
+	moves    []game.Position
+	expanded bool
+	kids     []*node
+	kidsDone int
+	launched int
+}
+
+func (n *node) alive() bool {
+	for a := n; a != nil; a = a.parent {
+		if a.done {
+			return false
+		}
+	}
+	return true
+}
+
+// beta returns the no-deep-cutoff bound: only the parent's running value
+// restricts the search.
+func (n *node) beta() game.Value {
+	if n.parent == nil {
+		return game.Inf
+	}
+	return -n.parent.value
+}
+
+type state struct {
+	opt   Options
+	cost  core.CostModel
+	queue []*node
+	root  *node
+	done  bool
+	nodes int64
+	tasks int64
+}
+
+// Search runs MWF with P virtual processors; the result is deterministic.
+// It panics on an internal deadlock (a bug).
+func Search(pos game.Position, depth int, opt Options, cost core.CostModel) Result {
+	workers := opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	s := &state{opt: opt, cost: cost}
+	s.root = &node{pos: pos, depth: depth, kind: type1, value: -game.Inf}
+	s.push(s.root)
+
+	env := sim.NewEnv()
+	res := env.NewResource("mwf")
+	cond := env.NewCond(res)
+	for i := 0; i < workers; i++ {
+		env.Spawn(fmt.Sprintf("p%d", i), func(p *sim.Proc) { s.worker(p, res, cond) })
+	}
+	if err := env.Run(); err != nil {
+		panic("mwf: " + err.Error())
+	}
+	if !s.root.done {
+		panic("mwf: root unresolved")
+	}
+	out := Result{
+		Value: s.root.value, Workers: workers,
+		VirtualTime: env.Now(), Nodes: s.nodes, Tasks: s.tasks,
+	}
+	for _, p := range env.Procs() {
+		out.StarveTime += p.StarveTime()
+		out.LockTime += p.LockTime()
+	}
+	return out
+}
+
+// push appends to the work queue, deepest nodes first (stable).
+func (s *state) push(n *node) {
+	s.queue = append(s.queue, n)
+	for i := len(s.queue) - 1; i > 0; i-- {
+		if s.queue[i-1].ply >= s.queue[i].ply {
+			break
+		}
+		s.queue[i-1], s.queue[i] = s.queue[i], s.queue[i-1]
+	}
+}
+
+func (s *state) pop() *node {
+	if len(s.queue) == 0 {
+		return nil
+	}
+	n := s.queue[0]
+	s.queue = s.queue[1:]
+	return n
+}
+
+func (s *state) worker(p *sim.Proc, res *sim.Resource, cond *sim.Cond) {
+	p.Acquire(res)
+	defer p.Release(res)
+	for {
+		for !s.done && len(s.queue) == 0 {
+			p.Wait(cond)
+		}
+		if s.done {
+			return
+		}
+		n := s.pop()
+		p.Advance(s.cost.HeapOp)
+		if n == nil || !n.alive() {
+			continue
+		}
+		if n.value >= n.beta() {
+			n.done = true
+			s.combine(n, p, cond)
+			continue
+		}
+		if n.serialOnly || n.depth <= s.opt.SerialDepth {
+			s.serialTask(n, p, res, cond)
+			continue
+		}
+		s.expand(n, p, res, cond)
+	}
+}
+
+// serialTask searches n's whole subtree with serial alpha-beta without deep
+// cutoffs (MWF's reference algorithm) under a snapshot bound. Lock held on
+// entry and exit; released around the search.
+func (s *state) serialTask(n *node, p *sim.Proc, res *sim.Resource, cond *sim.Cond) {
+	beta := n.beta()
+	p.Release(res)
+	var st game.Stats
+	sr := serial.Searcher{Order: s.opt.Order, Stats: &st, BasePly: n.ply}
+	v := sr.AlphaBetaNoDeep(n.pos, n.depth, beta)
+	snap := st.Snapshot()
+	p.Advance(s.cost.Of(snap))
+	p.Acquire(res)
+	s.nodes += snap.Generated + snap.Evaluated
+	s.tasks++
+	if !n.alive() {
+		return
+	}
+	if v > n.value {
+		n.value = v
+	}
+	n.done = true
+	s.combine(n, p, cond)
+}
+
+// expand applies MWF's generation rules to an interior critical node.
+// Lock held on entry and exit.
+func (s *state) expand(n *node, p *sim.Proc, res *sim.Resource, cond *sim.Cond) {
+	if !n.expanded {
+		p.Release(res)
+		moves := n.pos.Children()
+		var sortEvals int64
+		if len(moves) > 1 && s.opt.Order != nil {
+			sortEvals = int64(s.opt.Order.Cost(len(moves), n.ply))
+			moves = s.opt.Order.Order(moves, n.ply)
+		}
+		p.Advance(sortEvals * s.cost.Eval)
+		p.Acquire(res)
+		if !n.alive() {
+			return
+		}
+		n.moves = moves
+		n.expanded = true
+	}
+	if len(n.moves) == 0 { // terminal above the horizon
+		p.Release(res)
+		v := n.pos.Value()
+		p.Advance(s.cost.Eval)
+		p.Acquire(res)
+		s.nodes++
+		if !n.alive() {
+			return
+		}
+		if v > n.value {
+			n.value = v
+		}
+		n.done = true
+		s.combine(n, p, cond)
+		return
+	}
+	count := len(n.moves)
+	if n.kind == type2 {
+		count = 1 // only the first child (a 1-node) is mandatory
+	}
+	for i := 0; i < count; i++ {
+		k := &node{pos: n.moves[i], parent: n, depth: n.depth - 1, ply: n.ply + 1,
+			kind: type2, value: -game.Inf}
+		if i == 0 {
+			k.kind = type1
+		}
+		n.kids = append(n.kids, k)
+		n.launched++
+		s.nodes++
+		p.Advance(s.cost.Node + s.cost.HeapOp)
+		s.push(k)
+	}
+	p.Broadcast(cond)
+}
+
+// combine backs up a completed node's value, re-evaluates the gating of
+// 2-nodes affected by the new bound, and completes ancestors. Lock held.
+func (s *state) combine(n *node, p *sim.Proc, cond *sim.Cond) {
+	cur := n
+	for {
+		p.Advance(s.cost.Combine)
+		par := cur.parent
+		if par == nil {
+			s.done = true
+			p.Broadcast(cond)
+			return
+		}
+		if par.done {
+			return
+		}
+		improved := false
+		if -cur.value > par.value {
+			par.value = -cur.value
+			improved = true
+		}
+		par.kidsDone++
+
+		// A better bound at par may refute or unlock its other 2-node
+		// children.
+		if improved {
+			for _, k := range par.kids {
+				if k != cur && !k.done && k.kind == type2 {
+					s.tryAdvance(k, p, cond)
+				}
+			}
+			if par.done {
+				return // a recursive combine completed par already
+			}
+		}
+
+		if par.value >= par.beta() {
+			par.done = true
+			cur = par
+			continue
+		}
+
+		if par.kind == type1 {
+			if par.expanded && par.kidsDone == len(par.moves) {
+				par.done = true
+				cur = par
+				continue
+			}
+			return
+		}
+		// type2: launch the next gated right child, or complete.
+		if par.kidsDone == par.launched {
+			if par.launched == len(par.moves) {
+				par.done = true // refutation failed; value final
+				cur = par
+				continue
+			}
+			s.launchRight(par, p, cond)
+		}
+		return
+	}
+}
+
+// tryAdvance re-checks a 2-node after its parent's bound improved: it may
+// now be refuted outright, or its next right child may have become
+// launchable. Lock held.
+func (s *state) tryAdvance(P *node, p *sim.Proc, cond *sim.Cond) {
+	if P.done || !P.expanded {
+		return
+	}
+	if P.value >= P.beta() {
+		P.done = true
+		s.combine(P, p, cond)
+		return
+	}
+	if P.kidsDone == P.launched && P.launched < len(P.moves) {
+		s.launchRight(P, p, cond)
+	}
+}
+
+// launchRight starts the next right child of 2-node P as a serial task if
+// the gate is open: a refutation bound exists and no sibling is running.
+// Lock held.
+func (s *state) launchRight(P *node, p *sim.Proc, cond *sim.Cond) {
+	if P.parent != nil && P.parent.value <= -game.Inf {
+		return // no bound to refute against yet (still phase 1 here)
+	}
+	k := &node{pos: P.moves[P.launched], parent: P, depth: P.depth - 1,
+		ply: P.ply + 1, kind: type2, serialOnly: true, value: -game.Inf}
+	P.kids = append(P.kids, k)
+	P.launched++
+	s.nodes++
+	p.Advance(s.cost.Node + s.cost.HeapOp)
+	s.push(k)
+	p.Broadcast(cond)
+}

@@ -1,0 +1,103 @@
+package mwf
+
+import (
+	"math/rand"
+	"testing"
+
+	"ertree/internal/core"
+	"ertree/internal/game"
+	"ertree/internal/gtree"
+	"ertree/internal/randtree"
+	"ertree/internal/serial"
+)
+
+func TestExactValueRandomTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	specs := []gtree.RandomSpec{
+		{MinDegree: 1, MaxDegree: 4, MinDepth: 2, MaxDepth: 5, ValueRange: 60},
+		{MinDegree: 2, MaxDegree: 2, MinDepth: 5, MaxDepth: 6, ValueRange: 4},
+	}
+	for si, spec := range specs {
+		for i := 0; i < 40; i++ {
+			root := spec.Generate(rng)
+			h := root.Height()
+			var s serial.Searcher
+			want := s.Negmax(root, h)
+			for _, workers := range []int{1, 2, 4, 10} {
+				for _, sd := range []int{0, 2, h} {
+					res := Search(root, h, Options{Workers: workers, SerialDepth: sd},
+						core.DefaultCostModel())
+					if res.Value != want {
+						t.Fatalf("spec %d tree %d P=%d sd=%d: value %d, want %d\n%s",
+							si, i, workers, sd, res.Value, want, root)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	tr := randtree.R3()
+	opt := Options{Workers: 6, SerialDepth: 3}
+	a := Search(tr.Root(), 5, opt, core.DefaultCostModel())
+	b := Search(tr.Root(), 5, opt, core.DefaultCostModel())
+	if a != b {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestSpeedupPlateau(t *testing.T) {
+	// Akl's observation: speedup rises for the first few processors then
+	// plateaus near six; extra processors only starve.
+	tr := &randtree.Tree{Seed: 8, Degree: 4, Depth: 8, ValueRange: 10000}
+	cost := core.DefaultCostModel()
+	t1 := Search(tr.Root(), 8, Options{Workers: 1, SerialDepth: 4}, cost).VirtualTime
+	var sp10, sp20 float64
+	for _, workers := range []int{2, 4, 6, 10, 20} {
+		res := Search(tr.Root(), 8, Options{Workers: workers, SerialDepth: 4}, cost)
+		sp := float64(t1) / float64(res.VirtualTime)
+		t.Logf("P=%d: speedup %.2f (starve %d)", workers, sp, res.StarveTime)
+		if workers == 10 {
+			sp10 = sp
+		}
+		if workers == 20 {
+			sp20 = sp
+		}
+	}
+	if sp20 > sp10*1.3 {
+		t.Errorf("MWF kept scaling past 10 processors (%.2f -> %.2f); expected a plateau",
+			sp10, sp20)
+	}
+	if sp10 < 1.5 {
+		t.Errorf("MWF achieved almost no speedup (%.2f at P=10)", sp10)
+	}
+}
+
+func TestStarvationGrowsWithWorkers(t *testing.T) {
+	tr := &randtree.Tree{Seed: 9, Degree: 4, Depth: 7, ValueRange: 10000}
+	cost := core.DefaultCostModel()
+	s4 := Search(tr.Root(), 7, Options{Workers: 4, SerialDepth: 4}, cost).StarveTime
+	s16 := Search(tr.Root(), 7, Options{Workers: 16, SerialDepth: 4}, cost).StarveTime
+	if s16 <= s4 {
+		t.Errorf("starvation did not grow with processors: %d vs %d", s4, s16)
+	}
+}
+
+func TestMandatoryFirstNodeCounts(t *testing.T) {
+	// At P=1 with no refutations needed (best-first tree), MWF should
+	// examine close to the minimal tree.
+	rng := rand.New(rand.NewSource(10))
+	root := gtree.Complete(3, 4, func(i int) game.Value { return game.Value(rng.Intn(2000) - 1000) })
+	root.SortByNegmax()
+	res := Search(root, 4, Options{Workers: 1, SerialDepth: 0}, core.DefaultCostModel())
+	var s serial.Searcher
+	if want := s.Negmax(root, 4); res.Value != want {
+		t.Fatalf("value %d want %d", res.Value, want)
+	}
+	minimal := int64(gtree.MinimalLeafCount(3, 4))
+	t.Logf("MWF nodes on best-first tree: %d (minimal leaves %d)", res.Nodes, minimal)
+	if res.Nodes < minimal {
+		t.Errorf("examined fewer nodes than the minimal tree has leaves")
+	}
+}

@@ -1,0 +1,91 @@
+// Package rootsplit implements the naive parallelization the paper's
+// introduction dismisses: "A parallel algorithm that simply partitions the
+// tree amongst the available processors will search a much greater portion
+// of the tree than serial alpha-beta, resulting in low efficiency."
+//
+// The root's subtrees are dealt round-robin to P processors; each processor
+// searches its share with serial alpha-beta using only its own private
+// bounds (no communication). The parallel time is the busiest processor's
+// total. Experiment E0 uses this to quantify the intro's claim.
+package rootsplit
+
+import (
+	"ertree/internal/core"
+	"ertree/internal/game"
+	"ertree/internal/serial"
+)
+
+// Options configures a root-splitting run.
+type Options struct {
+	// Workers is the processor count.
+	Workers int
+	// Order is the move-ordering policy.
+	Order game.Orderer
+}
+
+// Result reports a root-splitting run in virtual time.
+type Result struct {
+	Value game.Value
+	// Time is the busiest processor's total virtual time (the makespan of
+	// the static round-robin schedule).
+	Time int64
+	// Nodes is the total work across all processors.
+	Nodes int64
+	// Workers is the processor count used.
+	Workers int
+}
+
+// Search partitions the root's children round-robin over the workers; each
+// worker searches its children sequentially with serial alpha-beta and a
+// private window. Because the workers never share bounds, each child search
+// starts from the worker's own running value only — the missed cutoffs are
+// the point of the experiment.
+func Search(pos game.Position, depth int, opt Options, cost core.CostModel) Result {
+	workers := opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	kids := pos.Children()
+	if depth == 0 || len(kids) == 0 {
+		var st game.Stats
+		s := serial.Searcher{Order: opt.Order, Stats: &st}
+		v := s.Negmax(pos, 0)
+		snap := st.Snapshot()
+		return Result{Value: v, Time: cost.Of(snap), Nodes: snap.Generated + snap.Evaluated, Workers: workers}
+	}
+	if opt.Order != nil {
+		kids = opt.Order.Order(kids, 0)
+	}
+
+	times := make([]int64, workers)
+	values := make([]game.Value, workers)
+	var nodes int64
+	for i := range values {
+		values[i] = -game.Inf
+	}
+	for i, k := range kids {
+		w := i % workers
+		var st game.Stats
+		s := serial.Searcher{Order: opt.Order, Stats: &st, BasePly: 1}
+		// Private window: only this worker's own best bounds the search.
+		t := -s.AlphaBeta(k, depth-1, game.Window{Alpha: -game.Inf, Beta: -values[w]})
+		if t > values[w] {
+			values[w] = t
+		}
+		snap := st.Snapshot()
+		times[w] += cost.Of(snap)
+		nodes += snap.Generated + snap.Evaluated
+	}
+
+	res := Result{Value: -game.Inf, Workers: workers}
+	for w := 0; w < workers && w < len(kids); w++ {
+		if values[w] > res.Value {
+			res.Value = values[w]
+		}
+		if times[w] > res.Time {
+			res.Time = times[w]
+		}
+	}
+	res.Nodes = nodes
+	return res
+}

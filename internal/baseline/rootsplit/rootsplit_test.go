@@ -1,0 +1,71 @@
+package rootsplit
+
+import (
+	"math/rand"
+	"testing"
+
+	"ertree/internal/core"
+	"ertree/internal/game"
+	"ertree/internal/gtree"
+	"ertree/internal/randtree"
+	"ertree/internal/serial"
+)
+
+func TestExactValueRandomTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	spec := gtree.RandomSpec{MinDegree: 1, MaxDegree: 4, MinDepth: 2, MaxDepth: 5, ValueRange: 60}
+	for i := 0; i < 60; i++ {
+		root := spec.Generate(rng)
+		h := root.Height()
+		var s serial.Searcher
+		want := s.Negmax(root, h)
+		for _, workers := range []int{1, 2, 3, 8} {
+			res := Search(root, h, Options{Workers: workers}, core.DefaultCostModel())
+			if res.Value != want {
+				t.Fatalf("tree %d P=%d: %d want %d\n%s", i, workers, res.Value, want, root)
+			}
+		}
+	}
+}
+
+func TestSearchesMoreNodesThanSerial(t *testing.T) {
+	// The intro's claim: naive partitioning searches a much greater
+	// portion of the tree than serial alpha-beta.
+	tr := &randtree.Tree{Seed: 5, Degree: 8, Depth: 5, ValueRange: 10000}
+	var st game.Stats
+	s := serial.Searcher{Stats: &st}
+	s.AlphaBeta(tr.Root(), 5, game.FullWindow())
+	serialNodes := st.Generated.Load() + st.Evaluated.Load()
+	res := Search(tr.Root(), 5, Options{Workers: 8}, core.DefaultCostModel())
+	t.Logf("serial alpha-beta: %d nodes; root-split(8): %d nodes", serialNodes, res.Nodes)
+	if res.Nodes <= serialNodes*5/4 {
+		t.Errorf("root splitting examined only %d nodes vs serial %d; expected a big blowup",
+			res.Nodes, serialNodes)
+	}
+}
+
+func TestLowEfficiency(t *testing.T) {
+	tr := &randtree.Tree{Seed: 6, Degree: 8, Depth: 5, ValueRange: 10000}
+	var st game.Stats
+	s := serial.Searcher{Stats: &st}
+	s.AlphaBeta(tr.Root(), 5, game.FullWindow())
+	serialCost := core.DefaultCostModel().Of(st.Snapshot())
+	res := Search(tr.Root(), 5, Options{Workers: 8}, core.DefaultCostModel())
+	eff := float64(serialCost) / float64(res.Time) / 8
+	t.Logf("root-split(8) efficiency vs serial alpha-beta: %.2f", eff)
+	if eff > 0.6 {
+		t.Errorf("naive root splitting efficiency %.2f suspiciously high", eff)
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	leaf := gtree.L(5)
+	res := Search(leaf, 3, Options{Workers: 4}, core.DefaultCostModel())
+	if res.Value != 5 {
+		t.Fatalf("terminal: %d", res.Value)
+	}
+	res = Search(gtree.N(gtree.L(-2)), 1, Options{Workers: 16}, core.DefaultCostModel())
+	if res.Value != 2 {
+		t.Fatalf("single child: %d", res.Value)
+	}
+}

@@ -1,0 +1,301 @@
+// Package treesplit implements Fishburn's tree-splitting algorithm (paper
+// §4.3) and Marsland's principal-variation splitting refinement (§4.4) on
+// virtual time.
+//
+// Tree-splitting maps a tree of processors onto the game tree: a master
+// generates the children of its subtree root and assigns each to a slave
+// (queuing extras until a slave frees up); leaf processors run serial
+// alpha-beta; on each slave completion the master narrows the window for the
+// slaves still to be assigned and aborts outstanding work when a cutoff
+// occurs.
+//
+// Because slaves only interact through their master, the schedule is a
+// deterministic recursion: each master tracks its slaves' virtual free
+// times, assigns children in move order with the window current at
+// assignment time, and processes completions in time order. No event
+// simulator is needed; the recursion *is* the event schedule.
+package treesplit
+
+import (
+	"ertree/internal/core"
+	"ertree/internal/game"
+	"ertree/internal/serial"
+)
+
+// Options configures a tree-splitting or pv-splitting search.
+type Options struct {
+	// Height is the processor-tree height; Fanout is its branching factor.
+	// The slave (leaf-processor) count is Fanout^Height.
+	Height, Fanout int
+	// Order is the move-ordering policy.
+	Order game.Orderer
+}
+
+// Processors returns the number of leaf processors the options describe —
+// the processors that perform searches. (Fishburn's interior masters mostly
+// coordinate; following his analysis they are not counted as search
+// processors.)
+func (o Options) Processors() int {
+	p := 1
+	f := o.Fanout
+	if f < 1 {
+		f = 2
+	}
+	for i := 0; i < o.Height; i++ {
+		p *= f
+	}
+	return p
+}
+
+// Result reports a search outcome in virtual time.
+type Result struct {
+	Value game.Value
+	// Time is the virtual completion time of the root master.
+	Time int64
+	// Nodes is the total work performed across all processors, in nodes;
+	// slaves aborted by a master cutoff are charged pro rata for the time
+	// they actually ran.
+	Nodes int64
+	// Aborts counts slave searches cancelled by a master cutoff.
+	Aborts int64
+}
+
+type searcher struct {
+	opt    Options
+	cost   core.CostModel
+	aborts int64
+}
+
+// Search runs Fishburn's tree-splitting algorithm.
+func Search(pos game.Position, depth int, opt Options, cost core.CostModel) Result {
+	if opt.Fanout < 1 {
+		opt.Fanout = 2
+	}
+	s := &searcher{opt: opt, cost: cost}
+	v, t, n := s.split(pos, depth, 0, game.FullWindow(), opt.Height)
+	return Result{Value: v, Time: t, Nodes: int64(n), Aborts: s.aborts}
+}
+
+// PVSplit runs Marsland's pv-splitting: follow the leftmost branch until the
+// remaining depth equals the processor-tree height, determine that child's
+// value with tree-splitting, then run tree-splitting on the remaining
+// siblings with the improved bound, backing values up to the root.
+func PVSplit(pos game.Position, depth int, opt Options, cost core.CostModel) Result {
+	if opt.Fanout < 1 {
+		opt.Fanout = 2
+	}
+	s := &searcher{opt: opt, cost: cost}
+	v, t, n := s.pvSplit(pos, depth, 0, game.FullWindow())
+	return Result{Value: v, Time: t, Nodes: int64(n), Aborts: s.aborts}
+}
+
+// serialLeaf runs serial alpha-beta on a leaf processor, returning value,
+// virtual duration, and nodes examined.
+func (s *searcher) serialLeaf(pos game.Position, depth, ply int, w game.Window) (game.Value, int64, float64) {
+	var st game.Stats
+	sr := serial.Searcher{Order: s.opt.Order, Stats: &st, BasePly: ply}
+	v := sr.AlphaBeta(pos, depth, w)
+	snap := st.Snapshot()
+	return v, s.cost.Of(snap), float64(snap.Generated + snap.Evaluated)
+}
+
+// expand generates and orders children, returning the master's setup time.
+func (s *searcher) expand(pos game.Position, ply int) ([]game.Position, int64) {
+	kids := pos.Children()
+	var t int64
+	if len(kids) > 1 && s.opt.Order != nil {
+		t = int64(s.opt.Order.Cost(len(kids), ply)) * s.cost.Eval
+		kids = s.opt.Order.Order(kids, ply)
+	}
+	t += int64(len(kids)) * s.cost.Node
+	return kids, t
+}
+
+// job is one slave assignment.
+type job struct {
+	value    game.Value
+	start    int64
+	dur      int64
+	nodes    float64
+	absorbed bool
+}
+
+func (j *job) done() int64 { return j.start + j.dur }
+
+// split is the master procedure at a processor-tree node of the given
+// height. Returns (value, completion time relative to the master's start,
+// nodes performed in the subtree, pro-rated for aborts).
+func (s *searcher) split(pos game.Position, depth, ply int, w game.Window, height int) (game.Value, int64, float64) {
+	if height == 0 || depth == 0 {
+		return s.serialLeaf(pos, depth, ply, w)
+	}
+	kids, setup := s.expand(pos, ply)
+	if len(kids) == 0 {
+		v, t, n := s.serialLeaf(pos, 0, ply, w)
+		return v, setup + t, n
+	}
+
+	m := -game.Inf
+	nodes := float64(len(kids))
+	free := make([]int64, s.opt.Fanout)
+	for i := range free {
+		free[i] = setup
+	}
+	var jobs []*job
+	next := 0
+	finish := setup
+
+	// absorb folds in completions up to time t in completion order;
+	// returns (cutoff?, cutoff-or-latest time).
+	absorb := func(t int64) (bool, int64) {
+		for {
+			var soonest *job
+			for _, j := range jobs {
+				if !j.absorbed && j.done() <= t && (soonest == nil || j.done() < soonest.done()) {
+					soonest = j
+				}
+			}
+			if soonest == nil {
+				return false, finish
+			}
+			soonest.absorbed = true
+			nodes += soonest.nodes
+			if soonest.done() > finish {
+				finish = soonest.done()
+			}
+			if v := -soonest.value; v > m {
+				m = v
+			}
+			if m >= w.Beta {
+				return true, soonest.done()
+			}
+		}
+	}
+
+	// abort charges pro-rata work for slaves still running at the cutoff.
+	abort := func(tc int64) {
+		for _, j := range jobs {
+			if j.absorbed {
+				continue
+			}
+			s.aborts++
+			if j.dur > 0 && tc > j.start {
+				nodes += j.nodes * float64(tc-j.start) / float64(j.dur)
+			}
+		}
+	}
+
+	for next < len(kids) {
+		// Earliest-free slave takes the next child.
+		slave := 0
+		for i := 1; i < len(free); i++ {
+			if free[i] < free[slave] {
+				slave = i
+			}
+		}
+		start := free[slave]
+		if cut, tc := absorb(start); cut {
+			abort(tc)
+			return m, tc, nodes
+		}
+		v, dur, n := s.split(kids[next], depth-1, ply+1, w.Child(m), height-1)
+		jobs = append(jobs, &job{value: v, start: start, dur: dur, nodes: n})
+		free[slave] = start + dur
+		next++
+	}
+	if cut, tc := absorb(int64(1) << 62); cut {
+		abort(tc)
+		return m, tc, nodes
+	}
+	return m, finish, nodes
+}
+
+// PVSplitMW runs the Marsland-Popowich variant of pv-splitting described in
+// the paper's footnote 3: rightmost children along the candidate principal
+// variation are *verified* with parallel minimal-window searches, and only
+// re-searched with a proper window when the verification fails high.
+func PVSplitMW(pos game.Position, depth int, opt Options, cost core.CostModel) Result {
+	if opt.Fanout < 1 {
+		opt.Fanout = 2
+	}
+	s := &searcher{opt: opt, cost: cost}
+	v, t, n := s.pvSplitMW(pos, depth, 0, game.FullWindow())
+	return Result{Value: v, Time: t, Nodes: int64(n), Aborts: s.aborts}
+}
+
+func (s *searcher) pvSplitMW(pos game.Position, depth, ply int, w game.Window) (game.Value, int64, float64) {
+	if depth <= s.opt.Height || depth == 0 {
+		return s.split(pos, depth, ply, w, s.opt.Height)
+	}
+	kids, setup := s.expand(pos, ply)
+	if len(kids) == 0 {
+		v, t, n := s.serialLeaf(pos, 0, ply, w)
+		return v, setup + t, n
+	}
+	t := setup
+	nodes := float64(len(kids))
+	v0, dt, n0 := s.pvSplitMW(kids[0], depth-1, ply+1, game.Window{Alpha: -w.Beta, Beta: -w.Alpha})
+	t += dt
+	nodes += n0
+	m := -v0
+	if m >= w.Beta {
+		return m, t, nodes
+	}
+	for _, k := range kids[1:] {
+		a := game.Max(w.Alpha, m)
+		// Minimal-window verification with the full processor tree.
+		v, dt, n := s.split(k, depth-1, ply+1, game.Window{Alpha: -(a + 1), Beta: -a}, s.opt.Height)
+		t += dt
+		nodes += n
+		tv := -v
+		if tv > a && tv < w.Beta {
+			// Fails high inside the window: proper re-search.
+			v, dt, n = s.split(k, depth-1, ply+1, game.Window{Alpha: -w.Beta, Beta: -a}, s.opt.Height)
+			t += dt
+			nodes += n
+			tv = -v
+		}
+		if tv > m {
+			m = tv
+		}
+		if m >= w.Beta {
+			return m, t, nodes
+		}
+	}
+	return m, t, nodes
+}
+
+// pvSplit follows the candidate principal variation (leftmost branch) down
+// to the processor-tree height, then backs values up, invoking
+// tree-splitting on remaining siblings with improved bounds (§4.4).
+func (s *searcher) pvSplit(pos game.Position, depth, ply int, w game.Window) (game.Value, int64, float64) {
+	if depth <= s.opt.Height || depth == 0 {
+		return s.split(pos, depth, ply, w, s.opt.Height)
+	}
+	kids, setup := s.expand(pos, ply)
+	if len(kids) == 0 {
+		v, t, n := s.serialLeaf(pos, 0, ply, w)
+		return v, setup + t, n
+	}
+	t := setup
+	nodes := float64(len(kids))
+	v0, dt, n0 := s.pvSplit(kids[0], depth-1, ply+1, w.Child(-game.Inf))
+	t += dt
+	nodes += n0
+	m := -v0
+	if m >= w.Beta {
+		return m, t, nodes
+	}
+	for _, k := range kids[1:] {
+		v, dt, n := s.split(k, depth-1, ply+1, w.Child(m), s.opt.Height)
+		t += dt
+		nodes += n
+		if nv := -v; nv > m {
+			m = nv
+		}
+		if m >= w.Beta {
+			return m, t, nodes
+		}
+	}
+	return m, t, nodes
+}

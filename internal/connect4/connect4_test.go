@@ -1,0 +1,197 @@
+package connect4
+
+import (
+	"math/rand"
+	"testing"
+
+	"ertree/internal/game"
+	"ertree/internal/serial"
+)
+
+func TestEmptyBoard(t *testing.T) {
+	b := New()
+	if b.Terminal() {
+		t.Fatal("empty board terminal")
+	}
+	kids := b.Children()
+	if len(kids) != 7 {
+		t.Fatalf("%d children, want 7", len(kids))
+	}
+	if b.Value() != 0 {
+		t.Fatalf("empty board value %d (symmetric position must be 0)", b.Value())
+	}
+}
+
+func TestVerticalWin(t *testing.T) {
+	// First player stacks column 3; second player wastes moves in 0.
+	b := New().MustDrop(3, 0, 3, 0, 3, 0, 3)
+	if !b.Terminal() {
+		t.Fatalf("four in a column not detected:\n%s", b)
+	}
+	if b.Value() != -10000 {
+		t.Fatalf("loser to move should see -10000, got %d", b.Value())
+	}
+	if b.Children() != nil {
+		t.Fatal("terminal position has children")
+	}
+}
+
+func TestHorizontalWin(t *testing.T) {
+	b := New().MustDrop(0, 0, 1, 1, 2, 2, 3)
+	if !b.Terminal() {
+		t.Fatalf("four in a row not detected:\n%s", b)
+	}
+}
+
+func TestDiagonalWins(t *testing.T) {
+	// Up-diagonal for the first player: stones at (0,0),(1,1),(2,2),(3,3).
+	b := New().MustDrop(0, 1, 1, 2, 2, 3, 2, 3, 3, 0, 3)
+	if !b.Terminal() {
+		t.Fatalf("up diagonal not detected:\n%s", b)
+	}
+	// Down-diagonal: mirror image.
+	b = New().MustDrop(6, 5, 5, 4, 4, 3, 4, 3, 3, 6, 3)
+	if !b.Terminal() {
+		t.Fatalf("down diagonal not detected:\n%s", b)
+	}
+}
+
+func TestColumnFullRejected(t *testing.T) {
+	b := New().MustDrop(2, 2, 2, 2, 2, 2)
+	if _, ok := b.Drop(2); ok {
+		t.Fatal("seventh stone in a column accepted")
+	}
+	if len(b.Children()) != 6 {
+		t.Fatalf("full column still among children")
+	}
+	if _, ok := b.Drop(-1); ok {
+		t.Fatal("negative column accepted")
+	}
+	if _, ok := b.Drop(7); ok {
+		t.Fatal("column 7 accepted")
+	}
+}
+
+func TestNoMoveAfterGameOver(t *testing.T) {
+	b := New().MustDrop(3, 0, 3, 0, 3, 0, 3)
+	if _, ok := b.Drop(6); ok {
+		t.Fatal("move accepted after a win")
+	}
+}
+
+func TestChildrenAreCenterOut(t *testing.T) {
+	kids := New().Children()
+	first := kids[0].(Board)
+	// The first child must be the center-column drop: its stone occupies
+	// column 3, row 0.
+	if first.all != 1<<uint(3*stride) {
+		t.Fatalf("first child is not the center drop:\n%s", first)
+	}
+}
+
+func TestImmediateWinFound(t *testing.T) {
+	// Mover has three in column 3: dropping there wins.
+	b := New().MustDrop(3, 0, 3, 0, 3, 0)
+	var s serial.Searcher
+	if v := s.Negmax(b, 2); v < 9000 {
+		t.Fatalf("winning move not found: %d", v)
+	}
+}
+
+func TestForcedLossSeen(t *testing.T) {
+	// Opponent threatens two columns at once; mover cannot stop both.
+	// x occupies 1,2,3 on the bottom row with both 0 and 4 empty; o's
+	// stones are parked on columns 5 and 6.
+	b := New().MustDrop(5, 1, 5, 2, 6, 3)
+	var s serial.Searcher
+	if v := s.Negmax(b, 3); v > -9000 {
+		t.Fatalf("double threat not recognized as lost: %d\n%s", v, b)
+	}
+}
+
+func TestSearchAgreementAcrossAlgorithms(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 12; trial++ {
+		// Random midgame position.
+		b := New()
+		for i := 0; i < 8 && !b.Terminal(); i++ {
+			kids := b.Children()
+			b = kids[rng.Intn(len(kids))].(Board)
+		}
+		var s serial.Searcher
+		depth := 5
+		want := s.Negmax(b, depth)
+		if got := s.AlphaBeta(b, depth, game.FullWindow()); got != want {
+			t.Fatalf("trial %d: alpha-beta %d, negmax %d\n%s", trial, got, want, b)
+		}
+		if got := s.ER(b, depth, game.FullWindow()); got != want {
+			t.Fatalf("trial %d: ER %d, negmax %d\n%s", trial, got, want, b)
+		}
+	}
+}
+
+func TestEvaluatorAntisymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	for trial := 0; trial < 50; trial++ {
+		b := New()
+		for i := 0; i < rng.Intn(20) && !b.Terminal(); i++ {
+			kids := b.Children()
+			b = kids[rng.Intn(len(kids))].(Board)
+		}
+		if b.Terminal() {
+			continue
+		}
+		swapped := Board{own: b.all &^ b.own, all: b.all, ply: b.ply}
+		if b.Value() != -swapped.Value() {
+			t.Fatalf("evaluator not antisymmetric: %d vs %d\n%s", b.Value(), swapped.Value(), b)
+		}
+	}
+}
+
+func TestPlyCountAndConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	b := New()
+	for i := 0; i < 42 && !b.Terminal(); i++ {
+		if b.Ply() != i {
+			t.Fatalf("ply %d after %d stones", b.Ply(), i)
+		}
+		kids := b.Children()
+		nb := kids[rng.Intn(len(kids))].(Board)
+		if popcount(nb.all) != popcount(b.all)+1 {
+			t.Fatal("stone count did not grow by one")
+		}
+		b = nb
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+func TestLineMaskCount(t *testing.T) {
+	// 7x6 Connect Four has exactly 69 winning lines:
+	// horizontal 4*6=24, vertical 7*3=21, each diagonal 4*3=12.
+	if len(lineMasks) != 69 {
+		t.Fatalf("%d line masks, want 69", len(lineMasks))
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := New().MustDrop(3).String()
+	if s == "" || !containsRune(s, 'x') {
+		t.Fatalf("expected the played stone to render as x (opponent view):\n%s", s)
+	}
+}
+
+func containsRune(s string, r rune) bool {
+	for _, c := range s {
+		if c == r {
+			return true
+		}
+	}
+	return false
+}

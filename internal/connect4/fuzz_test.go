@@ -1,0 +1,40 @@
+package connect4
+
+import "testing"
+
+// FuzzGamePlay plays random games decoded from fuzz data and checks the
+// rules invariants after every drop.
+func FuzzGamePlay(f *testing.F) {
+	f.Add([]byte{3, 3, 3, 3, 3, 3, 3})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b := New()
+		for _, pick := range data {
+			if b.Terminal() {
+				if b.Children() != nil {
+					t.Fatal("terminal position has children")
+				}
+				break
+			}
+			kids := b.Children()
+			if len(kids) == 0 {
+				t.Fatalf("non-terminal position without children:\n%s", b)
+			}
+			nb := kids[int(pick)%len(kids)].(Board)
+			if nb.Ply() != b.Ply()+1 {
+				t.Fatalf("ply %d -> %d", b.Ply(), nb.Ply())
+			}
+			if nb.all&^fullMask != 0 {
+				t.Fatal("stone on a padding bit")
+			}
+			if nb.own&^nb.all != 0 {
+				t.Fatal("own stones not a subset of all stones")
+			}
+			if nb.Hash() == b.Hash() {
+				t.Fatal("hash unchanged by a drop")
+			}
+			b = nb
+		}
+	})
+}

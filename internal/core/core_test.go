@@ -1,0 +1,544 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ertree/internal/game"
+	"ertree/internal/gtree"
+	"ertree/internal/othello"
+	"ertree/internal/randtree"
+	"ertree/internal/serial"
+	"ertree/internal/ttt"
+)
+
+func oracle(pos game.Position, depth int) game.Value {
+	var s serial.Searcher
+	return s.Negmax(pos, depth)
+}
+
+// TestParallelERExactOnFixtures: root values on the paper-figure trees.
+func TestParallelERExactOnFixtures(t *testing.T) {
+	fixtures := []struct {
+		name string
+		root *gtree.Node
+		want game.Value
+	}{
+		{"figure2-shallow", gtree.Figure2Shallow(), 7},
+		{"figure2-deep", gtree.Figure2Deep(), 7},
+		{"figure6", gtree.Figure6Tree(), 11},
+		{"figure7", gtree.Figure7Tree(), 13},
+		{"figure3", gtree.Figure3Tree(), gtree.Figure3Tree().Negmax()},
+	}
+	for _, f := range fixtures {
+		for _, workers := range []int{1, 2, 4, 16} {
+			opt := DefaultOptions()
+			opt.Workers = workers
+			res := Simulate(f.root, f.root.Height(), opt, DefaultCostModel())
+			if res.Value != f.want {
+				t.Errorf("%s P=%d: value %d, want %d", f.name, workers, res.Value, f.want)
+			}
+			got := Search(f.root, f.root.Height(), opt)
+			if got.Value != f.want {
+				t.Errorf("%s P=%d (real): value %d, want %d", f.name, workers, got.Value, f.want)
+			}
+		}
+	}
+}
+
+// TestParallelERExactRandomSweep is the central soundness property: for
+// random irregular trees, any worker count, any serial depth, and any
+// speculation configuration, the root value equals negmax. Runs on the
+// deterministic simulator.
+func TestParallelERExactRandomSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(424242))
+	specs := []gtree.RandomSpec{
+		{MinDegree: 1, MaxDegree: 3, MinDepth: 1, MaxDepth: 4, ValueRange: 10},
+		{MinDegree: 1, MaxDegree: 4, MinDepth: 2, MaxDepth: 5, ValueRange: 100},
+		{MinDegree: 2, MaxDegree: 2, MinDepth: 6, MaxDepth: 6, ValueRange: 3}, // heavy ties
+		{MinDegree: 3, MaxDegree: 3, MinDepth: 3, MaxDepth: 4, ValueRange: 1000},
+	}
+	configs := []Options{
+		{ParallelRefutation: true, MultipleENodes: true, EarlyChoice: true},
+		{ParallelRefutation: false, MultipleENodes: false, EarlyChoice: false},
+		{ParallelRefutation: true, MultipleENodes: false, EarlyChoice: false},
+		{ParallelRefutation: false, MultipleENodes: true, EarlyChoice: true},
+		{ParallelRefutation: true, MultipleENodes: true, EarlyChoice: false},
+		{ParallelRefutation: true, MultipleENodes: false, EarlyChoice: true},
+	}
+	trees := 0
+	for _, spec := range specs {
+		for i := 0; i < 25; i++ {
+			root := spec.Generate(rng)
+			h := root.Height()
+			want := oracle(root, h)
+			trees++
+			for ci, cfg := range configs {
+				for _, workers := range []int{1, 2, 3, 5, 16} {
+					for _, sd := range []int{0, 1, h} {
+						opt := cfg
+						opt.Workers = workers
+						opt.SerialDepth = sd
+						res := Simulate(root, h, opt, DefaultCostModel())
+						if res.Value != want {
+							t.Fatalf("spec tree %d cfg %d P=%d sd=%d: value %d, want %d\n%s",
+								i, ci, workers, sd, res.Value, want, root)
+						}
+					}
+				}
+			}
+		}
+	}
+	t.Logf("verified %d trees x %d configs x 5 worker counts x 3 serial depths",
+		trees, len(configs))
+}
+
+// TestParallelERRealRuntimeRandomSweep exercises the goroutine runtime
+// (true concurrency, nondeterministic interleavings) on a smaller sweep.
+func TestParallelERRealRuntimeRandomSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(7777))
+	spec := gtree.RandomSpec{MinDegree: 1, MaxDegree: 4, MinDepth: 2, MaxDepth: 5, ValueRange: 50}
+	for i := 0; i < 40; i++ {
+		root := spec.Generate(rng)
+		h := root.Height()
+		want := oracle(root, h)
+		for _, workers := range []int{1, 4, 8} {
+			opt := DefaultOptions()
+			opt.Workers = workers
+			opt.SerialDepth = h / 2
+			res := Search(root, h, opt)
+			if res.Value != want {
+				t.Fatalf("tree %d P=%d: value %d, want %d\n%s", i, workers, res.Value, want, root)
+			}
+		}
+	}
+}
+
+// TestSimulateDeterministic: identical configurations must give identical
+// virtual times and node counts.
+func TestSimulateDeterministic(t *testing.T) {
+	tr := randtree.R3()
+	opt := DefaultOptions()
+	opt.Workers = 7
+	opt.SerialDepth = 3
+	a := Simulate(tr.Root(), 5, opt, DefaultCostModel())
+	for i := 0; i < 3; i++ {
+		b := Simulate(tr.Root(), 5, opt, DefaultCostModel())
+		if a.Value != b.Value || a.VirtualTime != b.VirtualTime ||
+			a.Stats.Generated != b.Stats.Generated || a.SpecPops != b.SpecPops {
+			t.Fatalf("nondeterministic simulation: %+v vs %+v", a, b)
+		}
+	}
+}
+
+// TestMoreWorkersNeverChangeValue on real game positions.
+func TestRealGamesAllWorkerCounts(t *testing.T) {
+	// Tic-tac-toe midgame (full board search is slow under the protocol;
+	// use a position a few plies in).
+	b := ttt.New()
+	b, _ = b.Move(4)
+	b, _ = b.Move(0)
+	want := oracle(b, 7)
+	for _, workers := range []int{1, 2, 8, 16} {
+		opt := DefaultOptions()
+		opt.Workers = workers
+		opt.SerialDepth = 4
+		if res := Simulate(b, 7, opt, DefaultCostModel()); res.Value != want {
+			t.Fatalf("ttt P=%d: %d want %d", workers, res.Value, want)
+		}
+	}
+	// Othello O1 at 3 ply with static ordering.
+	o := othello.O1()
+	var so serial.Searcher
+	wantO := so.Negmax(o, 3)
+	for _, workers := range []int{1, 4, 16} {
+		opt := DefaultOptions()
+		opt.Workers = workers
+		opt.SerialDepth = 1
+		opt.Order = game.StaticOrder{MaxPly: 5}
+		if res := Simulate(o, 3, opt, DefaultCostModel()); res.Value != wantO {
+			t.Fatalf("othello P=%d: %d want %d", workers, res.Value, wantO)
+		}
+	}
+}
+
+// TestSpeedupOnRandomTree: the headline behavior — more virtual processors
+// must reduce virtual makespan substantially on a tree with enough work.
+func TestSpeedupOnRandomTree(t *testing.T) {
+	tr := &randtree.Tree{Seed: 99, Degree: 4, Depth: 7, ValueRange: 10000}
+	times := map[int]int64{}
+	var nodes1 int64
+	for _, workers := range []int{1, 2, 4, 8, 16} {
+		opt := DefaultOptions()
+		opt.Workers = workers
+		opt.SerialDepth = 4
+		res := Simulate(tr.Root(), 7, opt, DefaultCostModel())
+		times[workers] = res.VirtualTime
+		if workers == 1 {
+			nodes1 = res.Stats.Generated
+		}
+		if res.Value != oracle(tr.Root(), 7) {
+			t.Fatalf("P=%d wrong value", workers)
+		}
+	}
+	if times[4] >= times[1] {
+		t.Errorf("no speedup at P=4: t1=%d t4=%d", times[1], times[4])
+	}
+	sp4 := float64(times[1]) / float64(times[4])
+	sp16 := float64(times[1]) / float64(times[16])
+	t.Logf("virtual times: %v; speedup(4)=%.2f speedup(16)=%.2f; nodes(P=1)=%d",
+		times, sp4, sp16, nodes1)
+	if sp4 < 1.5 {
+		t.Errorf("speedup at P=4 only %.2f", sp4)
+	}
+	if sp16 < sp4 {
+		t.Errorf("speedup decreased from P=4 (%.2f) to P=16 (%.2f)", sp4, sp16)
+	}
+}
+
+// TestSpeculativeLossGrowsModerately: nodes generated grows from P=1 to P=4
+// and then plateaus (the paper's Figures 12-13 shape).
+func TestNodesGrowWithWorkers(t *testing.T) {
+	tr := &randtree.Tree{Seed: 1234, Degree: 4, Depth: 7, ValueRange: 10000}
+	nodes := map[int]int64{}
+	for _, workers := range []int{1, 4, 16} {
+		opt := DefaultOptions()
+		opt.Workers = workers
+		opt.SerialDepth = 4
+		res := Simulate(tr.Root(), 7, opt, DefaultCostModel())
+		nodes[workers] = res.Stats.Generated + res.Stats.Evaluated
+	}
+	if nodes[4] < nodes[1] {
+		t.Logf("note: P=4 examined fewer nodes than P=1 (acceleration anomaly)")
+	}
+	// Between 4 and 16 processors growth should be moderate (< 3x here;
+	// the paper reports slow growth).
+	if nodes[16] > 3*nodes[4] {
+		t.Errorf("speculative loss exploded: nodes(16)=%d nodes(4)=%d", nodes[16], nodes[4])
+	}
+	t.Logf("nodes: P=1 %d, P=4 %d, P=16 %d", nodes[1], nodes[4], nodes[16])
+}
+
+// TestStarvationWithoutSpeculation: with all speculation disabled, workers
+// starve — total starvation time must exceed the fully speculative
+// configuration's.
+func TestStarvationWithoutSpeculation(t *testing.T) {
+	tr := &randtree.Tree{Seed: 5, Degree: 4, Depth: 6, ValueRange: 10000}
+	base := Options{Workers: 8, SerialDepth: 3}
+	noSpec := base
+	full := base
+	full.ParallelRefutation, full.MultipleENodes, full.EarlyChoice = true, true, true
+	rNo := Simulate(tr.Root(), 6, noSpec, DefaultCostModel())
+	rFull := Simulate(tr.Root(), 6, full, DefaultCostModel())
+	if rNo.Value != rFull.Value {
+		t.Fatalf("values differ: %d vs %d", rNo.Value, rFull.Value)
+	}
+	t.Logf("starvation: none=%d full=%d; makespan: none=%d full=%d",
+		rNo.StarveTime, rFull.StarveTime, rNo.VirtualTime, rFull.VirtualTime)
+	if rFull.VirtualTime >= rNo.VirtualTime {
+		t.Errorf("speculation did not reduce makespan: full=%d none=%d",
+			rFull.VirtualTime, rNo.VirtualTime)
+	}
+}
+
+// TestSpecQueueUsed: the speculative queue actually serves work when
+// enabled, and never when disabled.
+func TestSpecQueueUsed(t *testing.T) {
+	tr := &randtree.Tree{Seed: 8, Degree: 4, Depth: 6, ValueRange: 10000}
+	opt := DefaultOptions()
+	opt.Workers = 8
+	opt.SerialDepth = 3
+	res := Simulate(tr.Root(), 6, opt, DefaultCostModel())
+	if res.SpecPops == 0 {
+		t.Errorf("speculative queue never used with 8 workers")
+	}
+	opt.MultipleENodes, opt.EarlyChoice = false, false
+	res = Simulate(tr.Root(), 6, opt, DefaultCostModel())
+	if res.SpecPops != 0 {
+		t.Errorf("speculative queue used while disabled: %d pops", res.SpecPops)
+	}
+}
+
+// TestSerialDepthEquivalence: with SerialDepth == depth the engine reduces
+// to one serial ER task and must match serial ER's node accounting.
+func TestSerialDepthEquivalence(t *testing.T) {
+	tr := &randtree.Tree{Seed: 21, Degree: 3, Depth: 6, ValueRange: 100}
+	opt := DefaultOptions()
+	opt.SerialDepth = 6
+	res := Simulate(tr.Root(), 6, opt, DefaultCostModel())
+	var st game.Stats
+	s := serial.Searcher{Stats: &st}
+	want := s.ER(tr.Root(), 6, game.FullWindow())
+	if res.Value != want {
+		t.Fatalf("value %d, want %d", res.Value, want)
+	}
+	if res.SerialTasks != 1 {
+		t.Fatalf("serial tasks %d, want 1", res.SerialTasks)
+	}
+	// Engine counts the root node itself plus the serial search's counts.
+	if res.Stats.Generated != st.Generated.Load()+1 {
+		t.Errorf("generated %d, serial %d (+1 root)", res.Stats.Generated, st.Generated.Load())
+	}
+	if res.Stats.Evaluated != st.Evaluated.Load() {
+		t.Errorf("evaluated %d, serial %d", res.Stats.Evaluated, st.Evaluated.Load())
+	}
+}
+
+// TestDepthZeroAndTerminalRoots: degenerate searches.
+func TestDegenerateRoots(t *testing.T) {
+	leaf := gtree.L(42)
+	opt := DefaultOptions()
+	if res := Simulate(leaf, 0, opt, DefaultCostModel()); res.Value != 42 {
+		t.Fatalf("depth-0 root: %d want 42", res.Value)
+	}
+	if res := Simulate(leaf, 5, opt, DefaultCostModel()); res.Value != 42 {
+		t.Fatalf("terminal root: %d want 42", res.Value)
+	}
+	single := gtree.N(gtree.L(-3))
+	if res := Simulate(single, 1, opt, DefaultCostModel()); res.Value != 3 {
+		t.Fatalf("single child: %d want 3", res.Value)
+	}
+	if res := Search(single, 1, opt); res.Value != 3 {
+		t.Fatalf("single child (real): %d want 3", res.Value)
+	}
+}
+
+// TestWindowComputation checks the dynamic window derivation on a hand-built
+// chain.
+func TestWindowComputation(t *testing.T) {
+	s := &state{opt: DefaultOptions(), stats: &game.Stats{}}
+	root := s.newNode(gtree.L(0), nil, eNode, 3)
+	a := s.newNode(gtree.L(0), root, undecided, 2)
+	b := s.newNode(gtree.L(0), a, eNode, 1)
+	if w := root.window(); w != game.FullWindow() {
+		t.Fatalf("root window %+v", w)
+	}
+	root.value = 5
+	if w := a.window(); w.Alpha != -game.Inf || w.Beta != -5 {
+		t.Fatalf("child window %+v, want (-Inf,-5)", w)
+	}
+	a.value = -2
+	// b: alpha = -beta(a) = 5... beta = -max(alpha(a), value(a)) = -max(-Inf, -2) = 2.
+	if w := b.window(); w.Alpha != 5 || w.Beta != 2 {
+		t.Fatalf("grandchild window %+v, want (5,2)", w)
+	}
+	if !b.window().Empty() {
+		t.Fatal("expected empty window (deep cutoff condition)")
+	}
+}
+
+// TestAliveness: nodes under a done ancestor are dead.
+func TestAliveness(t *testing.T) {
+	s := &state{opt: DefaultOptions(), stats: &game.Stats{}}
+	root := s.newNode(gtree.L(0), nil, eNode, 3)
+	a := s.newNode(gtree.L(0), root, undecided, 2)
+	b := s.newNode(gtree.L(0), a, eNode, 1)
+	if !b.alive() {
+		t.Fatal("fresh chain should be alive")
+	}
+	a.done = true
+	if b.alive() {
+		t.Fatal("node under done ancestor should be dead")
+	}
+	if !a.alive() == false {
+		// a itself done -> not alive (its work is finished)
+		t.Fatal("done node reported alive")
+	}
+}
+
+// TestHeapOrdering: primary pops deepest-first; speculative pops
+// fewest-e-children then shallowest.
+func TestHeapOrdering(t *testing.T) {
+	s := &state{opt: DefaultOptions(), stats: &game.Stats{}}
+	var h problemHeap
+	n1 := s.newNode(gtree.L(0), nil, undecided, 1)
+	n1.ply = 1
+	n2 := s.newNode(gtree.L(0), nil, undecided, 1)
+	n2.ply = 3
+	n3 := s.newNode(gtree.L(0), nil, undecided, 1)
+	n3.ply = 2
+	h.pushPrimary(n1)
+	h.pushPrimary(n2)
+	h.pushPrimary(n3)
+	order := []int{}
+	for !h.empty() {
+		n, _ := h.pop()
+		order = append(order, n.ply)
+	}
+	if order[0] != 3 || order[1] != 2 || order[2] != 1 {
+		t.Fatalf("primary order %v, want deepest first", order)
+	}
+
+	rt := newRealRuntime()
+	e1 := s.newNode(gtree.L(0), nil, eNode, 2)
+	e1.eKids, e1.ply = 2, 1
+	e2 := s.newNode(gtree.L(0), nil, eNode, 2)
+	e2.eKids, e2.ply = 1, 5
+	e3 := s.newNode(gtree.L(0), nil, eNode, 2)
+	e3.eKids, e3.ply = 1, 2
+	s.heap = h
+	s.pushSpeculative(e1, rt)
+	s.pushSpeculative(e2, rt)
+	s.pushSpeculative(e3, rt)
+	h = s.heap
+	got := []*node{}
+	for !h.empty() {
+		n, fromSpec := h.pop()
+		if !fromSpec {
+			t.Fatal("expected speculative pop")
+		}
+		got = append(got, n)
+	}
+	if got[0] != e3 || got[1] != e2 || got[2] != e1 {
+		t.Fatalf("spec order wrong: fewer e-children first, then shallower")
+	}
+}
+
+// TestDuplicatePushGuards: pushing a queued node twice is a no-op.
+func TestDuplicatePushGuards(t *testing.T) {
+	s := &state{opt: DefaultOptions(), stats: &game.Stats{}}
+	var h problemHeap
+	n := s.newNode(gtree.L(0), nil, undecided, 1)
+	h.pushPrimary(n)
+	h.pushPrimary(n)
+	if len(h.primary) != 1 {
+		t.Fatalf("duplicate primary push not guarded")
+	}
+	e := s.newNode(gtree.L(0), nil, eNode, 1)
+	h.pushSpec(e)
+	h.pushSpec(e)
+	if len(h.spec) != 1 {
+		t.Fatalf("duplicate spec push not guarded")
+	}
+}
+
+// TestCutoffDropsHappen: with many workers some queued work must be cut off
+// or dropped once bounds improve (this is what keeps speculative loss
+// bounded).
+func TestCutoffDropsHappen(t *testing.T) {
+	tr := &randtree.Tree{Seed: 3, Degree: 6, Depth: 5, ValueRange: 10000}
+	opt := DefaultOptions()
+	opt.Workers = 16
+	opt.SerialDepth = 2
+	res := Simulate(tr.Root(), 5, opt, DefaultCostModel())
+	if res.CutoffDrops+res.Dropped == 0 {
+		t.Errorf("no queued work was ever cancelled with 16 workers")
+	}
+	t.Logf("cutoff drops %d, dead drops %d of %d heap ops",
+		res.CutoffDrops, res.Dropped, res.HeapOps)
+}
+
+// TestSpecRankVariantsExact: every speculative-queue ranking policy returns
+// the exact value on random trees at various processor counts.
+func TestSpecRankVariantsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(31337))
+	spec := gtree.RandomSpec{MinDegree: 1, MaxDegree: 4, MinDepth: 2, MaxDepth: 5, ValueRange: 40}
+	for i := 0; i < 30; i++ {
+		root := spec.Generate(rng)
+		h := root.Height()
+		want := oracle(root, h)
+		for _, rank := range []SpecRank{SpecRankPaper, SpecRankDepth, SpecRankBound} {
+			for _, workers := range []int{1, 8, 16} {
+				opt := DefaultOptions()
+				opt.Workers = workers
+				opt.SerialDepth = h / 2
+				opt.SpecRank = rank
+				if res := Simulate(root, h, opt, DefaultCostModel()); res.Value != want {
+					t.Fatalf("tree %d rank=%v P=%d: value %d, want %d", i, rank, workers, res.Value, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSpecRankStrings covers the policy names used in experiment tables.
+func TestSpecRankStrings(t *testing.T) {
+	if SpecRankPaper.String() != "paper" || SpecRankDepth.String() != "depth" || SpecRankBound.String() != "bound" {
+		t.Fatal("spec rank names changed")
+	}
+}
+
+// TestEagerSpecExact: the eager-admission extension preserves exactness.
+func TestEagerSpecExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(90125))
+	spec := gtree.RandomSpec{MinDegree: 1, MaxDegree: 4, MinDepth: 2, MaxDepth: 5, ValueRange: 30}
+	for i := 0; i < 30; i++ {
+		root := spec.Generate(rng)
+		h := root.Height()
+		want := oracle(root, h)
+		for _, workers := range []int{1, 8, 16} {
+			opt := DefaultOptions()
+			opt.Workers = workers
+			opt.SerialDepth = h / 2
+			opt.EagerSpec = true
+			if res := Simulate(root, h, opt, DefaultCostModel()); res.Value != want {
+				t.Fatalf("tree %d P=%d eager: value %d, want %d", i, workers, res.Value, want)
+			}
+		}
+	}
+}
+
+// TestTraceTimeline: tracing yields per-worker busy intervals consistent
+// with the totals.
+func TestTraceTimeline(t *testing.T) {
+	tr := randtree.R3()
+	opt := DefaultOptions()
+	opt.Workers = 4
+	opt.SerialDepth = 3
+	opt.Trace = true
+	res := Simulate(tr.Root(), 5, opt, DefaultCostModel())
+	if len(res.Timeline) != 4 {
+		t.Fatalf("timeline rows %d, want 4", len(res.Timeline))
+	}
+	var total int64
+	for _, spans := range res.Timeline {
+		last := int64(-1)
+		for _, s := range spans {
+			if s.Start < last {
+				t.Fatalf("intervals not ordered: %+v", spans)
+			}
+			if s.End <= s.Start {
+				t.Fatalf("empty interval %+v", s)
+			}
+			if s.End > res.VirtualTime {
+				t.Fatalf("interval exceeds makespan")
+			}
+			total += s.End - s.Start
+			last = s.End
+		}
+	}
+	if total != res.BusyTime {
+		t.Fatalf("interval sum %d != busy time %d", total, res.BusyTime)
+	}
+	// Without Trace, no timeline is recorded.
+	opt.Trace = false
+	if res := Simulate(tr.Root(), 5, opt, DefaultCostModel()); res.Timeline != nil {
+		t.Fatal("timeline recorded without Trace")
+	}
+}
+
+// TestRealMatchesSimAtP1: with one worker both runtimes process work in the
+// same deterministic priority order, so node accounting must be identical.
+func TestRealMatchesSimAtP1(t *testing.T) {
+	rng := rand.New(rand.NewSource(11111))
+	spec := gtree.RandomSpec{MinDegree: 1, MaxDegree: 4, MinDepth: 2, MaxDepth: 5, ValueRange: 40}
+	for i := 0; i < 20; i++ {
+		root := spec.Generate(rng)
+		h := root.Height()
+		opt := DefaultOptions()
+		opt.SerialDepth = h / 2
+		real := Search(root, h, opt)
+		sim := Simulate(root, h, opt, DefaultCostModel())
+		if real.Value != sim.Value {
+			t.Fatalf("tree %d: values differ: %d vs %d", i, real.Value, sim.Value)
+		}
+		if real.Stats.Generated != sim.Stats.Generated ||
+			real.Stats.Evaluated != sim.Stats.Evaluated ||
+			real.SerialTasks != sim.SerialTasks ||
+			real.SpecPops != sim.SpecPops {
+			t.Fatalf("tree %d: P=1 accounting differs:\nreal %+v tasks=%d spec=%d\nsim  %+v tasks=%d spec=%d",
+				i, real.Stats, real.SerialTasks, real.SpecPops,
+				sim.Stats, sim.SerialTasks, sim.SpecPops)
+		}
+	}
+}

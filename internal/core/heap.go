@@ -1,0 +1,104 @@
+package core
+
+import "container/heap"
+
+// The problem heap (§6): a pair of priority queues.
+//
+// The primary queue holds scheduled work — mandatory work plus speculative
+// work that has been selected — ordered by node depth with the deepest nodes
+// first (ties broken by creation order for determinism).
+//
+// The speculative queue holds e-nodes that are eligible to receive
+// (additional) e-children, ranked by number of e-children (fewer first) with
+// ties broken in favor of shallower nodes.
+
+type primaryQueue []*node
+
+func (q primaryQueue) Len() int { return len(q) }
+func (q primaryQueue) Less(i, j int) bool {
+	if q[i].ply != q[j].ply {
+		return q[i].ply > q[j].ply // deepest first
+	}
+	return q[i].seq < q[j].seq
+}
+func (q primaryQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *primaryQueue) Push(x any)   { *q = append(*q, x.(*node)) }
+func (q *primaryQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+type specQueue []*node
+
+func (q specQueue) Len() int { return len(q) }
+func (q specQueue) Less(i, j int) bool {
+	if q[i].specKey != q[j].specKey {
+		return q[i].specKey < q[j].specKey
+	}
+	return q[i].seq < q[j].seq
+}
+func (q specQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *specQueue) Push(x any)   { *q = append(*q, x.(*node)) }
+func (q *specQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// problemHeap bundles the two queues with operation counters.
+type problemHeap struct {
+	primary primaryQueue
+	spec    specQueue
+
+	pushes, pops int64 // heap operations (interference accounting)
+	specPops     int64 // work taken from the speculative queue
+	dropped      int64 // dead nodes discarded at pop time
+}
+
+func (h *problemHeap) pushPrimary(n *node) {
+	if n.inPrimary {
+		return
+	}
+	n.inPrimary = true
+	h.pushes++
+	heap.Push(&h.primary, n)
+}
+
+func (h *problemHeap) pushSpec(n *node) {
+	if n.onSpec {
+		return
+	}
+	n.onSpec = true
+	h.pushes++
+	heap.Push(&h.spec, n)
+}
+
+// pop removes the next work item: primary first, speculative otherwise
+// (§6: "A processor that needs work first attempts to remove a scheduled
+// node from the primary priority queue"). It returns nil when both queues
+// are empty. fromSpec reports which queue served the node.
+func (h *problemHeap) pop() (n *node, fromSpec bool) {
+	if len(h.primary) > 0 {
+		h.pops++
+		n = heap.Pop(&h.primary).(*node)
+		n.inPrimary = false
+		return n, false
+	}
+	if len(h.spec) > 0 {
+		h.pops++
+		h.specPops++
+		n = heap.Pop(&h.spec).(*node)
+		n.onSpec = false
+		return n, true
+	}
+	return nil, false
+}
+
+func (h *problemHeap) empty() bool { return len(h.primary) == 0 && len(h.spec) == 0 }

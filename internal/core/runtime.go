@@ -1,0 +1,74 @@
+package core
+
+import (
+	"sync"
+
+	"ertree/internal/sim"
+)
+
+// Runtime abstracts the execution substrate so the ER engine is written once
+// and runs both on real goroutines and on the deterministic simulator
+// (DESIGN.md §3). A Runtime value is bound to one worker.
+type Runtime interface {
+	// Lock acquires the engine's single lock guarding tree and heap.
+	Lock()
+	// Unlock releases the lock.
+	Unlock()
+	// WaitWork blocks until WakeAll is called. It must be invoked with the
+	// lock held and returns with the lock held (condition-variable
+	// semantics). Time spent here is starvation loss.
+	WaitWork()
+	// WakeAll wakes every worker blocked in WaitWork. Must be called with
+	// the lock held.
+	WakeAll()
+	// HoldWork charges virtual time for shared-structure work performed
+	// while the lock is held (node creation, heap operations, combine
+	// steps). A no-op on the real runtime, where the work itself takes the
+	// time.
+	HoldWork(cost int64)
+	// FreeWork charges virtual time for private work performed outside the
+	// lock (static evaluations, serial subtree searches). A no-op on the
+	// real runtime.
+	FreeWork(cost int64)
+}
+
+// realRuntime runs workers as goroutines with a mutex and condition
+// variable; all workers share one instance.
+type realRuntime struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+}
+
+func newRealRuntime() *realRuntime {
+	r := &realRuntime{}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+func (r *realRuntime) Lock()          { r.mu.Lock() }
+func (r *realRuntime) Unlock()        { r.mu.Unlock() }
+func (r *realRuntime) WaitWork()      { r.cond.Wait() }
+func (r *realRuntime) WakeAll()       { r.cond.Broadcast() }
+func (r *realRuntime) HoldWork(int64) {}
+func (r *realRuntime) FreeWork(int64) {}
+
+// simRuntime binds a worker to a simulator process. The lock is a simulated
+// exclusive resource, so time blocked in Lock is interference loss and time
+// blocked in WaitWork is starvation loss, exactly the decomposition of §3.1.
+type simRuntime struct {
+	p    *sim.Proc
+	res  *sim.Resource
+	cond *sim.Cond
+}
+
+func (r *simRuntime) Lock()            { r.p.Acquire(r.res) }
+func (r *simRuntime) Unlock()          { r.p.Release(r.res) }
+func (r *simRuntime) WaitWork()        { r.p.Wait(r.cond) }
+func (r *simRuntime) WakeAll()         { r.p.Broadcast(r.cond) }
+func (r *simRuntime) HoldWork(c int64) { r.p.Advance(c) }
+func (r *simRuntime) FreeWork(c int64) {
+	// Private work does not hold the lock in the simulation either: the
+	// worker releases it around heavy computation (see worker.go), so
+	// advancing here overlaps with other processors' work.
+	r.p.Advance(c)
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ertree/internal/game"
+	"ertree/internal/sim"
+)
+
+// Options configures a parallel ER search.
+type Options struct {
+	// Workers is the number of processors P. Defaults to 1.
+	Workers int
+	// SerialDepth is the remaining depth at or below which subtrees are
+	// searched by serial ER as a single work unit (the paper's "depth
+	// below which serial ER is to be used", §6). Zero parallelizes all the
+	// way to the leaves.
+	SerialDepth int
+	// Order is the static move-ordering policy for non-e-node expansions
+	// (§7). Nil means natural order.
+	Order game.Orderer
+	// The three speculative-work mechanisms of §5. The paper's
+	// implementation enables all three; disabling them individually gives
+	// the ablation experiment A1.
+	ParallelRefutation bool // refute an e-node's children concurrently
+	MultipleENodes     bool // keep offering additional e-children
+	EarlyChoice        bool // pick an e-child before the last elder grandchild finishes
+	// SpecRank selects how the speculative queue is ordered. The paper's
+	// §8 calls for "a better mechanism for globally ranking speculative
+	// work"; experiment A3 compares the alternatives.
+	SpecRank SpecRank
+	// Trace records per-processor busy intervals during Simulate so the
+	// worker-utilization timeline can be rendered (cmd/ertree -timeline).
+	Trace bool
+	// EagerSpec relaxes the paper's speculative-queue admission rule ("all
+	// but one elder grandchild evaluated") to "at least one elder
+	// grandchild evaluated". Idle processors can then start additional
+	// e-children during the elder-evaluation ramp, the largest starvation
+	// phase at high processor counts; experiment A6 measures the effect.
+	// An extension beyond the paper.
+	EagerSpec bool
+	// Stats, if non-nil, receives node accounting.
+	Stats *game.Stats
+}
+
+// SpecRank is a speculative-queue ordering policy.
+type SpecRank int8
+
+const (
+	// SpecRankPaper is the published ordering (§6): fewest e-children
+	// first, ties broken in favor of shallower nodes.
+	SpecRankPaper SpecRank = iota
+	// SpecRankDepth is the "rather naive" pure depth ordering the paper's
+	// §8 self-criticizes: shallowest e-nodes first.
+	SpecRankDepth
+	// SpecRankBound is a global ranking by promise, one answer to the
+	// paper's future-work question: the e-node whose best remaining
+	// candidate carries the most optimistic bound is served first.
+	SpecRankBound
+)
+
+func (r SpecRank) String() string {
+	switch r {
+	case SpecRankDepth:
+		return "depth"
+	case SpecRankBound:
+		return "bound"
+	default:
+		return "paper"
+	}
+}
+
+// DefaultOptions returns the paper's configuration: all three speculation
+// mechanisms enabled.
+func DefaultOptions() Options {
+	return Options{
+		Workers:            1,
+		ParallelRefutation: true,
+		MultipleENodes:     true,
+		EarlyChoice:        true,
+	}
+}
+
+// CostModel maps engine operations to virtual time for simulated runs
+// (DESIGN.md §3). Units are arbitrary; only ratios matter.
+type CostModel struct {
+	Node    int64 // generating one tree node (shared-tree update, under lock)
+	Eval    int64 // one static evaluation (outside the lock)
+	HeapOp  int64 // one problem-heap push or pop (under lock)
+	Combine int64 // one step of the combine loop (under lock)
+}
+
+// DefaultCostModel makes evaluation a few times the cost of bookkeeping,
+// which is typical of real game programs (and of the paper's Othello
+// evaluator relative to Sequent memory operations).
+func DefaultCostModel() CostModel {
+	return CostModel{Node: 1, Eval: 3, HeapOp: 1, Combine: 1}
+}
+
+// Of converts a statistics snapshot into virtual time under the model: the
+// cost of a purely serial search that generated those counts.
+func (c CostModel) Of(s game.StatsSnapshot) int64 {
+	return s.Generated*c.Node + s.TotalEvals()*c.Eval
+}
+
+// Result reports the outcome of a parallel ER search.
+type Result struct {
+	// Value is the exact negamax value of the root.
+	Value game.Value
+	// Stats are the accumulated node counts.
+	Stats game.StatsSnapshot
+	// Workers is the processor count used.
+	Workers int
+
+	// Engine counters.
+	SerialTasks int64 // subtrees searched by serial ER
+	LeafTasks   int64 // frontier/terminal static evaluations
+	SpecPops    int64 // nodes taken from the speculative queue
+	Dropped     int64 // dead nodes discarded at pop time
+	CutoffDrops int64 // nodes cut off at pop time (window closed while queued)
+	HeapOps     int64 // pushes + pops on the problem heap
+
+	// Real-runtime measurement.
+	Elapsed time.Duration
+
+	// Simulated-runtime measurement (zero for real runs).
+	VirtualTime int64 // makespan on P virtual processors
+	BusyTime    int64 // total productive virtual time across processors
+	StarveTime  int64 // total starvation loss (§3.1)
+	LockTime    int64 // total interference loss (§3.1)
+	// Timeline holds per-processor busy intervals when Options.Trace was
+	// set on a simulated run.
+	Timeline [][]sim.Interval
+}
+
+func (s *state) result(workers int) Result {
+	return Result{
+		Value:       s.root.value,
+		Stats:       s.stats.Snapshot(),
+		Workers:     workers,
+		SerialTasks: s.serialTasks,
+		LeafTasks:   s.leafTasks,
+		SpecPops:    s.heap.specPops,
+		Dropped:     s.heap.dropped,
+		CutoffDrops: s.cutoffDrops,
+		HeapOps:     s.heap.pushes + s.heap.pops,
+	}
+}
+
+// Search runs parallel ER on real goroutines and returns the root value. It
+// is correct for any worker count; on a single-CPU host the workers
+// interleave rather than run in parallel, so use Simulate for speedup
+// measurements.
+func Search(pos game.Position, depth int, opt Options) Result {
+	workers := opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	s := newState(pos, depth, opt, DefaultCostModel())
+	rt := newRealRuntime()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.worker(rt)
+		}()
+	}
+	wg.Wait()
+	res := s.result(workers)
+	res.Elapsed = time.Since(start)
+	if !s.root.done {
+		panic("core: search terminated with unresolved root")
+	}
+	return res
+}
+
+// Simulate runs parallel ER on the deterministic discrete-event simulator
+// with P virtual processors under the given cost model. Results (value,
+// node counts, virtual makespan, loss decomposition) are exactly
+// reproducible. It panics if the engine deadlocks, which would be a bug.
+func Simulate(pos game.Position, depth int, opt Options, cost CostModel) Result {
+	workers := opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	s := newState(pos, depth, opt, cost)
+	env := sim.NewEnv()
+	if opt.Trace {
+		env.EnableTrace()
+	}
+	res := env.NewResource("tree+heap")
+	cond := env.NewCond(res)
+	for i := 0; i < workers; i++ {
+		env.Spawn(fmt.Sprintf("p%d", i), func(p *sim.Proc) {
+			s.worker(&simRuntime{p: p, res: res, cond: cond})
+		})
+	}
+	if err := env.Run(); err != nil {
+		panic("core: " + err.Error())
+	}
+	if !s.root.done {
+		panic("core: simulation terminated with unresolved root")
+	}
+	out := s.result(workers)
+	out.VirtualTime = env.Now()
+	for _, p := range env.Procs() {
+		out.BusyTime += p.Busy()
+		out.StarveTime += p.StarveTime()
+		out.LockTime += p.LockTime()
+		if opt.Trace {
+			out.Timeline = append(out.Timeline, p.BusyIntervals())
+		}
+	}
+	return out
+}

@@ -1,0 +1,416 @@
+package core
+
+import (
+	"ertree/internal/game"
+	"ertree/internal/serial"
+)
+
+// state is the shared search state: the game tree under construction and the
+// problem heap. Every field is guarded by the engine's single lock (acquired
+// through the Runtime); the paper's implementation likewise shares one tree
+// among all processors, and the resulting contention is one of its measured
+// loss sources.
+type state struct {
+	opt      Options
+	cost     CostModel
+	heap     problemHeap
+	root     *node
+	seq      uint64
+	finished bool
+	stats    *game.Stats
+
+	// engine counters (beyond game.Stats)
+	serialTasks int64
+	leafTasks   int64
+	cutoffDrops int64 // nodes cut off at pop time
+}
+
+func newState(pos game.Position, depth int, opt Options, cost CostModel) *state {
+	s := &state{opt: opt, cost: cost, stats: opt.Stats}
+	if s.stats == nil {
+		s.stats = &game.Stats{}
+	}
+	s.root = s.newNode(pos, nil, eNode, depth)
+	s.stats.AddGenerated(1)
+	s.heap.pushPrimary(s.root)
+	return s
+}
+
+func (s *state) newNode(pos game.Position, parent *node, typ nodeType, depth int) *node {
+	s.seq++
+	n := &node{pos: pos, parent: parent, typ: typ, depth: depth, value: -game.Inf, seq: s.seq}
+	if parent != nil {
+		n.ply = parent.ply + 1
+	}
+	return n
+}
+
+// orderer returns the configured move orderer.
+func (s *state) orderer() game.Orderer {
+	if s.opt.Order == nil {
+		return game.NaturalOrder{}
+	}
+	return s.opt.Order
+}
+
+// hasCandidate reports whether e-node E has a child that could still become
+// an e-child.
+func hasCandidate(E *node) bool {
+	for _, k := range E.kids {
+		if k.eChildCandidate() {
+			return true
+		}
+	}
+	return false
+}
+
+// pushSpeculative places e-node E on the speculative queue with the rank
+// prescribed by the configured policy. Lock held.
+func (s *state) pushSpeculative(E *node, rt Runtime) {
+	switch s.opt.SpecRank {
+	case SpecRankDepth:
+		// The "naive" pure-depth ordering of §8: shallowest first.
+		E.specKey = int64(E.ply)
+	case SpecRankBound:
+		// Global promise ranking: the node whose best remaining
+		// candidate has the lowest tentative value (the most optimistic
+		// bound for E) is served first.
+		best := game.Inf
+		for _, k := range E.kids {
+			if k.eChildCandidate() && k.value < best {
+				best = k.value
+			}
+		}
+		E.specKey = int64(best)
+	default:
+		// Paper §6: fewest e-children first, then shallower nodes.
+		E.specKey = int64(E.eKids)<<32 | int64(E.ply)
+	}
+	s.heap.pushSpec(E)
+	rt.HoldWork(s.cost.HeapOp)
+}
+
+// finish marks a node done with the given value and propagates the
+// completion. Lock held.
+func (s *state) finish(n *node, v game.Value, rt Runtime) {
+	if v > n.value {
+		n.value = v
+	}
+	n.done = true
+	s.combine(n, rt)
+}
+
+// cutoffAtPop abandons a node whose effective window closed while it was
+// queued. Its value is clamped to the window's beta so the contribution to
+// its parent cannot exceed what the bound already proves. Lock held.
+func (s *state) cutoffAtPop(n *node, w game.Window, rt Runtime) {
+	s.cutoffDrops++
+	s.stats.AddCutoffs(1)
+	n.cutoff = true
+	s.finish(n, game.Max(n.value, w.Beta), rt)
+}
+
+// table1 applies the node-generation rules of Table 1 to a live, expanded,
+// non-terminal node popped from the primary queue. Lock held.
+func (s *state) table1(n *node, rt Runtime) {
+	switch n.typ {
+	case eNode:
+		// "Generate all children. Assign each child 'undecided' type.
+		// Place each child on primary queue." A selected e-child already
+		// has its first child materialized (the evaluated elder grandchild
+		// of its parent); such a completed child counts toward this node's
+		// own elder-grandchild tally, or its mandatory e-child selection
+		// could never trigger.
+		for _, k := range n.kids {
+			if k.done && !k.elderCounted {
+				k.elderCounted = true
+				n.elderDone++
+			}
+		}
+		for i := len(n.kids); i < len(n.moves); i++ {
+			k := s.newNode(n.moves[i], n, undecided, n.depth-1)
+			n.kids = append(n.kids, k)
+			n.activeKids++
+			s.stats.AddGenerated(1)
+			rt.HoldWork(s.cost.Node + s.cost.HeapOp)
+			s.heap.pushPrimary(k)
+		}
+		rt.WakeAll()
+	case undecided, rNode:
+		if len(n.kids) == 0 {
+			// "Generate first child (an 'e-node') and place on primary
+			// queue." This child is the elder grandchild when n's parent
+			// is an e-node.
+			k := s.newNode(n.moves[0], n, eNode, n.depth-1)
+			n.kids = append(n.kids, k)
+			n.activeKids++
+			s.stats.AddGenerated(1)
+			rt.HoldWork(s.cost.Node + s.cost.HeapOp)
+			s.heap.pushPrimary(k)
+			rt.WakeAll()
+			return
+		}
+		if n.typ == rNode && len(n.kids) < len(n.moves) {
+			// "Generate next child (an 'r-node') and place on primary
+			// queue." At the serial frontier the child is examined in
+			// one serial unit rather than decomposed further, so each
+			// refutation step gets a fresh window while the protocol
+			// bookkeeping stays bounded.
+			k := s.newNode(n.moves[len(n.kids)], n, rNode, n.depth-1)
+			k.examine = k.depth <= s.opt.SerialDepth
+			n.kids = append(n.kids, k)
+			n.activeKids++
+			s.stats.AddGenerated(1)
+			s.stats.AddRefutations(1)
+			rt.HoldWork(s.cost.Node + s.cost.HeapOp)
+			s.heap.pushPrimary(k)
+			rt.WakeAll()
+		}
+	}
+}
+
+// combine backs the completed node's value up the tree (§6), performing the
+// Table 2 actions at the first ancestor that still has work in flight.
+// Lock held.
+func (s *state) combine(n *node, rt Runtime) {
+	cur := n
+	for {
+		rt.HoldWork(s.cost.Combine)
+		p := cur.parent
+		if p == nil {
+			s.finished = true
+			rt.WakeAll()
+			return
+		}
+		if p.done {
+			// An ancestor was resolved concurrently (cutoff); this
+			// subtree's result is no longer needed.
+			return
+		}
+		if -cur.value > p.value {
+			p.value = -cur.value
+		}
+		p.activeKids--
+
+		// "...until node has active children AND node can't be cut off."
+		if w := p.window(); p.value >= w.Beta {
+			p.done, p.cutoff = true, true
+			s.stats.AddCutoffs(1)
+			cur = p
+			continue
+		}
+		if s.childDone(p, cur, rt) {
+			p.done = true
+			cur = p
+			continue
+		}
+		return
+	}
+}
+
+// childDone applies the Table 2 bookkeeping at last_node p after its child c
+// completed, and reports whether p itself is now done. Lock held.
+func (s *state) childDone(p, c *node, rt Runtime) bool {
+	switch p.typ {
+	case eNode:
+		if !c.elderCounted {
+			c.elderCounted = true
+			p.elderDone++
+		}
+		switch {
+		case p.refuting:
+			if !s.opt.ParallelRefutation {
+				s.launchNextRefuter(p, rt)
+			}
+		case c.isEChild:
+			// Table 2 row 3: "The first e-child has been evaluated...
+			// Assign each active child type 'r-node' and place it on the
+			// primary queue. (All children may be refuted in parallel.)"
+			p.refuting = true
+			s.startRefutation(p, rt)
+		default:
+			s.elderProgress(p, rt)
+		}
+		return p.expanded && p.activeKids == 0 && len(p.kids) == len(p.moves)
+
+	case undecided:
+		// c is p's only generated child (its first). p's value is now a
+		// tentative value; p waits until its parent's protocol decides
+		// whether p is an e-child or an r-node.
+		if len(p.moves) == 1 {
+			return true // Eval_first: done when d = 1
+		}
+		// Table 2 rows 4-5: an elder grandchild of p's parent finished.
+		if gp := p.parent; gp != nil && gp.typ == eNode && !gp.refuting {
+			if !p.elderCounted {
+				p.elderCounted = true
+				gp.elderDone++
+			}
+			s.elderProgress(gp, rt)
+		}
+		return false
+
+	default: // rNode
+		if len(p.kids) < len(p.moves) {
+			// Sequential refutation within an r-node: the next child is
+			// examined only now that the current one has finished.
+			s.heap.pushPrimary(p)
+			rt.HoldWork(s.cost.HeapOp)
+			rt.WakeAll()
+			return false
+		}
+		if p.activeKids == 0 {
+			s.stats.AddRefuteFails(1) // all children examined; not refuted
+			return true
+		}
+		return false
+	}
+}
+
+// elderProgress applies Table 2 rows 1-2 and 4-5 at e-node E: once all but
+// one elder grandchild is evaluated E joins the speculative queue; once all
+// are evaluated and no e-child has been selected, the best child becomes the
+// e-child. Lock held.
+func (s *state) elderProgress(E *node, rt Runtime) {
+	if E.refuting || !E.expanded || E.done {
+		return
+	}
+	d := len(E.kids)
+	// Admission threshold: the paper requires all but one elder grandchild
+	// evaluated; the EagerSpec extension admits E as soon as any candidate
+	// bound is known.
+	threshold := d - 1
+	if s.opt.EagerSpec {
+		threshold = 1
+	}
+	if !E.eSelected {
+		if E.elderDone >= d {
+			// Mandatory selection (Table 2 row 2/5).
+			s.selectEChild(E, rt)
+		} else if E.elderDone >= threshold && s.opt.EarlyChoice && !E.onSpec && hasCandidate(E) {
+			// Table 2 row 1/4: eligible for early choice.
+			s.pushSpeculative(E, rt)
+			rt.WakeAll()
+		}
+		return
+	}
+	// First e-child already selected: the speculative queue may add more.
+	if s.opt.MultipleENodes && !E.onSpec && hasCandidate(E) {
+		s.pushSpeculative(E, rt)
+		rt.WakeAll()
+	}
+}
+
+// selectEChild promotes E's most promising undecided child (lowest tentative
+// value = most optimistic bound for E) to an e-node and schedules it.
+// Lock held.
+func (s *state) selectEChild(E *node, rt Runtime) bool {
+	var best *node
+	bestV := game.Inf
+	for _, k := range E.kids {
+		if k.eChildCandidate() && k.value < bestV {
+			best, bestV = k, k.value
+		}
+	}
+	if best == nil {
+		return false
+	}
+	best.typ = eNode
+	best.isEChild = true
+	E.eSelected = true
+	E.eKids++
+	s.heap.pushPrimary(best)
+	rt.HoldWork(s.cost.HeapOp)
+	// "Once the elder grandchildren of E have been evaluated, ensure that
+	// E always has at least one active e-child" (§5): keep E available on
+	// the speculative queue while candidates remain.
+	if s.opt.MultipleENodes && !E.onSpec && hasCandidate(E) {
+		s.pushSpeculative(E, rt)
+	}
+	rt.WakeAll()
+	return true
+}
+
+// specAction handles a node taken from the speculative queue: select the
+// best remaining child as an (additional) e-child and requeue the node while
+// candidates remain (§6). Lock held.
+func (s *state) specAction(E *node, rt Runtime) {
+	if E.done || E.refuting || !E.alive() {
+		s.heap.dropped++
+		return
+	}
+	if !s.selectEChild(E, rt) {
+		return
+	}
+	if s.opt.MultipleENodes && hasCandidate(E) {
+		s.pushSpeculative(E, rt)
+	}
+}
+
+// startRefutation retypes E's unfinished children as r-nodes and, with
+// parallel refutation enabled, schedules every one whose previous activity
+// has finished; otherwise only the most promising refuter runs. Lock held.
+func (s *state) startRefutation(E *node, rt Runtime) {
+	for _, k := range E.kids {
+		if k.done || k.isEChild {
+			continue
+		}
+		k.typ = rNode
+	}
+	if !s.opt.ParallelRefutation {
+		s.launchNextRefuter(E, rt)
+		return
+	}
+	for _, k := range E.kids {
+		if k.done || k.isEChild || k.typ != rNode {
+			continue
+		}
+		s.scheduleRefuter(k, rt)
+	}
+}
+
+// scheduleRefuter pushes r-node k unless it is still waiting for an active
+// child (an r-node examines one child at a time) or already queued.
+func (s *state) scheduleRefuter(k *node, rt Runtime) {
+	if k.activeKids > 0 || k.inPrimary {
+		return // combine will reschedule it when the child completes
+	}
+	if k.expanded && len(k.kids) == len(k.moves) {
+		return // nothing left to generate; completion is in flight
+	}
+	s.heap.pushPrimary(k)
+	rt.HoldWork(s.cost.HeapOp)
+	rt.WakeAll()
+}
+
+// launchNextRefuter implements the sequential-refutation ablation: at most
+// one r-node child of E is examined at a time, in tentative-value order.
+func (s *state) launchNextRefuter(E *node, rt Runtime) {
+	var best *node
+	bestV := game.Inf
+	for _, k := range E.kids {
+		if k.done || k.typ != rNode {
+			continue
+		}
+		if k.activeKids > 0 || k.inPrimary {
+			return // one already running
+		}
+		if k.value < bestV || best == nil {
+			best, bestV = k, k.value
+		}
+	}
+	if best != nil {
+		s.scheduleRefuter(best, rt)
+	}
+}
+
+// serialSearcher builds the serial ER searcher for a subtree task rooted at
+// ply basePly, accumulating into task-local stats.
+func (s *state) serialSearcher(local *game.Stats, basePly int) serial.Searcher {
+	return serial.Searcher{Order: s.opt.Order, Stats: local, BasePly: basePly}
+}
+
+// taskCost converts a serial task's statistics into virtual time.
+func (s *state) taskCost(snap game.StatsSnapshot) int64 {
+	return snap.Generated*s.cost.Node + snap.TotalEvals()*s.cost.Eval
+}

@@ -1,0 +1,166 @@
+package core
+
+import "ertree/internal/game"
+
+// worker is the per-processor loop of §6:
+//
+//	repeat
+//	    take a node from the problem-heap;
+//	    if node is a leaf then begin value := static_evaluator; combine end
+//	    else generate children as specified in Table 1;
+//	until done;
+//
+// extended with the serial-depth cut-over (nodes at remaining depth at or
+// below Options.SerialDepth are searched by serial ER in one unit) and lazy
+// cancellation of work whose ancestors were resolved while it was queued.
+//
+// Heavy computation (position expansion, static evaluation, serial subtree
+// search) happens outside the lock; all tree and heap mutation happens under
+// it.
+func (s *state) worker(rt Runtime) {
+	rt.Lock()
+	defer rt.Unlock()
+	for {
+		for !s.finished && s.heap.empty() {
+			rt.WaitWork()
+		}
+		if s.finished {
+			return
+		}
+		n, fromSpec := s.heap.pop()
+		rt.HoldWork(s.cost.HeapOp)
+		if n == nil {
+			continue
+		}
+		if fromSpec {
+			s.specAction(n, rt)
+			continue
+		}
+		if !n.alive() {
+			s.heap.dropped++
+			continue
+		}
+		w := n.window()
+		if w.Empty() || n.value >= w.Beta {
+			// The window closed while the node was queued: cut it off
+			// without searching (a cutoff the serial algorithm would have
+			// taken before recursing).
+			s.cutoffAtPop(n, w, rt)
+			continue
+		}
+		switch {
+		case n.depth == 0:
+			s.leafTask(n, rt)
+		case n.depth <= s.opt.SerialDepth && n.typ == eNode:
+			// The serial cut-over matches work units to node roles. An
+			// e-node's work is a complete evaluation — exactly one
+			// serial ER call. Undecided and r-nodes at the frontier
+			// still follow Table 1 (their work is per-child), but the
+			// children they generate become single serial units: e-node
+			// children full ER calls, r-node children Examine calls.
+			s.serialTask(n, w, rt)
+		case n.examine:
+			s.examineTask(n, w, rt)
+		default:
+			if !n.expanded && !s.expandTask(n, rt) {
+				continue // node died during expansion
+			}
+			if len(n.moves) == 0 {
+				s.leafTask(n, rt) // terminal position above the horizon
+				continue
+			}
+			s.table1(n, rt)
+		}
+	}
+}
+
+// leafTask evaluates a frontier or terminal node. Lock held on entry and
+// exit; released around the evaluator call.
+func (s *state) leafTask(n *node, rt Runtime) {
+	s.leafTasks++
+	rt.Unlock()
+	v := n.pos.Value()
+	rt.FreeWork(s.cost.Eval)
+	rt.Lock()
+	s.stats.AddEvaluated(1)
+	s.stats.NotePly(n.ply)
+	if !n.alive() {
+		s.heap.dropped++
+		return
+	}
+	s.finish(n, v, rt)
+}
+
+// serialTask searches the subtree under n with serial ER using a snapshot of
+// the node's window. Windows only narrow, so a snapshot is always a
+// superset of the live window and the result remains sound; searching with
+// the stale window is precisely the missed-cutoff speculative loss the paper
+// measures. Lock held on entry and exit.
+func (s *state) serialTask(n *node, w game.Window, rt Runtime) {
+	s.serialTasks++
+	// A promoted e-child already carries a sound lower bound from its
+	// evaluated first child; raising alpha to it prunes the (partial)
+	// re-search of that subtree.
+	if n.value > w.Alpha {
+		w.Alpha = n.value
+	}
+	rt.Unlock()
+	local := &game.Stats{}
+	searcher := s.serialSearcher(local, n.ply)
+	v := searcher.ER(n.pos, n.depth, w)
+	snap := local.Snapshot()
+	rt.FreeWork(s.taskCost(snap))
+	rt.Lock()
+	s.stats.Merge(snap)
+	if !n.alive() {
+		s.heap.dropped++
+		return
+	}
+	s.finish(n, v, rt)
+}
+
+// examineTask performs one refutation step in one serial unit: the r-node
+// child n is searched with the r-child protocol (Eval_first + Refute_rest)
+// under a window snapshot taken at pop time, so each step of a sequential
+// refutation sees the freshest bounds. Lock held on entry and exit.
+func (s *state) examineTask(n *node, w game.Window, rt Runtime) {
+	s.serialTasks++
+	rt.Unlock()
+	local := &game.Stats{}
+	searcher := s.serialSearcher(local, n.ply)
+	v := searcher.Examine(n.pos, n.depth, w)
+	snap := local.Snapshot()
+	rt.FreeWork(s.taskCost(snap))
+	rt.Lock()
+	s.stats.Merge(snap)
+	if !n.alive() {
+		s.heap.dropped++
+		return
+	}
+	s.finish(n, v, rt)
+}
+
+// expandTask generates and orders n's child positions outside the lock.
+// Children of e-nodes are not statically sorted (§7): the elder-grandchild
+// protocol orders them by tentative value instead. Returns false if the node
+// died meanwhile. Lock held on entry and exit.
+func (s *state) expandTask(n *node, rt Runtime) bool {
+	rt.Unlock()
+	moves := n.pos.Children()
+	var sortEvals int64
+	if len(moves) > 1 && n.typ != eNode {
+		o := s.orderer()
+		sortEvals = int64(o.Cost(len(moves), n.ply))
+		moves = o.Order(moves, n.ply)
+	}
+	rt.FreeWork(sortEvals * s.cost.Eval)
+	rt.Lock()
+	s.stats.AddSortEvals(sortEvals)
+	if !n.alive() {
+		s.heap.dropped++
+		return false
+	}
+	n.moves = moves
+	n.expanded = true
+	return true
+}

@@ -1,0 +1,116 @@
+// Package dib is a small generic framework for parallel backtracking in the
+// style of DIB, Finkel and Manber's Distributed Implementation of
+// Backtracking (TOPLAS 1987). The paper models ER's programming interface
+// on DIB (§6: "The programming interface to our implementation of ER is
+// similar to DIB"): the caller supplies a problem-expansion procedure and a
+// leaf solver, and the framework distributes the backtracking tree over
+// workers.
+//
+// Unlike game-tree search, plain backtracking has no cross-subproblem
+// pruning, so results are merged with a user-supplied associative,
+// commutative operation and the outcome is deterministic for any worker
+// count.
+package dib
+
+import "sync"
+
+// Spec describes a backtracking computation over problems of type P with
+// results of type R.
+type Spec[P, R any] struct {
+	// Expand decomposes a problem into subproblems. Returning an empty
+	// slice (or nil) marks p as a leaf to be solved directly.
+	Expand func(p P) []P
+	// Solve computes a leaf problem's result.
+	Solve func(p P) R
+	// Merge combines two results. It must be associative and commutative
+	// (workers complete subproblems in nondeterministic order).
+	Merge func(a, b R) R
+	// Zero is the identity of Merge.
+	Zero R
+}
+
+// Run executes the backtracking computation on the given number of workers
+// and returns the merged result of all leaves. workers < 1 means 1.
+func Run[P, R any](root P, spec Spec[P, R], workers int) R {
+	if workers < 1 {
+		workers = 1
+	}
+	s := &state[P, R]{spec: spec, acc: spec.Zero, outstanding: 1}
+	s.cond = sync.NewCond(&s.mu)
+	s.stack = append(s.stack, root)
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.worker()
+		}()
+	}
+	wg.Wait()
+	return s.acc
+}
+
+type state[P, R any] struct {
+	spec Spec[P, R]
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	stack       []P // LIFO: depth-first expansion keeps the frontier small
+	acc         R
+	outstanding int // problems taken from or still on the stack
+	done        bool
+}
+
+func (s *state[P, R]) worker() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		for len(s.stack) == 0 && !s.done {
+			s.cond.Wait()
+		}
+		if s.done {
+			return
+		}
+		p := s.stack[len(s.stack)-1]
+		s.stack = s.stack[:len(s.stack)-1]
+		s.mu.Unlock()
+
+		subs := s.spec.Expand(p)
+		var leaf R
+		isLeaf := len(subs) == 0
+		if isLeaf {
+			leaf = s.spec.Solve(p)
+		}
+
+		s.mu.Lock()
+		if isLeaf {
+			s.acc = s.spec.Merge(s.acc, leaf)
+		} else {
+			s.stack = append(s.stack, subs...)
+			s.outstanding += len(subs)
+			s.cond.Broadcast()
+		}
+		s.outstanding--
+		if s.outstanding == 0 {
+			s.done = true
+			s.cond.Broadcast()
+			return
+		}
+	}
+}
+
+// Count is a convenience Spec constructor for counting leaves that satisfy
+// the solver predicate.
+func Count[P any](expand func(P) []P, accept func(P) bool) Spec[P, int64] {
+	return Spec[P, int64]{
+		Expand: expand,
+		Solve: func(p P) int64 {
+			if accept(p) {
+				return 1
+			}
+			return 0
+		},
+		Merge: func(a, b int64) int64 { return a + b },
+	}
+}

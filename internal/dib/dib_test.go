@@ -1,0 +1,158 @@
+package dib
+
+import (
+	"testing"
+
+	"ertree/internal/game"
+	"ertree/internal/othello"
+	"ertree/internal/ttt"
+)
+
+// queens is the classic DIB example: count the placements of n queens.
+type queens struct {
+	n    int
+	cols []int // cols[i] = column of the queen on row i
+}
+
+func (q queens) children() []queens {
+	if len(q.cols) == q.n {
+		return nil
+	}
+	var out []queens
+	row := len(q.cols)
+	for c := 0; c < q.n; c++ {
+		ok := true
+		for r, qc := range q.cols {
+			if qc == c || qc-c == row-r || c-qc == row-r {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			next := append(append([]int{}, q.cols...), c)
+			out = append(out, queens{n: q.n, cols: next})
+		}
+	}
+	return out
+}
+
+func queensSpec() Spec[queens, int64] {
+	return Count(
+		func(q queens) []queens { return q.children() },
+		func(q queens) bool { return len(q.cols) == q.n },
+	)
+}
+
+func TestNQueensKnownCounts(t *testing.T) {
+	want := map[int]int64{4: 2, 5: 10, 6: 4, 7: 40, 8: 92, 9: 352}
+	for n, expect := range want {
+		got := Run(queens{n: n}, queensSpec(), 4)
+		if got != expect {
+			t.Errorf("n=%d: %d solutions, want %d", n, got, expect)
+		}
+	}
+}
+
+func TestResultIndependentOfWorkers(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 16} {
+		if got := Run(queens{n: 8}, queensSpec(), workers); got != 92 {
+			t.Fatalf("workers=%d: %d, want 92", workers, got)
+		}
+	}
+	if got := Run(queens{n: 6}, queensSpec(), 0); got != 4 {
+		t.Fatalf("workers=0 must behave as 1")
+	}
+}
+
+// perftProblem drives DIB over an Othello game tree: counting depth-d
+// positions must reproduce the known perft values, cross-validating both
+// the framework and the move generator.
+type perftProblem struct {
+	pos   game.Position
+	depth int
+}
+
+func perftSpec() Spec[perftProblem, int64] {
+	return Spec[perftProblem, int64]{
+		Expand: func(p perftProblem) []perftProblem {
+			if p.depth == 0 {
+				return nil
+			}
+			kids := p.pos.Children()
+			out := make([]perftProblem, len(kids))
+			for i, k := range kids {
+				out[i] = perftProblem{pos: k, depth: p.depth - 1}
+			}
+			return out
+		},
+		Solve: func(p perftProblem) int64 {
+			if p.depth == 0 {
+				return 1
+			}
+			return 0 // terminal position above the horizon
+		},
+		Merge: func(a, b int64) int64 { return a + b },
+	}
+}
+
+func TestOthelloPerftViaDIB(t *testing.T) {
+	want := []int64{1, 4, 12, 56, 244, 1396, 8200}
+	for d := 0; d <= 6; d++ {
+		got := Run(perftProblem{pos: othello.Start(), depth: d}, perftSpec(), 6)
+		if got != want[d] {
+			t.Errorf("perft(%d) via DIB = %d, want %d", d, got, want[d])
+		}
+	}
+}
+
+func TestTicTacToeLeafCountViaDIB(t *testing.T) {
+	// Terminal-position count of the full tic-tac-toe tree (wins end the
+	// game): a classic known value, 255168 final games.
+	spec := Spec[ttt.Board, int64]{
+		Expand: func(b ttt.Board) []ttt.Board {
+			kids := b.Children()
+			out := make([]ttt.Board, len(kids))
+			for i, k := range kids {
+				out[i] = k.(ttt.Board)
+			}
+			return out
+		},
+		Solve: func(b ttt.Board) int64 { return 1 },
+		Merge: func(a, b int64) int64 { return a + b },
+	}
+	if got := Run(ttt.New(), spec, 8); got != 255168 {
+		t.Fatalf("tic-tac-toe final games = %d, want 255168", got)
+	}
+}
+
+func TestMaxMerge(t *testing.T) {
+	// Merge need not be addition: find the maximum leaf of a small tree.
+	type node struct{ v, depth int }
+	spec := Spec[node, int]{
+		Expand: func(n node) []node {
+			if n.depth == 0 {
+				return nil
+			}
+			return []node{
+				{v: n.v*2 + 1, depth: n.depth - 1},
+				{v: n.v * 3, depth: n.depth - 1},
+			}
+		},
+		Solve: func(n node) int { return n.v },
+		Merge: func(a, b int) int {
+			if a > b {
+				return a
+			}
+			return b
+		},
+		Zero: -1 << 60,
+	}
+	got := Run(node{v: 1, depth: 10}, spec, 4)
+	want := 1
+	for i := 0; i < 10; i++ {
+		want *= 3
+	}
+	if got != want {
+		t.Fatalf("max leaf %d, want %d (all-times-3 path)", got, want)
+	}
+}

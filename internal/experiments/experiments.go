@@ -1,0 +1,155 @@
+// Package experiments defines the paper's workloads (Table 3) and the
+// runners that regenerate every figure of the evaluation plus the extension
+// experiments E1-E3 and the ablation A1 (see DESIGN.md §5). It is shared by
+// cmd/figures and the repository's benchmarks.
+package experiments
+
+import (
+	"fmt"
+
+	"ertree/internal/core"
+	"ertree/internal/game"
+	"ertree/internal/metrics"
+	"ertree/internal/othello"
+	"ertree/internal/randtree"
+	"ertree/internal/serial"
+)
+
+// Workload is one row of the paper's Table 3.
+type Workload struct {
+	Name        string
+	Kind        string // "random" or "othello"
+	Root        game.Position
+	Depth       int
+	SerialDepth int
+	Order       game.Orderer
+}
+
+// Table3 returns the six experiment workloads exactly as the paper defines
+// them: R1 (random, degree 4, 10 ply, serial depth 7), R2 (degree 4, 11
+// ply, serial depth 7), R3 (degree 8, 7 ply, serial depth 5), and O1-O3
+// (Othello, 7 ply, serial depth 5, static-sort ordering above ply 5).
+func Table3() []Workload {
+	othelloOrder := game.StaticOrder{MaxPly: 5}
+	return []Workload{
+		{Name: "R1", Kind: "random", Root: randtree.R1().Root(), Depth: 10, SerialDepth: 7},
+		{Name: "R2", Kind: "random", Root: randtree.R2().Root(), Depth: 11, SerialDepth: 7},
+		{Name: "R3", Kind: "random", Root: randtree.R3().Root(), Depth: 7, SerialDepth: 5},
+		{Name: "O1", Kind: "othello", Root: othello.O1(), Depth: 7, SerialDepth: 5, Order: othelloOrder},
+		{Name: "O2", Kind: "othello", Root: othello.O2(), Depth: 7, SerialDepth: 5, Order: othelloOrder},
+		{Name: "O3", Kind: "othello", Root: othello.O3(), Depth: 7, SerialDepth: 5, Order: othelloOrder},
+	}
+}
+
+// Small returns reduced-scale variants of the workloads (used by unit tests
+// and quick benchmark runs): same structure, shallower searches.
+func Small() []Workload {
+	othelloOrder := game.StaticOrder{MaxPly: 5}
+	return []Workload{
+		{Name: "R1s", Kind: "random", Root: randtree.R1().Root(), Depth: 6, SerialDepth: 3},
+		{Name: "R3s", Kind: "random", Root: randtree.R3().Root(), Depth: 4, SerialDepth: 2},
+		{Name: "O1s", Kind: "othello", Root: othello.O1(), Depth: 4, SerialDepth: 2, Order: othelloOrder},
+	}
+}
+
+// WorkerCounts is the processor axis of Figures 10-13.
+var WorkerCounts = []int{1, 2, 4, 8, 12, 16}
+
+// SerialBaseline reports the virtual cost and node count of the two serial
+// reference algorithms on a workload.
+type SerialBaseline struct {
+	AlphaBetaTime, ERTime   int64
+	AlphaBetaNodes, ERNodes int64
+	Value                   game.Value
+}
+
+// Best returns the better (smaller) serial time — the denominator of
+// Fishburn's speedup.
+func (b SerialBaseline) Best() int64 {
+	if b.AlphaBetaTime < b.ERTime {
+		return b.AlphaBetaTime
+	}
+	return b.ERTime
+}
+
+// Baseline measures serial alpha-beta (with deep cutoffs, with the
+// workload's move ordering) and serial ER on the workload.
+func Baseline(w Workload, cost core.CostModel) SerialBaseline {
+	var ab game.Stats
+	sa := serial.Searcher{Order: w.Order, Stats: &ab}
+	v := sa.AlphaBeta(w.Root, w.Depth, game.FullWindow())
+	var er game.Stats
+	se := serial.Searcher{Order: w.Order, Stats: &er}
+	v2 := se.ER(w.Root, w.Depth, game.FullWindow())
+	if v != v2 {
+		panic(fmt.Sprintf("experiments: serial algorithms disagree on %s: %d vs %d", w.Name, v, v2))
+	}
+	abs, ers := ab.Snapshot(), er.Snapshot()
+	return SerialBaseline{
+		AlphaBetaTime:  cost.Of(abs),
+		ERTime:         cost.Of(ers),
+		AlphaBetaNodes: abs.Generated + abs.Evaluated,
+		ERNodes:        ers.Generated + ers.Evaluated,
+		Value:          v,
+	}
+}
+
+// RunER simulates parallel ER on a workload with the given processor count
+// and the paper's configuration (all speculation mechanisms on).
+func RunER(w Workload, workers int, cost core.CostModel) core.Result {
+	opt := core.DefaultOptions()
+	opt.Workers = workers
+	opt.SerialDepth = w.SerialDepth
+	opt.Order = w.Order
+	res := core.Simulate(w.Root, w.Depth, opt, cost)
+	return res
+}
+
+// EfficiencyFigure computes one curve of Figure 10 (Othello) or Figure 11
+// (random trees): ER efficiency versus processor count, plus the flat
+// "efficiency of serial alpha-beta" reference the paper draws.
+func EfficiencyFigure(w Workload, cost core.CostModel, workers []int) (er metrics.Series, serialAB metrics.Series, base SerialBaseline) {
+	base = Baseline(w, cost)
+	er = metrics.Series{Name: w.Name}
+	serialAB = metrics.Series{Name: w.Name + "/ab"}
+	for _, p := range workers {
+		res := RunER(w, p, cost)
+		if res.Value != base.Value {
+			panic(fmt.Sprintf("experiments: parallel ER disagrees on %s at P=%d: %d vs %d",
+				w.Name, p, res.Value, base.Value))
+		}
+		er.Points = append(er.Points, metrics.Point{
+			Workers:    p,
+			Speedup:    metrics.Speedup(base.Best(), res.VirtualTime),
+			Efficiency: metrics.Efficiency(base.Best(), res.VirtualTime, p),
+			Time:       res.VirtualTime,
+			Nodes:      res.Stats.Generated + res.Stats.Evaluated,
+		})
+		serialAB.Points = append(serialAB.Points, metrics.Point{
+			Workers:    p,
+			Speedup:    metrics.Speedup(base.Best(), base.AlphaBetaTime),
+			Efficiency: metrics.Speedup(base.Best(), base.AlphaBetaTime),
+			Time:       base.AlphaBetaTime,
+			Nodes:      base.AlphaBetaNodes,
+		})
+	}
+	return er, serialAB, base
+}
+
+// NodesFigure computes one group of Figure 12/13: nodes examined by serial
+// alpha-beta and by ER at each processor count.
+func NodesFigure(w Workload, cost core.CostModel, workers []int) (er metrics.Series, ab metrics.Series) {
+	base := Baseline(w, cost)
+	er = metrics.Series{Name: w.Name}
+	ab = metrics.Series{Name: w.Name + "/ab"}
+	for _, p := range workers {
+		res := RunER(w, p, cost)
+		er.Points = append(er.Points, metrics.Point{
+			Workers: p,
+			Nodes:   res.Stats.Generated + res.Stats.Evaluated,
+			Time:    res.VirtualTime,
+		})
+		ab.Points = append(ab.Points, metrics.Point{Workers: p, Nodes: base.AlphaBetaNodes, Time: base.AlphaBetaTime})
+	}
+	return er, ab
+}

@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"testing"
+
+	"ertree/internal/core"
+)
+
+var quickCost = core.DefaultCostModel()
+
+func TestTable3Definitions(t *testing.T) {
+	ws := Table3()
+	if len(ws) != 6 {
+		t.Fatalf("Table 3 has %d workloads, want 6", len(ws))
+	}
+	wants := map[string]struct{ depth, serial int }{
+		"R1": {10, 7}, "R2": {11, 7}, "R3": {7, 5},
+		"O1": {7, 5}, "O2": {7, 5}, "O3": {7, 5},
+	}
+	for _, w := range ws {
+		want, ok := wants[w.Name]
+		if !ok {
+			t.Errorf("unexpected workload %q", w.Name)
+			continue
+		}
+		if w.Depth != want.depth || w.SerialDepth != want.serial {
+			t.Errorf("%s: depth %d/%d, want %d/%d",
+				w.Name, w.Depth, w.SerialDepth, want.depth, want.serial)
+		}
+		if w.Kind == "othello" && w.Order == nil {
+			t.Errorf("%s: Othello workloads sort children (paper §7)", w.Name)
+		}
+		if w.Kind == "random" && w.Order != nil {
+			t.Errorf("%s: random workloads are unsorted", w.Name)
+		}
+	}
+}
+
+func TestBaselineAndFigureOnSmallWorkloads(t *testing.T) {
+	for _, w := range Small() {
+		base := Baseline(w, quickCost)
+		if base.AlphaBetaTime <= 0 || base.ERTime <= 0 {
+			t.Fatalf("%s: zero baseline costs", w.Name)
+		}
+		if base.Best() > base.AlphaBetaTime || base.Best() > base.ERTime {
+			t.Fatalf("%s: Best() is not the minimum", w.Name)
+		}
+		er, ab, b2 := EfficiencyFigure(w, quickCost, []int{1, 2, 4})
+		if b2.Value != base.Value {
+			t.Fatalf("%s: baseline value changed between runs", w.Name)
+		}
+		if len(er.Points) != 3 || len(ab.Points) != 3 {
+			t.Fatalf("%s: wrong point counts", w.Name)
+		}
+		if er.Points[0].Workers != 1 || er.Points[0].Efficiency <= 0 {
+			t.Fatalf("%s: bad P=1 point %+v", w.Name, er.Points[0])
+		}
+		// Parallel time must not increase with more processors on these
+		// small but nontrivial workloads.
+		if er.Points[2].Time > er.Points[0].Time {
+			t.Errorf("%s: P=4 slower than P=1 (%d > %d)",
+				w.Name, er.Points[2].Time, er.Points[0].Time)
+		}
+		// The serial alpha-beta reference line is flat.
+		if ab.Points[0].Efficiency != ab.Points[2].Efficiency {
+			t.Errorf("%s: alpha-beta reference line not flat", w.Name)
+		}
+	}
+}
+
+func TestNodesFigureMonotoneAxes(t *testing.T) {
+	w := Small()[0]
+	er, ab := NodesFigure(w, quickCost, []int{1, 4})
+	if er.Points[1].Nodes < er.Points[0].Nodes {
+		t.Logf("note: acceleration anomaly (fewer nodes at P=4)")
+	}
+	if ab.Points[0].Nodes != ab.Points[1].Nodes {
+		t.Fatalf("alpha-beta node count must not depend on P")
+	}
+}
+
+func TestE1AspirationShape(t *testing.T) {
+	w := Small()[0]
+	s := E1Aspiration(w, quickCost, []int{1, 2, 4, 8})
+	if len(s.Points) != 4 {
+		t.Fatalf("points %d", len(s.Points))
+	}
+	for _, p := range s.Points {
+		if p.Speedup <= 0 {
+			t.Fatalf("non-positive speedup at P=%d", p.Workers)
+		}
+		if p.Speedup > 8 {
+			t.Fatalf("aspiration speedup %f implausible", p.Speedup)
+		}
+	}
+}
+
+func TestE2MWFShape(t *testing.T) {
+	for _, w := range AklWorkloads() {
+		s := E2MWF(w, quickCost, []int{1, 4})
+		if s.Points[1].Time > s.Points[0].Time {
+			t.Errorf("%s: MWF slower at P=4 than P=1", w.Name)
+		}
+	}
+}
+
+func TestE3TreeSplitShape(t *testing.T) {
+	ts, pv := E3TreeSplit(quickCost, []int{0, 1, 2})
+	if len(ts.Points) != 3 || len(pv.Points) != 3 {
+		t.Fatalf("point counts %d/%d", len(ts.Points), len(pv.Points))
+	}
+	if ts.Points[0].Workers != 1 || ts.Points[2].Workers != 4 {
+		t.Fatalf("processor axis wrong: %+v", ts.Points)
+	}
+	// Efficiency must decay with k for tree-splitting on an ordered tree.
+	if ts.Points[2].Efficiency >= ts.Points[0].Efficiency {
+		t.Errorf("tree-splitting efficiency did not decay: %+v", ts.Points)
+	}
+}
+
+func TestA1AblationRunsAllConfigs(t *testing.T) {
+	w := Small()[1]
+	out := A1Ablation(w, 8, quickCost)
+	if len(out) != len(AblationConfigs()) {
+		t.Fatalf("got %d configs", len(out))
+	}
+	var full, none int64
+	for _, s := range out {
+		if len(s.Points) != 1 {
+			t.Fatalf("series %s has %d points", s.Name, len(s.Points))
+		}
+		if s.Name == "full" {
+			full = s.Points[0].Time
+		}
+		if s.Name == "none" {
+			none = s.Points[0].Time
+		}
+	}
+	if full >= none {
+		t.Errorf("full speculation (%d) not faster than none (%d) at P=8", full, none)
+	}
+}
+
+func TestA3SpecRankRunsAllPolicies(t *testing.T) {
+	w := Small()[1]
+	out := A3SpecRank(w, 8, quickCost)
+	if len(out) != 3 {
+		t.Fatalf("got %d policies", len(out))
+	}
+	names := map[string]bool{}
+	for _, s := range out {
+		names[s.Name] = true
+		if s.Points[0].Time <= 0 {
+			t.Fatalf("policy %s reported no time", s.Name)
+		}
+	}
+	for _, want := range []string{"paper", "depth", "bound"} {
+		if !names[want] {
+			t.Errorf("missing policy %s", want)
+		}
+	}
+}
+
+func TestA4SelectiveSortConsistency(t *testing.T) {
+	w := Small()[2] // O1 at reduced depth
+	r := A4SelectiveSort(w, quickCost)
+	if r.AlphaBeta <= 0 || r.AlphaBetaSelective <= 0 || r.SerialER <= 0 {
+		t.Fatalf("bad costs: %+v", r)
+	}
+	if r.SortEvalsSelective >= r.SortEvalsFull {
+		t.Errorf("selective sorting did not reduce sort evals: %d vs %d",
+			r.SortEvalsSelective, r.SortEvalsFull)
+	}
+}
+
+func TestA5SerialDepthSweep(t *testing.T) {
+	w := Small()[0] // R1 at depth 6
+	points := A5SerialDepth(w, 8, quickCost, []int{1, 3, 5})
+	if len(points) != 3 {
+		t.Fatalf("got %d points", len(points))
+	}
+	for _, p := range points {
+		if p.Time <= 0 || p.Nodes <= 0 {
+			t.Fatalf("degenerate point %+v", p)
+		}
+	}
+	// Finer grain must produce more heap operations.
+	if points[0].HeapOps <= points[2].HeapOps {
+		t.Errorf("heap ops did not grow with finer grain: %+v", points)
+	}
+}
+
+func TestA6EagerSpecRuns(t *testing.T) {
+	w := Small()[0]
+	points := A6EagerSpec(w, 8, quickCost)
+	if len(points) != 2 || points[0].Name != "paper" || points[1].Name != "eager" {
+		t.Fatalf("unexpected points: %+v", points)
+	}
+	for _, p := range points {
+		if p.Time <= 0 || p.Efficiency <= 0 {
+			t.Fatalf("degenerate point %+v", p)
+		}
+	}
+}
+
+func TestE3CheckersShape(t *testing.T) {
+	ts, pv := E3TreeSplitCheckers(quickCost, []int{0, 2})
+	if len(ts.Points) != 2 || len(pv.Points) != 2 {
+		t.Fatalf("point counts %d/%d", len(ts.Points), len(pv.Points))
+	}
+	if ts.Points[1].Efficiency >= ts.Points[0].Efficiency {
+		t.Errorf("tree-splitting efficiency did not decay on checkers: %+v", ts.Points)
+	}
+	if ts.Points[1].Workers != 4 {
+		t.Errorf("processor axis wrong")
+	}
+}
+
+func TestE0RootSplitShape(t *testing.T) {
+	w := Small()[1]
+	s := E0RootSplit(w, quickCost, []int{1, 4})
+	if len(s.Points) != 2 {
+		t.Fatalf("points %d", len(s.Points))
+	}
+	if s.Points[1].Efficiency >= s.Points[0].Efficiency {
+		t.Errorf("root splitting efficiency did not drop with processors: %+v", s.Points)
+	}
+	if s.Points[1].Nodes < s.Points[0].Nodes {
+		t.Errorf("root splitting nodes shrank with processors: %+v", s.Points)
+	}
+}

@@ -1,0 +1,352 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ertree/internal/baseline/aspiration"
+	"ertree/internal/baseline/mwf"
+	"ertree/internal/baseline/rootsplit"
+	"ertree/internal/baseline/treesplit"
+	"ertree/internal/checkers"
+	"ertree/internal/core"
+	"ertree/internal/game"
+	"ertree/internal/metrics"
+	"ertree/internal/randtree"
+	"ertree/internal/serial"
+)
+
+// The extension experiments implement the paper's §8 future work — "We are
+// currently working on reimplementing some of the more important existing
+// algorithms, which will allow direct comparison" — plus an ablation of §5's
+// three speculative-work mechanisms.
+
+// E0RootSplit measures the naive root-partitioning the paper's introduction
+// dismisses: far more nodes than serial alpha-beta and low efficiency.
+func E0RootSplit(w Workload, cost core.CostModel, workers []int) metrics.Series {
+	base := Baseline(w, cost)
+	s := metrics.Series{Name: "rootsplit/" + w.Name}
+	for _, p := range workers {
+		res := rootsplit.Search(w.Root, w.Depth, rootsplit.Options{Workers: p, Order: w.Order}, cost)
+		if res.Value != base.Value {
+			panic("experiments: root splitting disagrees with the serial value")
+		}
+		s.Points = append(s.Points, metrics.Point{
+			Workers:    p,
+			Speedup:    metrics.Speedup(base.Best(), res.Time),
+			Efficiency: metrics.Efficiency(base.Best(), res.Time, p),
+			Time:       res.Time,
+			Nodes:      res.Nodes,
+		})
+	}
+	return s
+}
+
+// E1Aspiration measures parallel aspiration search (§4.1) on a random-tree
+// workload across processor counts. Expected shape: speedup rises with the
+// first few processors and plateaus well below the processor count (Baudet
+// observed a ceiling of 5-6).
+func E1Aspiration(w Workload, cost core.CostModel, workers []int) metrics.Series {
+	base := Baseline(w, cost)
+	s := metrics.Series{Name: "aspiration/" + w.Name}
+	for _, p := range workers {
+		res := aspiration.Search(w.Root, w.Depth, aspiration.Options{
+			Workers: p,
+			Bound:   12000,
+			Order:   w.Order,
+		}, cost)
+		if res.Value != base.Value {
+			panic("experiments: aspiration disagrees with the serial value")
+		}
+		s.Points = append(s.Points, metrics.Point{
+			Workers:    p,
+			Speedup:    metrics.Speedup(base.Best(), res.ParallelTime),
+			Efficiency: metrics.Efficiency(base.Best(), res.ParallelTime, p),
+			Time:       res.ParallelTime,
+			Nodes:      res.TotalNodes,
+		})
+	}
+	return s
+}
+
+// E2MWF measures mandatory-work-first (§4.2) on Akl-style random trees.
+// Expected shape: speedup plateaus near six; extra processors only starve.
+func E2MWF(w Workload, cost core.CostModel, workers []int) metrics.Series {
+	base := Baseline(w, cost)
+	s := metrics.Series{Name: "mwf/" + w.Name}
+	for _, p := range workers {
+		res := mwf.Search(w.Root, w.Depth, mwf.Options{
+			Workers:     p,
+			SerialDepth: w.SerialDepth,
+			Order:       w.Order,
+		}, cost)
+		if res.Value != base.Value {
+			panic("experiments: MWF disagrees with the serial value")
+		}
+		s.Points = append(s.Points, metrics.Point{
+			Workers:    p,
+			Speedup:    metrics.Speedup(base.Best(), res.VirtualTime),
+			Efficiency: metrics.Efficiency(base.Best(), res.VirtualTime, p),
+			Time:       res.VirtualTime,
+			Nodes:      res.Nodes,
+		})
+	}
+	return s
+}
+
+// E3TreeSplit measures tree-splitting and pv-splitting (§4.3-4.4) on a
+// strongly ordered tree for binary processor trees of increasing height.
+// Expected shape: tree-splitting efficiency decays like 1/sqrt(k) on ordered
+// trees; pv-splitting does better but still decays with processor count.
+func E3TreeSplit(cost core.CostModel, heights []int) (ts, pv metrics.Series) {
+	tree := randtree.Marsland(0xE3, 4, 8)
+	order := game.StaticOrder{MaxPly: 5}
+	w := Workload{Name: "S1", Kind: "strong", Root: tree.Root(), Depth: 8, Order: order}
+	return e3On(w, cost, heights)
+}
+
+// E3TreeSplitCheckers repeats E3 on a real checkers search, mirroring the
+// workload of Fishburn's original tree-splitting experiments (§4.4 cites
+// his checkers results when assessing pv-splitting).
+func E3TreeSplitCheckers(cost core.CostModel, heights []int) (ts, pv metrics.Series) {
+	w := Workload{
+		Name:  "CK",
+		Kind:  "checkers",
+		Root:  checkers.Start(),
+		Depth: 9,
+		Order: game.StaticOrder{MaxPly: 5},
+	}
+	return e3On(w, cost, heights)
+}
+
+func e3On(w Workload, cost core.CostModel, heights []int) (ts, pv metrics.Series) {
+	base := Baseline(w, cost)
+	ts = metrics.Series{Name: "ts/" + w.Name}
+	pv = metrics.Series{Name: "pv/" + w.Name}
+	for _, h := range heights {
+		opt := treesplit.Options{Height: h, Fanout: 2, Order: w.Order}
+		k := opt.Processors()
+		r1 := treesplit.Search(w.Root, w.Depth, opt, cost)
+		r2 := treesplit.PVSplit(w.Root, w.Depth, opt, cost)
+		if r3 := treesplit.PVSplitMW(w.Root, w.Depth, opt, cost); r3.Value != base.Value {
+			panic("experiments: pv-split-mw disagrees with the serial value")
+		}
+		if r1.Value != base.Value || r2.Value != base.Value {
+			panic("experiments: splitting algorithms disagree with the serial value")
+		}
+		ts.Points = append(ts.Points, metrics.Point{
+			Workers:    k,
+			Speedup:    metrics.Speedup(base.Best(), r1.Time),
+			Efficiency: metrics.Efficiency(base.Best(), r1.Time, k),
+			Time:       r1.Time,
+			Nodes:      r1.Nodes,
+		})
+		pv.Points = append(pv.Points, metrics.Point{
+			Workers:    k,
+			Speedup:    metrics.Speedup(base.Best(), r2.Time),
+			Efficiency: metrics.Efficiency(base.Best(), r2.Time, k),
+			Time:       r2.Time,
+			Nodes:      r2.Nodes,
+		})
+	}
+	return ts, pv
+}
+
+// AblationConfig names one §5 speculation configuration.
+type AblationConfig struct {
+	Name string
+	Opt  core.Options
+}
+
+// AblationConfigs enumerates the A1 ablation: the full paper configuration,
+// each mechanism removed in turn, and no speculation at all.
+func AblationConfigs() []AblationConfig {
+	full := core.DefaultOptions()
+	noPR := full
+	noPR.ParallelRefutation = false
+	noMulti := full
+	noMulti.MultipleENodes = false
+	noEarly := full
+	noEarly.EarlyChoice = false
+	return []AblationConfig{
+		{Name: "full", Opt: full},
+		{Name: "-par-refute", Opt: noPR},
+		{Name: "-multi-e", Opt: noMulti},
+		{Name: "-early", Opt: noEarly},
+		{Name: "none", Opt: core.Options{}},
+	}
+}
+
+// A1Ablation measures each speculation configuration on a workload at the
+// given processor count.
+func A1Ablation(w Workload, workers int, cost core.CostModel) []metrics.Series {
+	base := Baseline(w, cost)
+	var out []metrics.Series
+	for _, cfg := range AblationConfigs() {
+		opt := cfg.Opt
+		opt.Workers = workers
+		opt.SerialDepth = w.SerialDepth
+		opt.Order = w.Order
+		res := core.Simulate(w.Root, w.Depth, opt, cost)
+		if res.Value != base.Value {
+			panic("experiments: ablated ER disagrees with the serial value")
+		}
+		out = append(out, metrics.Series{Name: cfg.Name, Points: []metrics.Point{{
+			Workers:    workers,
+			Speedup:    metrics.Speedup(base.Best(), res.VirtualTime),
+			Efficiency: metrics.Efficiency(base.Best(), res.VirtualTime, workers),
+			Time:       res.VirtualTime,
+			Nodes:      res.Stats.Generated + res.Stats.Evaluated,
+		}}})
+	}
+	return out
+}
+
+// A3SpecRank compares speculative-queue ranking policies (the paper's §8
+// future work: "a better mechanism for globally ranking speculative work
+// must be found") on a workload at the given processor count.
+func A3SpecRank(w Workload, workers int, cost core.CostModel) []metrics.Series {
+	base := Baseline(w, cost)
+	var out []metrics.Series
+	for _, rank := range []core.SpecRank{core.SpecRankPaper, core.SpecRankDepth, core.SpecRankBound} {
+		opt := core.DefaultOptions()
+		opt.Workers = workers
+		opt.SerialDepth = w.SerialDepth
+		opt.Order = w.Order
+		opt.SpecRank = rank
+		res := core.Simulate(w.Root, w.Depth, opt, cost)
+		if res.Value != base.Value {
+			panic("experiments: spec-rank variant disagrees with the serial value")
+		}
+		out = append(out, metrics.Series{Name: rank.String(), Points: []metrics.Point{{
+			Workers:    workers,
+			Speedup:    metrics.Speedup(base.Best(), res.VirtualTime),
+			Efficiency: metrics.Efficiency(base.Best(), res.VirtualTime, workers),
+			Time:       res.VirtualTime,
+			Nodes:      res.Stats.Generated + res.Stats.Evaluated,
+		}}})
+	}
+	return out
+}
+
+// A4Result reports the §7 open question: does serial ER still beat
+// alpha-beta once alpha-beta skips sorting at critical 1- and 3-nodes?
+type A4Result struct {
+	Workload                                string
+	AlphaBeta, AlphaBetaSelective, SerialER int64 // virtual costs
+	SortEvalsFull, SortEvalsSelective       int64
+}
+
+// A4SelectiveSort measures plain sorted alpha-beta, selectively sorted
+// alpha-beta, and serial ER on a workload.
+func A4SelectiveSort(w Workload, cost core.CostModel) A4Result {
+	var full, sel, er game.Stats
+	sf := serial.Searcher{Order: w.Order, Stats: &full}
+	v1 := sf.AlphaBeta(w.Root, w.Depth, game.FullWindow())
+	ss := serial.Searcher{Order: w.Order, Stats: &sel}
+	v2 := ss.AlphaBetaSelectiveSort(w.Root, w.Depth, game.FullWindow())
+	se := serial.Searcher{Order: w.Order, Stats: &er}
+	v3 := se.ER(w.Root, w.Depth, game.FullWindow())
+	if v1 != v2 || v2 != v3 {
+		panic(fmt.Sprintf("experiments: A4 algorithms disagree on %s: %d %d %d", w.Name, v1, v2, v3))
+	}
+	return A4Result{
+		Workload:           w.Name,
+		AlphaBeta:          cost.Of(full.Snapshot()),
+		AlphaBetaSelective: cost.Of(sel.Snapshot()),
+		SerialER:           cost.Of(er.Snapshot()),
+		SortEvalsFull:      full.SortEvals.Load(),
+		SortEvalsSelective: sel.SortEvals.Load(),
+	}
+}
+
+// A6Point is one configuration in the eager-speculation study.
+type A6Point struct {
+	Name       string
+	Time       int64
+	Nodes      int64
+	StarveTime int64
+	SpecPops   int64
+	Efficiency float64
+}
+
+// A6EagerSpec compares the paper's speculative-queue admission rule against
+// the EagerSpec extension (admission after the first elder grandchild) at a
+// fixed processor count.
+func A6EagerSpec(w Workload, workers int, cost core.CostModel) []A6Point {
+	base := Baseline(w, cost)
+	var out []A6Point
+	for _, eager := range []bool{false, true} {
+		opt := core.DefaultOptions()
+		opt.Workers = workers
+		opt.SerialDepth = w.SerialDepth
+		opt.Order = w.Order
+		opt.EagerSpec = eager
+		res := core.Simulate(w.Root, w.Depth, opt, cost)
+		if res.Value != base.Value {
+			panic("experiments: eager-spec variant disagrees with the serial value")
+		}
+		name := "paper"
+		if eager {
+			name = "eager"
+		}
+		out = append(out, A6Point{
+			Name:       name,
+			Time:       res.VirtualTime,
+			Nodes:      res.Stats.Generated + res.Stats.Evaluated,
+			StarveTime: res.StarveTime,
+			SpecPops:   res.SpecPops,
+			Efficiency: metrics.Efficiency(base.Best(), res.VirtualTime, workers),
+		})
+	}
+	return out
+}
+
+// A5Point is one serial-depth setting in the grain-size study.
+type A5Point struct {
+	SerialDepth int
+	Time        int64
+	Nodes       int64
+	StarveTime  int64
+	LockTime    int64
+	HeapOps     int64
+}
+
+// A5SerialDepth sweeps the serial depth at a fixed processor count,
+// quantifying the paper's §7 remark: "It would be possible to reduce
+// contention by decreasing the serial depth, but decreasing the depth would
+// only increase starvation" — the grain-size tradeoff between heap/lock
+// traffic and idle processors.
+func A5SerialDepth(w Workload, workers int, cost core.CostModel, depths []int) []A5Point {
+	base := Baseline(w, cost)
+	var out []A5Point
+	for _, sd := range depths {
+		opt := core.DefaultOptions()
+		opt.Workers = workers
+		opt.SerialDepth = sd
+		opt.Order = w.Order
+		res := core.Simulate(w.Root, w.Depth, opt, cost)
+		if res.Value != base.Value {
+			panic("experiments: serial-depth variant disagrees with the serial value")
+		}
+		out = append(out, A5Point{
+			SerialDepth: sd,
+			Time:        res.VirtualTime,
+			Nodes:       res.Stats.Generated + res.Stats.Evaluated,
+			StarveTime:  res.StarveTime,
+			LockTime:    res.LockTime,
+			HeapOps:     res.HeapOps,
+		})
+	}
+	return out
+}
+
+// AklWorkloads returns four-ply random game trees of various fixed degrees,
+// the workloads of Akl et al.'s MWF simulations (§4.2), for experiment E2.
+// On these, MWF's speedup plateaus near six past ~16 processors, matching
+// the published observation.
+func AklWorkloads() []Workload {
+	return []Workload{
+		{Name: "A16", Kind: "random", Root: (&randtree.Tree{Seed: 0xAA1, Degree: 16, Depth: 4, ValueRange: 10000}).Root(), Depth: 4, SerialDepth: 2},
+		{Name: "A24", Kind: "random", Root: (&randtree.Tree{Seed: 0xAA2, Degree: 24, Depth: 4, ValueRange: 10000}).Root(), Depth: 4, SerialDepth: 2},
+	}
+}

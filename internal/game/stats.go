@@ -1,0 +1,121 @@
+package game
+
+import "sync/atomic"
+
+// Stats accumulates the node-accounting quantities the paper reports. All
+// counters are safe for concurrent use.
+//
+// Terminology (paper §7, Figures 12–13): "nodes generated" counts every node
+// materialized by a search, interior or leaf. "Static evaluations" counts
+// applications of the static evaluator, including evaluator calls made only
+// to sort children — the paper's Figure 12 discussion hinges on this
+// distinction.
+type Stats struct {
+	Generated   atomic.Int64 // nodes generated (interior + leaf)
+	Evaluated   atomic.Int64 // static evaluator applied as a leaf value
+	SortEvals   atomic.Int64 // static evaluator applied for move ordering
+	Cutoffs     atomic.Int64 // searches terminated by value >= beta
+	MaxPlySeen  atomic.Int64 // deepest ply reached
+	Refutations atomic.Int64 // r-node refutations attempted (ER only)
+	RefuteFails atomic.Int64 // refutations that failed (ER only)
+}
+
+// AddGenerated records n generated nodes.
+func (s *Stats) AddGenerated(n int64) {
+	if s != nil {
+		s.Generated.Add(n)
+	}
+}
+
+// AddEvaluated records n leaf static evaluations.
+func (s *Stats) AddEvaluated(n int64) {
+	if s != nil {
+		s.Evaluated.Add(n)
+	}
+}
+
+// AddSortEvals records n ordering static evaluations.
+func (s *Stats) AddSortEvals(n int64) {
+	if s != nil {
+		s.SortEvals.Add(n)
+	}
+}
+
+// AddCutoffs records n beta cutoffs.
+func (s *Stats) AddCutoffs(n int64) {
+	if s != nil {
+		s.Cutoffs.Add(n)
+	}
+}
+
+// AddRefutations records n attempted refutations (ER only).
+func (s *Stats) AddRefutations(n int64) {
+	if s != nil {
+		s.Refutations.Add(n)
+	}
+}
+
+// AddRefuteFails records n failed refutations (ER only).
+func (s *Stats) AddRefuteFails(n int64) {
+	if s != nil {
+		s.RefuteFails.Add(n)
+	}
+}
+
+// Merge adds every counter of o into s (for merging per-task statistics into
+// a run-wide sink).
+func (s *Stats) Merge(o StatsSnapshot) {
+	if s == nil {
+		return
+	}
+	s.Generated.Add(o.Generated)
+	s.Evaluated.Add(o.Evaluated)
+	s.SortEvals.Add(o.SortEvals)
+	s.Cutoffs.Add(o.Cutoffs)
+	s.Refutations.Add(o.Refutations)
+	s.RefuteFails.Add(o.RefuteFails)
+	s.NotePly(int(o.MaxPlySeen))
+}
+
+// NotePly records that a search reached the given ply.
+func (s *Stats) NotePly(ply int) {
+	if s == nil {
+		return
+	}
+	for {
+		cur := s.MaxPlySeen.Load()
+		if int64(ply) <= cur || s.MaxPlySeen.CompareAndSwap(cur, int64(ply)) {
+			return
+		}
+	}
+}
+
+// Snapshot returns a plain-struct copy of the counters.
+func (s *Stats) Snapshot() StatsSnapshot {
+	if s == nil {
+		return StatsSnapshot{}
+	}
+	return StatsSnapshot{
+		Generated:   s.Generated.Load(),
+		Evaluated:   s.Evaluated.Load(),
+		SortEvals:   s.SortEvals.Load(),
+		Cutoffs:     s.Cutoffs.Load(),
+		MaxPlySeen:  s.MaxPlySeen.Load(),
+		Refutations: s.Refutations.Load(),
+		RefuteFails: s.RefuteFails.Load(),
+	}
+}
+
+// StatsSnapshot is an immutable copy of Stats.
+type StatsSnapshot struct {
+	Generated   int64
+	Evaluated   int64
+	SortEvals   int64
+	Cutoffs     int64
+	MaxPlySeen  int64
+	Refutations int64
+	RefuteFails int64
+}
+
+// TotalEvals returns leaf plus ordering evaluator applications.
+func (s StatsSnapshot) TotalEvals() int64 { return s.Evaluated + s.SortEvals }

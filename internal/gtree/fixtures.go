@@ -1,0 +1,79 @@
+package gtree
+
+import "ertree/internal/game"
+
+// Fixtures reconstructed from the paper's figures. Where the published figure
+// is not fully machine-readable, the fixture preserves the property the
+// figure illustrates (stated on each constructor) and the tests assert that
+// property rather than incidental drawing details.
+
+// Figure1TicTacToe is covered by internal/ttt, which builds the real game.
+
+// Figure2Shallow reproduces the shallow-cutoff situation of Figure 2(a):
+// node A's first child has value -7, so A >= 7; B's first child has value 5,
+// so B >= -5, and B's remaining children need not be searched.
+func Figure2Shallow() *Node {
+	b := N(L(5), L(-100).Labeled("pruned")).Labeled("B")
+	return N(L(-7), b).Labeled("A")
+}
+
+// Figure2Deep reproduces the deep-cutoff situation of Figure 2(b): A >= 7
+// via its first child; on the path A-B-C-D, D's first child gives D >= -5,
+// and D's remaining children cannot affect A regardless of whether C's value
+// depends on D.
+func Figure2Deep() *Node {
+	d := N(L(5), L(-100).Labeled("pruned")).Labeled("D")
+	c := N(d, L(2)).Labeled("C")
+	b := N(c, L(3)).Labeled("B")
+	return N(L(-7), b).Labeled("A")
+}
+
+// Figure3Tree returns a complete ternary tree of height 3 with distinct leaf
+// values, standing in for the Knuth/Moore minimal-subtree illustration of
+// Figure 3. Tests verify the critical-node rules and the minimal-leaf-count
+// formula on it (and on many other complete trees).
+func Figure3Tree() *Node {
+	vals := []int{
+		16, 8, 12, 4, 14, 2, 10, 6, 18,
+		7, 15, 3, 11, 19, 1, 9, 17, 5,
+		13, 20, 22, 26, 24, 28, 21, 23, 27,
+	}
+	return Complete(3, 3, func(i int) game.Value { return game.Value(vals[i%len(vals)]) })
+}
+
+// Figure6Tree illustrates evaluate vs. refute nodes (§5, Figure 6). Node I
+// is being evaluated; its e-child establishes I = 10. Sibling R1 is refuted
+// by its first child (value 9 < 10, so -R1 < 10 and R1's second child is
+// never needed). Sibling R2 cannot be refuted: all of its children have
+// values above 10, so the refutation fails and I's value rises to 11.
+func Figure6Tree() *Node {
+	e := L(-10).Labeled("E")
+	r1 := N(L(9).Labeled("L"), L(20).Labeled("M")).Labeled("R1")
+	r2 := N(L(11).Labeled("g"), L(12)).Labeled("R2")
+	return N(e, r1, r2).Labeled("I")
+}
+
+// Figure7Tree is a three-generation evaluate/refute example in the spirit of
+// Figure 7: the root A has three children (O, B, b); each child's first child
+// is its elder grandchild (P, C, c respectively). The elder grandchildren have
+// values chosen so that P is the largest, hence O should be chosen as A's
+// e-child by the ER selection rule, after which B and b are refuted.
+//
+// Negmax values: O = -13 (children 13, 14, 16), B = -11 (children 11, 15),
+// b = -8 (children 8, 9). Root A = max(13, 11, 8) = 13 via O.
+func Figure7Tree() *Node {
+	o := N(
+		N(L(-13)).Labeled("P"), // elder grandchild P: value 13
+		L(14),
+		L(16),
+	).Labeled("O")
+	b1 := N(
+		N(L(-11)).Labeled("C"), // elder grandchild C: value 11
+		L(15).Labeled("G"),
+	).Labeled("B")
+	b2 := N(
+		N(L(-8)).Labeled("c"), // elder grandchild c: value 8
+		L(9).Labeled("g"),
+	).Labeled("b")
+	return N(o, b1, b2).Labeled("A")
+}

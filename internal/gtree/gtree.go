@@ -1,0 +1,185 @@
+// Package gtree provides explicit, in-memory game trees. They serve three
+// purposes: test fixtures reconstructed from the paper's figures, a substrate
+// for the Knuth/Moore minimal-tree theory of §2.2, and arbitrary-shape trees
+// for property tests (every search algorithm must agree with negmax on them).
+package gtree
+
+import (
+	"fmt"
+	"strings"
+
+	"ertree/internal/game"
+)
+
+// Node is an explicit game-tree node. A Node with no children is terminal and
+// its Leaf value is its exact value; interior nodes may carry a Static value
+// used as the heuristic estimate for move ordering.
+type Node struct {
+	Label  string
+	Leaf   game.Value // exact value when terminal
+	Static game.Value // heuristic estimate when interior (used for ordering)
+	Kids   []*Node
+}
+
+var _ game.Position = (*Node)(nil)
+
+// Children implements game.Position.
+func (n *Node) Children() []game.Position {
+	if len(n.Kids) == 0 {
+		return nil
+	}
+	out := make([]game.Position, len(n.Kids))
+	for i, k := range n.Kids {
+		out[i] = k
+	}
+	return out
+}
+
+// Value implements game.Position: the exact value at leaves, the heuristic
+// estimate at interior nodes.
+func (n *Node) Value() game.Value {
+	if len(n.Kids) == 0 {
+		return n.Leaf
+	}
+	return n.Static
+}
+
+// L constructs a leaf with the given value.
+func L(v game.Value) *Node { return &Node{Leaf: v} }
+
+// N constructs an interior node with the given children.
+func N(kids ...*Node) *Node { return &Node{Kids: kids} }
+
+// Labeled attaches a label (fluent helper for fixtures).
+func (n *Node) Labeled(label string) *Node { n.Label = label; return n }
+
+// WithStatic sets the interior heuristic value (fluent helper).
+func (n *Node) WithStatic(v game.Value) *Node { n.Static = v; return n }
+
+// Negmax computes the exact negamax value of the node (paper §2, Figure 1
+// procedure), visiting the entire tree.
+func (n *Node) Negmax() game.Value {
+	if len(n.Kids) == 0 {
+		return n.Leaf
+	}
+	m := -game.Inf
+	for _, k := range n.Kids {
+		if v := -k.Negmax(); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Size returns the number of nodes in the tree.
+func (n *Node) Size() int {
+	s := 1
+	for _, k := range n.Kids {
+		s += k.Size()
+	}
+	return s
+}
+
+// Leaves returns the number of terminal nodes in the tree.
+func (n *Node) Leaves() int {
+	if len(n.Kids) == 0 {
+		return 1
+	}
+	s := 0
+	for _, k := range n.Kids {
+		s += k.Leaves()
+	}
+	return s
+}
+
+// Height returns the length of the longest root-to-leaf path in edges.
+func (n *Node) Height() int {
+	h := 0
+	for _, k := range n.Kids {
+		if kh := k.Height() + 1; kh > h {
+			h = kh
+		}
+	}
+	return h
+}
+
+// Find returns the first node with the given label in preorder, or nil.
+func (n *Node) Find(label string) *Node {
+	if n.Label == label {
+		return n
+	}
+	for _, k := range n.Kids {
+		if f := k.Find(label); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// SortByNegmax reorders every node's children into best-first order (children
+// ascending by their own negamax value, so the child best for the parent is
+// first). Used to construct the optimally ordered trees of §2.2.
+func (n *Node) SortByNegmax() {
+	for _, k := range n.Kids {
+		k.SortByNegmax()
+	}
+	if len(n.Kids) < 2 {
+		return
+	}
+	vals := make(map[*Node]game.Value, len(n.Kids))
+	for _, k := range n.Kids {
+		vals[k] = k.Negmax()
+	}
+	kids := n.Kids
+	for i := 1; i < len(kids); i++ {
+		j := i
+		for j > 0 && vals[kids[j]] < vals[kids[j-1]] {
+			kids[j], kids[j-1] = kids[j-1], kids[j]
+			j--
+		}
+	}
+}
+
+// String renders the tree in a compact indented form, useful in test failure
+// messages.
+func (n *Node) String() string {
+	var b strings.Builder
+	n.render(&b, 0)
+	return b.String()
+}
+
+func (n *Node) render(b *strings.Builder, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	if n.Label != "" {
+		b.WriteString(n.Label)
+	}
+	if len(n.Kids) == 0 {
+		fmt.Fprintf(b, "=%d\n", n.Leaf)
+		return
+	}
+	b.WriteString(":\n")
+	for _, k := range n.Kids {
+		k.render(b, depth+1)
+	}
+}
+
+// Complete builds a complete degree-d tree of the given height (in edges).
+// Leaf values are produced by leaf(i) where i is the leaf's left-to-right
+// index.
+func Complete(degree, height int, leaf func(i int) game.Value) *Node {
+	idx := 0
+	var build func(h int) *Node
+	build = func(h int) *Node {
+		if h == 0 {
+			n := L(leaf(idx))
+			idx++
+			return n
+		}
+		kids := make([]*Node, degree)
+		for i := range kids {
+			kids[i] = build(h - 1)
+		}
+		return N(kids...)
+	}
+	return build(height)
+}

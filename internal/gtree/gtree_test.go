@@ -1,0 +1,300 @@
+package gtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ertree/internal/game"
+)
+
+func TestCompleteShape(t *testing.T) {
+	for _, tc := range []struct{ d, h int }{{2, 1}, {2, 3}, {3, 2}, {4, 3}, {1, 5}} {
+		n := 0
+		root := Complete(tc.d, tc.h, func(i int) game.Value { n++; return game.Value(i) })
+		wantLeaves := ipow(tc.d, tc.h)
+		if got := root.Leaves(); got != wantLeaves {
+			t.Errorf("d=%d h=%d: leaves=%d want %d", tc.d, tc.h, got, wantLeaves)
+		}
+		if n != wantLeaves {
+			t.Errorf("d=%d h=%d: leaf fn called %d times, want %d", tc.d, tc.h, n, wantLeaves)
+		}
+		if got := root.Height(); got != tc.h {
+			t.Errorf("d=%d h=%d: height=%d", tc.d, tc.h, got)
+		}
+		wantSize := 0
+		p := 1
+		for i := 0; i <= tc.h; i++ {
+			wantSize += p
+			p *= tc.d
+		}
+		if got := root.Size(); got != wantSize {
+			t.Errorf("d=%d h=%d: size=%d want %d", tc.d, tc.h, got, wantSize)
+		}
+	}
+}
+
+func TestNegmaxMatchesHandComputed(t *testing.T) {
+	// max(-(-3), -(5)) = max(3, -5) = 3
+	root := N(L(-3), L(5))
+	if got := root.Negmax(); got != 3 {
+		t.Fatalf("negmax=%d want 3", got)
+	}
+	// Two levels: root -> a=(4, -2), b=(1). a = max(-4, 2) = 2; b = -1.
+	// root = max(-2, 1) = 1.
+	root = N(N(L(4), L(-2)), N(L(1)))
+	if got := root.Negmax(); got != 1 {
+		t.Fatalf("negmax=%d want 1", got)
+	}
+}
+
+func TestSortByNegmaxProducesBestFirst(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	spec := RandomSpec{MinDegree: 2, MaxDegree: 4, MinDepth: 2, MaxDepth: 4, ValueRange: 50}
+	for i := 0; i < 50; i++ {
+		root := spec.Generate(rng)
+		want := root.Negmax()
+		root.SortByNegmax()
+		if got := root.Negmax(); got != want {
+			t.Fatalf("sorting changed the value: %d -> %d", want, got)
+		}
+		var check func(n *Node)
+		check = func(n *Node) {
+			for j := 1; j < len(n.Kids); j++ {
+				if n.Kids[j-1].Negmax() > n.Kids[j].Negmax() {
+					t.Fatalf("children not ascending by negmax at %v", n)
+				}
+			}
+			for _, k := range n.Kids {
+				check(k)
+			}
+		}
+		check(root)
+	}
+}
+
+func TestClassifyDeepRules(t *testing.T) {
+	// Hand-check on a complete binary tree of height 2.
+	//            R(1)
+	//        A(1)    B(2)
+	//      C(1) D(2) E(3) F(-)
+	root := Complete(2, 2, func(i int) game.Value { return game.Value(i) })
+	c := ClassifyDeep(root)
+	r := root
+	a, b := r.Kids[0], r.Kids[1]
+	if c[r] != Type1 || c[a] != Type1 || c[b] != Type2 {
+		t.Fatalf("level1 types: R=%v A=%v B=%v", c[r], c[a], c[b])
+	}
+	if c[a.Kids[0]] != Type1 || c[a.Kids[1]] != Type2 {
+		t.Fatalf("children of type1: %v %v", c[a.Kids[0]], c[a.Kids[1]])
+	}
+	if c[b.Kids[0]] != Type3 || c[b.Kids[1]] != NonCritical {
+		t.Fatalf("children of type2: %v %v", c[b.Kids[0]], c[b.Kids[1]])
+	}
+}
+
+func TestClassifyNoDeepRules(t *testing.T) {
+	root := Complete(2, 2, func(i int) game.Value { return game.Value(i) })
+	c := ClassifyNoDeep(root)
+	b := root.Kids[1]
+	if c[b.Kids[0]] != Type1 {
+		t.Fatalf("first child of a 2-node should be type 1 (no-deep rules), got %v", c[b.Kids[0]])
+	}
+	if c[b.Kids[1]] != NonCritical {
+		t.Fatalf("second child of a 2-node should be non-critical, got %v", c[b.Kids[1]])
+	}
+}
+
+// TestMinimalTreeFormula (experiment A2): the rule-based classification on
+// complete d-ary trees of height h has exactly d^ceil(h/2)+d^floor(h/2)-1
+// critical leaves. This verifies the -1 constant (the paper prints +1).
+func TestMinimalTreeFormula(t *testing.T) {
+	for d := 1; d <= 5; d++ {
+		for h := 0; h <= 6; h++ {
+			if ipow(d, h) > 200000 {
+				continue
+			}
+			root := Complete(d, h, func(i int) game.Value { return 0 })
+			got := ClassifyDeep(root).CriticalLeaves()
+			want := MinimalLeafCount(d, h)
+			if got != want {
+				t.Errorf("d=%d h=%d: critical leaves %d, formula %d", d, h, got, want)
+			}
+		}
+	}
+}
+
+// The no-deep minimal tree is a superset of the deep-cutoff minimal tree.
+func TestNoDeepMinimalTreeContainsDeepMinimalTree(t *testing.T) {
+	for _, tc := range []struct{ d, h int }{{2, 4}, {3, 3}, {4, 2}, {2, 6}} {
+		root := Complete(tc.d, tc.h, func(i int) game.Value { return 0 })
+		deep := ClassifyDeep(root)
+		nodeep := ClassifyNoDeep(root)
+		var walk func(n *Node)
+		walk = func(n *Node) {
+			if deep[n] != NonCritical && nodeep[n] == NonCritical {
+				t.Fatalf("d=%d h=%d: node critical with deep cutoffs but not without", tc.d, tc.h)
+			}
+			for _, k := range n.Kids {
+				walk(k)
+			}
+		}
+		walk(root)
+		if nodeep.CriticalLeaves() < deep.CriticalLeaves() {
+			t.Fatalf("d=%d h=%d: no-deep minimal tree smaller than deep minimal tree", tc.d, tc.h)
+		}
+	}
+}
+
+func TestFindAndLabels(t *testing.T) {
+	root := Figure7Tree()
+	for _, label := range []string{"A", "O", "B", "b", "P", "C", "c", "G", "g"} {
+		if root.Find(label) == nil {
+			t.Errorf("label %q not found in figure 7 tree", label)
+		}
+	}
+	if root.Find("nope") != nil {
+		t.Errorf("unexpected node found")
+	}
+}
+
+func TestRandomSpecShapeBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	spec := RandomSpec{MinDegree: 2, MaxDegree: 5, MinDepth: 1, MaxDepth: 4, ValueRange: 9}
+	for i := 0; i < 100; i++ {
+		root := spec.Generate(rng)
+		if h := root.Height(); h > spec.MaxDepth {
+			t.Fatalf("height %d exceeds max %d", h, spec.MaxDepth)
+		}
+		var walk func(n *Node)
+		walk = func(n *Node) {
+			if len(n.Kids) > spec.MaxDegree {
+				t.Fatalf("degree %d exceeds max", len(n.Kids))
+			}
+			if len(n.Kids) == 0 {
+				if n.Leaf < -spec.ValueRange || n.Leaf > spec.ValueRange {
+					t.Fatalf("leaf value %d outside range", n.Leaf)
+				}
+			}
+			for _, k := range n.Kids {
+				walk(k)
+			}
+		}
+		walk(root)
+	}
+}
+
+// Property: negmax value is always the negation of some leaf's value
+// (the value of the terminal position reached by the principal variation).
+func TestNegmaxIsALeafValueQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	spec := DefaultRandomSpec()
+	f := func(seed int64) bool {
+		_ = seed
+		root := spec.Generate(rng)
+		v := root.Negmax()
+		found := false
+		var walk func(n *Node, sign game.Value)
+		walk = func(n *Node, sign game.Value) {
+			if len(n.Kids) == 0 {
+				if sign*n.Leaf == v {
+					found = true
+				}
+				return
+			}
+			for _, k := range n.Kids {
+				walk(k, -sign)
+			}
+		}
+		walk(root, 1)
+		return found
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	root := N(L(1).Labeled("x"), L(2)).Labeled("r")
+	s := root.String()
+	if s == "" {
+		t.Fatal("empty rendering")
+	}
+	for _, sub := range []string{"r:", "x=1", "=2"} {
+		if !contains(s, sub) {
+			t.Errorf("rendering missing %q:\n%s", sub, s)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestFixtureValues(t *testing.T) {
+	// The paper-figure fixtures must encode the documented values.
+	cases := []struct {
+		name string
+		root *Node
+		want game.Value
+	}{
+		{"figure2-shallow", Figure2Shallow(), 7},
+		{"figure2-deep", Figure2Deep(), 7},
+		{"figure6", Figure6Tree(), 11},
+		{"figure7", Figure7Tree(), 13},
+	}
+	for _, c := range cases {
+		if got := c.root.Negmax(); got != c.want {
+			t.Errorf("%s: negmax %d, want %d", c.name, got, c.want)
+		}
+	}
+	f3 := Figure3Tree()
+	if f3.Height() != 3 || f3.Leaves() != 27 {
+		t.Errorf("figure 3 tree is not complete ternary height 3")
+	}
+}
+
+func TestPositionInterface(t *testing.T) {
+	n := N(L(4), L(-2)).WithStatic(9)
+	kids := n.Children()
+	if len(kids) != 2 {
+		t.Fatalf("children %d", len(kids))
+	}
+	if n.Value() != 9 {
+		t.Fatalf("interior Value = %d, want the static estimate 9", n.Value())
+	}
+	if kids[0].Value() != 4 || kids[0].Children() != nil {
+		t.Fatalf("leaf behavior broken")
+	}
+}
+
+func TestClassificationStatistics(t *testing.T) {
+	root := Complete(3, 3, func(i int) game.Value { return 0 })
+	c := ClassifyDeep(root)
+	byType := c.CountByType()
+	if byType[Type1] == 0 || byType[Type2] == 0 || byType[Type3] == 0 {
+		t.Fatalf("missing critical types: %v", byType)
+	}
+	total := byType[Type1] + byType[Type2] + byType[Type3]
+	if c.CriticalNodes() != total {
+		t.Fatalf("CriticalNodes %d, sum of types %d", c.CriticalNodes(), total)
+	}
+	if c.CriticalNodes() >= root.Size() {
+		t.Fatalf("minimal tree as large as the whole tree")
+	}
+	// The type-1 chain is the leftmost path: exactly height+1 type-1 nodes.
+	if byType[Type1] != 4 {
+		t.Fatalf("type-1 count %d, want 4 (the principal variation)", byType[Type1])
+	}
+}
+
+func TestNodeTypeStrings(t *testing.T) {
+	if Type1.String() != "1" || Type2.String() != "2" || Type3.String() != "3" || NonCritical.String() != "-" {
+		t.Fatal("NodeType rendering changed")
+	}
+}

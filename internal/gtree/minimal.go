@@ -1,0 +1,145 @@
+package gtree
+
+// Knuth/Moore critical-node theory (paper §2.2).
+//
+// For alpha-beta *with* deep cutoffs, nodes of the minimal tree are assigned
+// types 1, 2, 3 by the rules:
+//
+//	i.   the root is type 1;
+//	ii.  the first child of a type 1 node is type 1, remaining children type 2;
+//	iii. the first child of a type 2 node is type 3;
+//	iv.  all children of a type 3 node are type 2;
+//	v.   a node is critical iff it receives a number.
+//
+// For alpha-beta *without* deep cutoffs (Baudet; used by MWF) the minimal
+// tree has only 1- and 2-nodes:
+//
+//	i.   the root is type 1;
+//	ii.  the first child of a type 1 node is type 1, remaining children type 2;
+//	iii. the first child of a type 2 node is type 1.
+
+// NodeType classifies a critical node.
+type NodeType int8
+
+// Critical node types. NonCritical marks nodes outside the minimal tree.
+const (
+	NonCritical NodeType = 0
+	Type1       NodeType = 1
+	Type2       NodeType = 2
+	Type3       NodeType = 3
+)
+
+func (t NodeType) String() string {
+	switch t {
+	case Type1:
+		return "1"
+	case Type2:
+		return "2"
+	case Type3:
+		return "3"
+	default:
+		return "-"
+	}
+}
+
+// Classification maps every node of a tree to its critical type.
+type Classification map[*Node]NodeType
+
+// ClassifyDeep computes the minimal tree of alpha-beta with deep cutoffs
+// (types 1/2/3).
+func ClassifyDeep(root *Node) Classification {
+	c := make(Classification)
+	var walk func(n *Node, t NodeType)
+	walk = func(n *Node, t NodeType) {
+		c[n] = t
+		for i, k := range n.Kids {
+			switch {
+			case t == Type1 && i == 0:
+				walk(k, Type1)
+			case t == Type1:
+				walk(k, Type2)
+			case t == Type2 && i == 0:
+				walk(k, Type3)
+			case t == Type3:
+				walk(k, Type2)
+			}
+		}
+	}
+	walk(root, Type1)
+	return c
+}
+
+// ClassifyNoDeep computes the minimal tree of alpha-beta without deep
+// cutoffs (types 1/2 only). This is the tree MWF's first phase searches.
+func ClassifyNoDeep(root *Node) Classification {
+	c := make(Classification)
+	var walk func(n *Node, t NodeType)
+	walk = func(n *Node, t NodeType) {
+		c[n] = t
+		for i, k := range n.Kids {
+			switch {
+			case t == Type1 && i == 0:
+				walk(k, Type1)
+			case t == Type1:
+				walk(k, Type2)
+			case t == Type2 && i == 0:
+				walk(k, Type1)
+			}
+		}
+	}
+	walk(root, Type1)
+	return c
+}
+
+// CriticalLeaves counts terminal nodes inside the minimal tree.
+func (c Classification) CriticalLeaves() int {
+	n := 0
+	for node, t := range c {
+		if t != NonCritical && len(node.Kids) == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// CriticalNodes counts all nodes inside the minimal tree.
+func (c Classification) CriticalNodes() int {
+	n := 0
+	for _, t := range c {
+		if t != NonCritical {
+			n++
+		}
+	}
+	return n
+}
+
+// CountByType tallies critical nodes per type.
+func (c Classification) CountByType() map[NodeType]int {
+	out := make(map[NodeType]int)
+	for _, t := range c {
+		if t != NonCritical {
+			out[t]++
+		}
+	}
+	return out
+}
+
+// MinimalLeafCount returns the number of terminal nodes in the minimal
+// subtree of a complete degree-d tree of height h:
+//
+//	d^ceil(h/2) + d^floor(h/2) - 1
+//
+// (Slagle & Dixon 1969; Knuth & Moore 1975. The paper prints the constant as
+// +1; the correct closed form has -1, which TestMinimalTreeFormula verifies
+// against the rule-based classification above.)
+func MinimalLeafCount(d, h int) int {
+	return ipow(d, (h+1)/2) + ipow(d, h/2) - 1
+}
+
+func ipow(b, e int) int {
+	r := 1
+	for i := 0; i < e; i++ {
+		r *= b
+	}
+	return r
+}

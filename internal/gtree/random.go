@@ -1,0 +1,79 @@
+package gtree
+
+import (
+	"math/rand"
+
+	"ertree/internal/game"
+)
+
+// RandomSpec describes a family of random explicit trees for property tests.
+type RandomSpec struct {
+	MinDegree, MaxDegree int        // branching factor range (inclusive)
+	MinDepth, MaxDepth   int        // tree height range in edges (inclusive)
+	ValueRange           game.Value // leaf values drawn uniformly from [-ValueRange, ValueRange]
+	StaticNoise          game.Value // interior static values: exact negamax +/- noise (0 => uninformed)
+}
+
+// DefaultRandomSpec is a convenient medium-sized spec.
+func DefaultRandomSpec() RandomSpec {
+	return RandomSpec{MinDegree: 1, MaxDegree: 4, MinDepth: 2, MaxDepth: 5, ValueRange: 100}
+}
+
+// Generate builds a random explicit tree from the spec using rng. The shape
+// is irregular: each interior node independently draws its degree, and
+// subtrees may bottom out early (with probability 1/8 once past MinDepth).
+func (s RandomSpec) Generate(rng *rand.Rand) *Node {
+	depth := s.MinDepth
+	if s.MaxDepth > s.MinDepth {
+		depth += rng.Intn(s.MaxDepth - s.MinDepth + 1)
+	}
+	root := s.gen(rng, depth, 0)
+	if s.StaticNoise >= 0 {
+		s.assignStatics(rng, root)
+	}
+	return root
+}
+
+func (s RandomSpec) gen(rng *rand.Rand, depth, ply int) *Node {
+	if depth == 0 || (ply >= s.MinDepth && rng.Intn(8) == 0) {
+		return L(s.leafValue(rng))
+	}
+	deg := s.MinDegree
+	if s.MaxDegree > s.MinDegree {
+		deg += rng.Intn(s.MaxDegree - s.MinDegree + 1)
+	}
+	if deg < 1 {
+		deg = 1
+	}
+	kids := make([]*Node, deg)
+	for i := range kids {
+		kids[i] = s.gen(rng, depth-1, ply+1)
+	}
+	return N(kids...)
+}
+
+func (s RandomSpec) leafValue(rng *rand.Rand) game.Value {
+	r := int64(s.ValueRange)
+	if r <= 0 {
+		r = 1
+	}
+	return game.Value(rng.Int63n(2*r+1) - r)
+}
+
+// assignStatics gives every interior node a heuristic estimate equal to its
+// negamax value perturbed by uniform noise in [-StaticNoise, StaticNoise].
+// With zero noise the static order is the perfect best-first order.
+func (s RandomSpec) assignStatics(rng *rand.Rand, n *Node) {
+	if len(n.Kids) == 0 {
+		return
+	}
+	noise := int64(s.StaticNoise)
+	v := n.Negmax()
+	if noise > 0 {
+		v += game.Value(rng.Int63n(2*noise+1) - noise)
+	}
+	n.Static = v
+	for _, k := range n.Kids {
+		s.assignStatics(rng, k)
+	}
+}

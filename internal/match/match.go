@@ -1,0 +1,127 @@
+// Package match plays two search engines against each other on any game
+// implementing game.Position plus a terminal test. It powers the gameplay
+// examples and the engine-strength regression tests (a deeper or more
+// speculative engine must not lose to a shallower one over a match).
+package match
+
+import (
+	"fmt"
+
+	"ertree/internal/game"
+)
+
+// Playable is a game position that knows when the game is over. Children()
+// returning nil must coincide with Terminal() (true for all games in this
+// module).
+type Playable interface {
+	game.Position
+	Terminal() bool
+}
+
+// Engine chooses a move: given the current position and its legal children,
+// it returns the index of the child to play.
+type Engine interface {
+	Name() string
+	Choose(pos Playable, children []game.Position) int
+}
+
+// SearchEngine picks the child whose (negated) search value is maximal.
+type SearchEngine struct {
+	Label string
+	// Search evaluates a child position from the child's perspective.
+	Search func(child game.Position) game.Value
+}
+
+// Name implements Engine.
+func (e SearchEngine) Name() string { return e.Label }
+
+// Choose implements Engine.
+func (e SearchEngine) Choose(pos Playable, children []game.Position) int {
+	best, bestV := 0, -game.Inf-1
+	for i, c := range children {
+		if v := -e.Search(c); v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// Result reports one finished game.
+type Result struct {
+	Final   Playable
+	Plies   int
+	Moves   []int // chosen child indices in order
+	Aborted bool  // MaxPlies reached before the game ended
+}
+
+// Play alternates first and second from pos until the game ends or maxPlies
+// is reached. The first engine moves first.
+func Play(pos Playable, first, second Engine, maxPlies int) Result {
+	res := Result{}
+	engines := [2]Engine{first, second}
+	cur := pos
+	for ply := 0; ; ply++ {
+		if cur.Terminal() {
+			res.Final = cur
+			res.Plies = ply
+			return res
+		}
+		if ply >= maxPlies {
+			res.Final = cur
+			res.Plies = ply
+			res.Aborted = true
+			return res
+		}
+		kids := cur.Children()
+		if len(kids) == 0 {
+			res.Final = cur
+			res.Plies = ply
+			return res
+		}
+		idx := engines[ply%2].Choose(cur, kids)
+		if idx < 0 || idx >= len(kids) {
+			panic(fmt.Sprintf("match: engine %s chose child %d of %d", engines[ply%2].Name(), idx, len(kids)))
+		}
+		res.Moves = append(res.Moves, idx)
+		next, ok := kids[idx].(Playable)
+		if !ok {
+			panic("match: child does not implement Playable")
+		}
+		cur = next
+	}
+}
+
+// Series plays n games alternating colors and returns (firstEngineScore,
+// secondEngineScore, draws) where a win counts 1 under score(final, moverIsFirst).
+// The caller supplies outcome, mapping the final position to +1 (the player
+// to move at the end has won), -1 (lost), or 0 (draw) — for most games the
+// player to move at a terminal position has lost or drawn.
+func Series(start Playable, a, b Engine, games, maxPlies int, outcome func(final Playable) int) (aScore, bScore, draws int) {
+	for g := 0; g < games; g++ {
+		aIsFirst := g%2 == 0
+		first, second := a, b
+		if !aIsFirst {
+			first, second = b, a
+		}
+		res := Play(start, first, second, maxPlies)
+		// The outcome function also adjudicates aborted games (e.g. by
+		// material), so engines that merely shuffle are not rewarded
+		// with automatic draws.
+		o := outcome(res.Final)
+		if o == 0 {
+			draws++
+			continue
+		}
+		// o is from the point of view of the player to move at the end;
+		// the player to move after res.Plies plies is the first engine
+		// iff res.Plies is even.
+		moverIsFirst := res.Plies%2 == 0
+		firstWon := (o > 0) == moverIsFirst
+		if firstWon == aIsFirst {
+			aScore++
+		} else {
+			bScore++
+		}
+	}
+	return aScore, bScore, draws
+}

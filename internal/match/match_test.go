@@ -1,0 +1,124 @@
+package match
+
+import (
+	"testing"
+
+	"ertree/internal/connect4"
+	"ertree/internal/core"
+	"ertree/internal/game"
+	"ertree/internal/serial"
+	"ertree/internal/ttt"
+)
+
+// depthEngine searches with plain alpha-beta to a fixed depth.
+func depthEngine(name string, depth int) SearchEngine {
+	return SearchEngine{
+		Label: name,
+		Search: func(child game.Position) game.Value {
+			var s serial.Searcher
+			return s.AlphaBeta(child, depth, game.FullWindow())
+		},
+	}
+}
+
+func TestTicTacToePerfectPlayDraws(t *testing.T) {
+	// Two full-depth engines always draw tic-tac-toe.
+	e := depthEngine("perfect", 9)
+	res := Play(ttt.New(), e, e, 9)
+	if res.Aborted {
+		t.Fatal("game did not finish")
+	}
+	b := res.Final.(ttt.Board)
+	if b.Value() != 0 {
+		t.Fatalf("perfect play did not draw: final value %d\n%s", b.Value(), b)
+	}
+	if res.Plies != 9 {
+		t.Fatalf("perfect tic-tac-toe lasts 9 plies, got %d", res.Plies)
+	}
+}
+
+func TestDeeperEngineDoesNotLoseTicTacToe(t *testing.T) {
+	deep := depthEngine("deep", 9)
+	shallow := depthEngine("shallow", 1)
+	outcome := func(final Playable) int {
+		return int(final.(ttt.Board).Value())
+	}
+	deepScore, shallowScore, draws := Series(ttt.New(), deep, shallow, 4, 9, outcome)
+	if shallowScore > 0 {
+		t.Fatalf("depth-1 engine beat the perfect engine (%d-%d-%d)",
+			deepScore, shallowScore, draws)
+	}
+}
+
+func TestDeeperEngineWinsConnect4(t *testing.T) {
+	deep := depthEngine("deep", 7)
+	shallow := depthEngine("shallow", 1)
+	outcome := func(final Playable) int {
+		b := final.(connect4.Board)
+		switch v := b.Value(); {
+		case v <= -9000:
+			return -1
+		case v >= 9000:
+			return 1
+		default:
+			return 0
+		}
+	}
+	deepScore, shallowScore, draws := Series(connect4.New(), deep, shallow, 2, 42, outcome)
+	if deepScore <= shallowScore {
+		t.Fatalf("deep engine did not outscore shallow: %d-%d-%d",
+			deepScore, shallowScore, draws)
+	}
+}
+
+func TestPlayRecordsMoves(t *testing.T) {
+	e := depthEngine("e", 2)
+	res := Play(connect4.New(), e, e, 6)
+	if len(res.Moves) != 6 || !res.Aborted {
+		t.Fatalf("expected 6 recorded moves and an aborted game, got %d (aborted=%v)",
+			len(res.Moves), res.Aborted)
+	}
+	f := res.Final.(connect4.Board)
+	if f.Ply() != 6 {
+		t.Fatalf("final ply %d", f.Ply())
+	}
+}
+
+func TestEngineNamesSurface(t *testing.T) {
+	if depthEngine("alice", 1).Name() != "alice" {
+		t.Fatal("name lost")
+	}
+}
+
+// TestParallelEREngineBeatsShallowAlphaBeta: the parallel engine as a
+// player. Depth-5 parallel ER must outscore depth-1 alpha-beta on Connect
+// Four.
+func TestParallelEREngineBeatsShallowAlphaBeta(t *testing.T) {
+	er := SearchEngine{
+		Label: "parallel-er",
+		Search: func(child game.Position) game.Value {
+			res := core.Search(child, 5, core.Options{
+				Workers: 4, SerialDepth: 3,
+				ParallelRefutation: true, MultipleENodes: true, EarlyChoice: true,
+			})
+			return res.Value
+		},
+	}
+	shallow := depthEngine("shallow-ab", 1)
+	outcome := func(final Playable) int {
+		b := final.(connect4.Board)
+		switch v := b.Value(); {
+		case v <= -9000:
+			return -1
+		case v >= 9000:
+			return 1
+		default:
+			return 0
+		}
+	}
+	erScore, shallowScore, draws := Series(connect4.New(), er, shallow, 2, 42, outcome)
+	if erScore <= shallowScore {
+		t.Fatalf("parallel ER did not outscore shallow alpha-beta: %d-%d-%d",
+			erScore, shallowScore, draws)
+	}
+}

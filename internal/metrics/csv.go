@@ -1,0 +1,59 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CSV renders series as comma-separated values with one row per processor
+// count: workers, then one column per series carrying the requested Point
+// field ("efficiency", "speedup", "time" or "nodes"). Missing points render
+// as empty cells. Useful for piping figure data into plotting tools.
+func CSV(column string, series []Series) string {
+	var b strings.Builder
+	b.WriteString("workers")
+	for _, s := range series {
+		b.WriteByte(',')
+		b.WriteString(strings.ReplaceAll(s.Name, ",", ";"))
+	}
+	b.WriteByte('\n')
+	seen := map[int]bool{}
+	var workers []int
+	for _, s := range series {
+		for _, p := range s.Points {
+			if !seen[p.Workers] {
+				seen[p.Workers] = true
+				workers = append(workers, p.Workers)
+			}
+		}
+	}
+	for i := 1; i < len(workers); i++ {
+		j := i
+		for j > 0 && workers[j] < workers[j-1] {
+			workers[j], workers[j-1] = workers[j-1], workers[j]
+			j--
+		}
+	}
+	for _, w := range workers {
+		fmt.Fprintf(&b, "%d", w)
+		for _, s := range series {
+			b.WriteByte(',')
+			p, ok := find(s, w)
+			if !ok {
+				continue
+			}
+			switch column {
+			case "efficiency":
+				fmt.Fprintf(&b, "%.4f", p.Efficiency)
+			case "speedup":
+				fmt.Fprintf(&b, "%.4f", p.Speedup)
+			case "time":
+				fmt.Fprintf(&b, "%d", p.Time)
+			case "nodes":
+				fmt.Fprintf(&b, "%d", p.Nodes)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

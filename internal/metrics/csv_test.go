@@ -1,0 +1,39 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCSV(t *testing.T) {
+	series := []Series{
+		{Name: "a,b", Points: []Point{
+			{Workers: 1, Efficiency: 0.5, Speedup: 0.5, Time: 10, Nodes: 3},
+			{Workers: 4, Efficiency: 0.25, Speedup: 1, Time: 5, Nodes: 6},
+		}},
+		{Name: "x", Points: []Point{{Workers: 4, Time: 7}}},
+	}
+	out := CSV("time", series)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "workers,a;b,x" {
+		t.Fatalf("header %q (commas in names must be escaped)", lines[0])
+	}
+	if lines[1] != "1,10," {
+		t.Fatalf("row1 %q", lines[1])
+	}
+	if lines[2] != "4,5,7" {
+		t.Fatalf("row2 %q", lines[2])
+	}
+	if !strings.Contains(CSV("efficiency", series), "0.5000") {
+		t.Fatal("efficiency column missing")
+	}
+	if !strings.Contains(CSV("speedup", series), "1.0000") {
+		t.Fatal("speedup column missing")
+	}
+	if !strings.Contains(CSV("nodes", series), "6") {
+		t.Fatal("nodes column missing")
+	}
+}

@@ -1,0 +1,114 @@
+// Package metrics implements the performance bookkeeping of §3: Fishburn's
+// speedup (time of the best serial algorithm over time of the parallel
+// algorithm) and efficiency (speedup per processor), plus small formatting
+// helpers for the experiment tables.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Speedup is best-serial time divided by parallel time.
+func Speedup(bestSerial, parallel int64) float64 {
+	if parallel <= 0 {
+		return 0
+	}
+	return float64(bestSerial) / float64(parallel)
+}
+
+// Efficiency is speedup divided by the processor count.
+func Efficiency(bestSerial, parallel int64, workers int) float64 {
+	if workers <= 0 {
+		return 0
+	}
+	return Speedup(bestSerial, parallel) / float64(workers)
+}
+
+// Point is one measurement in a figure: a processor count and the values
+// plotted there.
+type Point struct {
+	Workers    int
+	Speedup    float64
+	Efficiency float64
+	Time       int64
+	Nodes      int64
+}
+
+// Series is a named curve.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Table renders series as a fixed-width text table with one row per
+// processor count and one column group per series, in the spirit of the
+// paper's figures. The chosen column selects which Point field is shown:
+// "efficiency", "speedup", "time" or "nodes".
+func Table(title, column string, series []Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	// Collect the union of worker counts in order.
+	seen := map[int]bool{}
+	var workers []int
+	for _, s := range series {
+		for _, p := range s.Points {
+			if !seen[p.Workers] {
+				seen[p.Workers] = true
+				workers = append(workers, p.Workers)
+			}
+		}
+	}
+	for i := 1; i < len(workers); i++ {
+		j := i
+		for j > 0 && workers[j] < workers[j-1] {
+			workers[j], workers[j-1] = workers[j-1], workers[j]
+			j--
+		}
+	}
+	fmt.Fprintf(&b, "%6s", "P")
+	for _, s := range series {
+		fmt.Fprintf(&b, " %12s", truncate(s.Name, 12))
+	}
+	b.WriteByte('\n')
+	for _, w := range workers {
+		fmt.Fprintf(&b, "%6d", w)
+		for _, s := range series {
+			p, ok := find(s, w)
+			if !ok {
+				fmt.Fprintf(&b, " %12s", "-")
+				continue
+			}
+			switch column {
+			case "efficiency":
+				fmt.Fprintf(&b, " %12.3f", p.Efficiency)
+			case "speedup":
+				fmt.Fprintf(&b, " %12.2f", p.Speedup)
+			case "time":
+				fmt.Fprintf(&b, " %12d", p.Time)
+			case "nodes":
+				fmt.Fprintf(&b, " %12d", p.Nodes)
+			default:
+				fmt.Fprintf(&b, " %12s", "?")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func find(s Series, workers int) (Point, bool) {
+	for _, p := range s.Points {
+		if p.Workers == workers {
+			return p, true
+		}
+	}
+	return Point{}, false
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}

@@ -1,0 +1,65 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpeedupEfficiency(t *testing.T) {
+	if Speedup(100, 25) != 4.0 {
+		t.Fatal("speedup")
+	}
+	if Efficiency(100, 25, 8) != 0.5 {
+		t.Fatal("efficiency")
+	}
+	if Speedup(100, 0) != 0 || Efficiency(100, 10, 0) != 0 {
+		t.Fatal("degenerate inputs must not divide by zero")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	s := []Series{
+		{Name: "R1", Points: []Point{
+			{Workers: 1, Efficiency: 0.9, Speedup: 0.9, Time: 100, Nodes: 50},
+			{Workers: 4, Efficiency: 0.5, Speedup: 2.0, Time: 50, Nodes: 80},
+		}},
+		{Name: "averyverylongname", Points: []Point{
+			{Workers: 4, Efficiency: 0.25, Speedup: 1.0, Time: 100, Nodes: 90},
+		}},
+	}
+	out := Table("Figure X", "efficiency", s)
+	if !strings.Contains(out, "Figure X") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "0.900") || !strings.Contains(out, "0.250") {
+		t.Fatalf("missing efficiency values:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Fatalf("missing placeholder for absent point:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title, header, P=1, P=4
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+	for _, col := range []string{"speedup", "time", "nodes"} {
+		if out := Table("t", col, s); out == "" {
+			t.Fatalf("column %s empty", col)
+		}
+	}
+	if !strings.Contains(Table("t", "nodes", s), "50") {
+		t.Fatal("nodes column missing value")
+	}
+}
+
+func TestTableSortsWorkers(t *testing.T) {
+	s := []Series{{Name: "x", Points: []Point{
+		{Workers: 16}, {Workers: 1}, {Workers: 4},
+	}}}
+	out := Table("t", "time", s)
+	i1 := strings.Index(out, "\n     1")
+	i4 := strings.Index(out, "\n     4")
+	i16 := strings.Index(out, "\n    16")
+	if !(i1 < i4 && i4 < i16) {
+		t.Fatalf("worker rows not ascending:\n%s", out)
+	}
+}

@@ -1,0 +1,64 @@
+// Timeline rendering for worker-utilization traces.
+
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Span is a busy interval of one worker in virtual time.
+type Span struct {
+	Start, End int64
+}
+
+// Timeline renders per-worker busy spans as a text Gantt chart: each worker
+// is one row of `width` buckets covering [0, makespan); a bucket is '#' when
+// the worker was busy for more than half of it, '+' when busy at all, and
+// '.' when idle. The utilization percentage is appended per row.
+func Timeline(title string, workers [][]Span, makespan int64, width int) string {
+	if width < 1 {
+		width = 60
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (makespan %d)\n", title, makespan)
+	if makespan <= 0 {
+		return b.String()
+	}
+	for w, spans := range workers {
+		row := make([]int64, width) // busy time per bucket
+		var busy int64
+		for _, s := range spans {
+			busy += s.End - s.Start
+			for t := s.Start; t < s.End; {
+				bucket := int(t * int64(width) / makespan)
+				if bucket >= width {
+					bucket = width - 1
+				}
+				bucketEnd := (int64(bucket+1)*makespan + int64(width) - 1) / int64(width)
+				if bucketEnd > s.End {
+					bucketEnd = s.End
+				}
+				row[bucket] += bucketEnd - t
+				t = bucketEnd
+			}
+		}
+		bucketSpan := makespan / int64(width)
+		if bucketSpan == 0 {
+			bucketSpan = 1
+		}
+		fmt.Fprintf(&b, "p%-3d ", w)
+		for _, v := range row {
+			switch {
+			case v > bucketSpan/2:
+				b.WriteByte('#')
+			case v > 0:
+				b.WriteByte('+')
+			default:
+				b.WriteByte('.')
+			}
+		}
+		fmt.Fprintf(&b, " %5.1f%%\n", 100*float64(busy)/float64(makespan))
+	}
+	return b.String()
+}

@@ -1,0 +1,38 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTimelineRendering(t *testing.T) {
+	workers := [][]Span{
+		{{Start: 0, End: 50}, {Start: 50, End: 100}}, // fully busy
+		{{Start: 0, End: 25}},                        // quarter busy
+		nil,                                          // idle
+	}
+	out := Timeline("test", workers, 100, 20)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], strings.Repeat("#", 20)) {
+		t.Errorf("fully busy row wrong: %q", lines[1])
+	}
+	if !strings.Contains(lines[1], "100.0%") {
+		t.Errorf("utilization missing: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "#####...........") && !strings.Contains(lines[2], "25.0%") {
+		t.Errorf("quarter row wrong: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], strings.Repeat(".", 20)) {
+		t.Errorf("idle row wrong: %q", lines[3])
+	}
+	// Degenerate inputs.
+	if out := Timeline("x", nil, 0, 10); !strings.Contains(out, "makespan 0") {
+		t.Errorf("zero makespan mishandled")
+	}
+	if out := Timeline("x", workers, 100, 0); out == "" {
+		t.Errorf("width clamp failed")
+	}
+}

@@ -1,0 +1,67 @@
+package othello
+
+import (
+	"math/bits"
+
+	"ertree/internal/game"
+)
+
+// Static evaluation in the spirit of Rosenbloom's Iago (cited by the paper):
+// a phase-blended combination of positional square weights, current
+// mobility, corner possession, and disc difference. Values are from the
+// point of view of the player to move, per the game.Position contract.
+
+// weights is the classic positional table (rank 1 at the bottom; the table
+// is symmetric so orientation does not matter).
+var weights = [64]int32{
+	120, -20, 20, 5, 5, 20, -20, 120,
+	-20, -40, -5, -5, -5, -5, -40, -20,
+	20, -5, 15, 3, 3, 15, -5, 20,
+	5, -5, 3, 3, 3, 3, -5, 5,
+	5, -5, 3, 3, 3, 3, -5, 5,
+	20, -5, 15, 3, 3, 15, -5, 20,
+	-20, -40, -5, -5, -5, -5, -40, -20,
+	120, -20, 20, 5, 5, 20, -20, 120,
+}
+
+const corners uint64 = 0x8100000000000081
+
+// positional sums the square weights of the discs in b.
+func positional(b uint64) int32 {
+	var s int32
+	for m := b; m != 0; m &= m - 1 {
+		s += weights[bits.TrailingZeros64(m)]
+	}
+	return s
+}
+
+// Value implements game.Position. Terminal positions score the final disc
+// difference at a scale that dominates every heuristic term, so searches
+// that reach the end of the game prefer real wins over good-looking
+// positions.
+func (b Board) Value() game.Value {
+	ownMoves := legalMoves(b.own, b.opp)
+	oppMoves := legalMoves(b.opp, b.own)
+	ownDiscs := bits.OnesCount64(b.own)
+	oppDiscs := bits.OnesCount64(b.opp)
+	if ownMoves == 0 && oppMoves == 0 {
+		return game.Value(int32(ownDiscs-oppDiscs) * 10000)
+	}
+	discs := ownDiscs + oppDiscs
+
+	pos := positional(b.own) - positional(b.opp)
+	mob := int32(bits.OnesCount64(ownMoves) - bits.OnesCount64(oppMoves))
+	corn := int32(bits.OnesCount64(b.own&corners) - bits.OnesCount64(b.opp&corners))
+	diff := int32(ownDiscs - oppDiscs)
+
+	var v int32
+	switch {
+	case discs <= 20: // opening: mobility and position dominate
+		v = pos + 12*mob + 80*corn - 2*diff
+	case discs <= 48: // midgame
+		v = pos + 8*mob + 100*corn + 0*diff
+	default: // endgame approach: discs start to matter
+		v = pos/2 + 4*mob + 120*corn + 8*diff
+	}
+	return game.Value(v)
+}

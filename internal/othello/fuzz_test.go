@@ -1,0 +1,51 @@
+package othello
+
+import "testing"
+
+// FuzzGamePlay drives random move sequences (decoded from fuzz data) through
+// the rules and checks the structural invariants after every move.
+func FuzzGamePlay(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5})
+	f.Add([]byte{7, 7, 7, 7, 0, 0, 3, 1})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b := Start()
+		for _, pick := range data {
+			if b.Terminal() {
+				break
+			}
+			moves := b.Moves()
+			var nb Board
+			var ok bool
+			if len(moves) == 0 {
+				nb, ok = b.Play(-1)
+			} else {
+				nb, ok = b.Play(moves[int(pick)%len(moves)])
+			}
+			if !ok {
+				t.Fatalf("engine-produced move rejected on\n%s", b)
+			}
+			own, opp := nb.Discs()
+			po, pp := b.Discs()
+			total, prev := own+opp, po+pp
+			if len(moves) == 0 {
+				if total != prev {
+					t.Fatalf("pass changed disc count")
+				}
+			} else if total != prev+1 {
+				t.Fatalf("disc count %d -> %d", prev, total)
+			}
+			if total > 64 {
+				t.Fatalf("more than 64 discs")
+			}
+			if v := nb.Value(); v <= -(1<<30) || v >= 1<<30 {
+				t.Fatalf("evaluator out of range: %d", v)
+			}
+			// Hash stability: recomputing the hash yields the same value.
+			if nb.Hash() != nb.Hash() {
+				t.Fatal("hash not a pure function")
+			}
+			b = nb
+		}
+	})
+}

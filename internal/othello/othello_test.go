@@ -1,0 +1,440 @@
+package othello
+
+import (
+	"math/rand"
+	"testing"
+
+	"ertree/internal/game"
+	"ertree/internal/serial"
+)
+
+func TestStartPosition(t *testing.T) {
+	b := Start()
+	own, opp := b.Discs()
+	if own != 2 || opp != 2 {
+		t.Fatalf("start discs %d/%d, want 2/2", own, opp)
+	}
+	if !b.BlackToMove() {
+		t.Fatal("Black moves first")
+	}
+	moves := b.Moves()
+	if len(moves) != 4 {
+		t.Fatalf("start has %d moves, want 4", len(moves))
+	}
+	want := map[string]bool{"d3": true, "c4": true, "f5": true, "e6": true}
+	for _, m := range moves {
+		if !want[SquareName(m)] {
+			t.Fatalf("unexpected opening move %s", SquareName(m))
+		}
+	}
+}
+
+func TestOpeningFlip(t *testing.T) {
+	b := Start().MustPlay("d3")
+	// d3 flips d4: Black now has d3, d4, d5, e4; White keeps e5.
+	black, white := b.opp, b.own // White to move, so own is White
+	if b.BlackToMove() {
+		t.Fatal("after one move White should be to move")
+	}
+	wantBlack := sq("d3") | sq("d4") | sq("d5") | sq("e4")
+	if black != wantBlack {
+		t.Fatalf("black discs wrong after d3:\n%s", b)
+	}
+	if white != sq("e5") {
+		t.Fatalf("white discs wrong after d3:\n%s", b)
+	}
+}
+
+// refLegal is a slow, obviously-correct legality checker used as an oracle
+// for the bitboard move generator.
+func refLegal(own, opp uint64, sqi int) bool {
+	if (own|opp)&(1<<uint(sqi)) != 0 {
+		return false
+	}
+	r0, c0 := sqi/8, sqi%8
+	for _, d := range [8][2]int{{0, 1}, {0, -1}, {1, 0}, {-1, 0}, {1, 1}, {1, -1}, {-1, 1}, {-1, -1}} {
+		r, c := r0+d[0], c0+d[1]
+		seenOpp := false
+		for r >= 0 && r < 8 && c >= 0 && c < 8 {
+			m := uint64(1) << uint(r*8+c)
+			if opp&m != 0 {
+				seenOpp = true
+			} else if own&m != 0 {
+				if seenOpp {
+					return true
+				}
+				break
+			} else {
+				break
+			}
+			r += d[0]
+			c += d[1]
+		}
+	}
+	return false
+}
+
+func TestMoveGeneratorAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	for trial := 0; trial < 300; trial++ {
+		// Random positions: fill each square with own/opp/empty.
+		var own, opp uint64
+		for i := 0; i < 64; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				own |= 1 << uint(i)
+			case 1:
+				opp |= 1 << uint(i)
+			}
+		}
+		got := legalMoves(own, opp)
+		for i := 0; i < 64; i++ {
+			want := refLegal(own, opp, i)
+			if (got&(1<<uint(i)) != 0) != want {
+				t.Fatalf("trial %d square %s: bitboard=%v ref=%v",
+					trial, SquareName(i), !want, want)
+			}
+		}
+	}
+}
+
+func TestFlipsAgainstReplay(t *testing.T) {
+	// Play random games; after every move, disc counts must satisfy the
+	// conservation law: total discs grows by exactly one per non-pass move,
+	// and the mover's count grows by flips+1 while the opponent shrinks by
+	// flips.
+	rng := rand.New(rand.NewSource(7))
+	for g := 0; g < 30; g++ {
+		b := Start()
+		for !b.Terminal() {
+			moves := b.Moves()
+			prevOwn, prevOpp := b.Discs()
+			if len(moves) == 0 {
+				nb, ok := b.Play(-1)
+				if !ok {
+					t.Fatal("forced pass rejected")
+				}
+				b = nb
+				continue
+			}
+			nb, ok := b.Play(moves[rng.Intn(len(moves))])
+			if !ok {
+				t.Fatal("legal move rejected")
+			}
+			// nb is from the opponent's perspective.
+			newOpp, newOwn := nb.Discs()
+			if newOwn+newOpp != prevOwn+prevOpp+1 {
+				t.Fatalf("disc conservation broken: %d+%d -> %d+%d",
+					prevOwn, prevOpp, newOwn, newOpp)
+			}
+			flips := newOwn - prevOwn - 1
+			if flips < 1 && prevOwn+prevOpp >= 4 {
+				t.Fatalf("move flipped %d discs (must flip at least one)", flips)
+			}
+			if newOpp != prevOpp-flips {
+				t.Fatalf("flip bookkeeping inconsistent")
+			}
+			b = nb
+		}
+	}
+}
+
+func TestPerft(t *testing.T) {
+	// Known Othello game-tree counts from the start position (passes
+	// counted as moves only when forced; terminal at double-pass).
+	want := []int64{1, 4, 12, 56, 244, 1396, 8200, 55092}
+	var perft func(b Board, depth int) int64
+	perft = func(b Board, depth int) int64 {
+		if depth == 0 {
+			return 1
+		}
+		kids := b.Children()
+		var n int64
+		for _, k := range kids {
+			n += perft(k.(Board), depth-1)
+		}
+		return n
+	}
+	for d := 0; d <= 7; d++ {
+		if got := perft(Start(), d); got != want[d] {
+			t.Errorf("perft(%d) = %d, want %d", d, got, want[d])
+		}
+	}
+}
+
+func TestPassGeneratesSingleChild(t *testing.T) {
+	// A classic must-pass position: Black owns a corner region, White has
+	// no move; construct directly.
+	diagram := `
+		. . . . . . . .
+		. . . . . . . .
+		. . . . . . . .
+		. . . X O . . .
+		. . . . . . . .
+		. . . . . . . .
+		. . . . . . . .
+		. . . . . . . .`
+	b, err := Parse(diagram, false) // White to move
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legalMoves(b.own, b.opp) != 0 {
+		t.Skip("fixture unexpectedly has moves")
+	}
+	kids := b.Children()
+	if len(kids) != 1 {
+		t.Fatalf("must-pass position has %d children, want 1 (pass)", len(kids))
+	}
+	child := kids[0].(Board)
+	if child.BlackToMove() != true {
+		t.Fatal("pass child should give Black the move")
+	}
+	co, cp := child.Discs()
+	bo, bp := b.Discs()
+	if co != bp || cp != bo {
+		t.Fatal("pass changed disc counts")
+	}
+}
+
+func TestDoublePassTerminal(t *testing.T) {
+	// Position where neither side can move: isolated same-color discs.
+	diagram := `
+		X . . . . . . .
+		. . . . . . . .
+		. . . . . . . .
+		. . . . . . . .
+		. . . . . . . .
+		. . . . . . . .
+		. . . . . . . .
+		. . . . . . . O`
+	b, err := Parse(diagram, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Terminal() {
+		t.Fatal("double-pass position not terminal")
+	}
+	if b.Children() != nil {
+		t.Fatal("terminal position has children")
+	}
+}
+
+func TestTerminalValueIsDiscDifference(t *testing.T) {
+	diagram := `
+		X X . . . . . .
+		. . . . . . . .
+		. . . . . . . .
+		. . . . . . . .
+		. . . . . . . .
+		. . . . . . . .
+		. . . . . . . .
+		. . . . . . . O`
+	b, err := Parse(diagram, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Value(); got != 10000 {
+		t.Fatalf("terminal value %d, want 10000 (one-disc lead x 10000)", got)
+	}
+}
+
+func TestEvaluatorAntisymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for g := 0; g < 10; g++ {
+		b := Start()
+		for ply := 0; ply < 20 && !b.Terminal(); ply++ {
+			moves := b.Moves()
+			if len(moves) == 0 {
+				b, _ = b.Play(-1)
+				continue
+			}
+			b, _ = b.Play(moves[rng.Intn(len(moves))])
+			swapped := Board{own: b.opp, opp: b.own, blackToMove: !b.blackToMove}
+			if b.Value() != -swapped.Value() {
+				t.Fatalf("evaluator not antisymmetric: %d vs %d\n%s", b.Value(), swapped.Value(), b)
+			}
+		}
+	}
+}
+
+func TestEvaluatorInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	for g := 0; g < 20; g++ {
+		b := Start()
+		for !b.Terminal() {
+			if v := b.Value(); v <= -game.Inf || v >= game.Inf {
+				t.Fatalf("evaluator out of range: %d", v)
+			}
+			moves := b.Moves()
+			if len(moves) == 0 {
+				b, _ = b.Play(-1)
+				continue
+			}
+			b, _ = b.Play(moves[rng.Intn(len(moves))])
+		}
+	}
+}
+
+func TestIllegalMovesRejected(t *testing.T) {
+	b := Start()
+	if _, ok := b.Play(0); ok { // a1 is not reachable at the start
+		t.Fatal("a1 accepted from the start position")
+	}
+	occupied, _ := SquareIndex("d4")
+	if _, ok := b.Play(occupied); ok {
+		t.Fatal("occupied square accepted")
+	}
+	if _, ok := b.Play(-1); ok {
+		t.Fatal("pass accepted while moves exist")
+	}
+	if _, ok := b.Play(64); ok {
+		t.Fatal("expected out-of-range move to be rejected")
+	}
+}
+
+func TestSquareNames(t *testing.T) {
+	for i := 0; i < 64; i++ {
+		j, err := SquareIndex(SquareName(i))
+		if err != nil || j != i {
+			t.Fatalf("square %d round-trips to %d (%v)", i, j, err)
+		}
+	}
+	if _, err := SquareIndex("i9"); err == nil {
+		t.Fatal("bad square accepted")
+	}
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	b := Start().MustPlay("d3", "c5")
+	parsed, err := Parse(b.String(), b.BlackToMove())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.own != b.own || parsed.opp != b.opp {
+		t.Fatalf("round trip mismatch:\n%s\nvs\n%s", b, parsed)
+	}
+}
+
+func TestExperimentRoots(t *testing.T) {
+	roots := Roots()
+	if len(roots) != 3 {
+		t.Fatalf("want 3 roots")
+	}
+	seen := map[uint64]bool{}
+	for name, b := range roots {
+		if b.BlackToMove() {
+			t.Errorf("%s: paper roots have White to move", name)
+		}
+		if b.Terminal() {
+			t.Errorf("%s: root is terminal", name)
+		}
+		if len(b.Moves()) < 2 {
+			t.Errorf("%s: root has too few moves (%d)", name, len(b.Moves()))
+		}
+		own, opp := b.Discs()
+		if own+opp < 14 || own+opp > 26 {
+			t.Errorf("%s: disc count %d not midgame-like", name, own+opp)
+		}
+		key := b.own*31 ^ b.opp
+		if seen[key] {
+			t.Errorf("%s: duplicate root position", name)
+		}
+		seen[key] = true
+	}
+	if _, err := Root("O2"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Root("O9"); err == nil {
+		t.Error("unknown root accepted")
+	}
+}
+
+func TestRootsDeterministic(t *testing.T) {
+	a, b := O1(), O1()
+	if a.own != b.own || a.opp != b.opp || a.blackToMove != b.blackToMove {
+		t.Fatal("O1 not deterministic")
+	}
+}
+
+func TestSearchOnOthelloAgrees(t *testing.T) {
+	// 4-ply agreement between negmax, alpha-beta, and serial ER on a real
+	// midgame position.
+	b := O1()
+	var s serial.Searcher
+	want := s.Negmax(b, 4)
+	if got := s.AlphaBeta(b, 4, game.FullWindow()); got != want {
+		t.Fatalf("alpha-beta %d, negmax %d", got, want)
+	}
+	if got := s.ER(b, 4, game.FullWindow()); got != want {
+		t.Fatalf("ER %d, negmax %d", got, want)
+	}
+	sorted := serial.Searcher{Order: game.StaticOrder{MaxPly: 5}}
+	if got := sorted.AlphaBeta(b, 4, game.FullWindow()); got != want {
+		t.Fatalf("sorted alpha-beta %d, negmax %d", got, want)
+	}
+}
+
+func TestDeeperSortedSearchCheaper(t *testing.T) {
+	b := O1()
+	var plain, sorted game.Stats
+	sp := serial.Searcher{Stats: &plain}
+	ss := serial.Searcher{Stats: &sorted, Order: game.StaticOrder{MaxPly: 5}}
+	v1 := sp.AlphaBeta(b, 5, game.FullWindow())
+	v2 := ss.AlphaBeta(b, 5, game.FullWindow())
+	if v1 != v2 {
+		t.Fatalf("values differ: %d vs %d", v1, v2)
+	}
+	if sorted.Generated.Load() >= plain.Generated.Load() {
+		t.Logf("sorted search generated %d nodes vs %d unsorted (ordering did not help here)",
+			sorted.Generated.Load(), plain.Generated.Load())
+	}
+}
+
+func TestHashProperties(t *testing.T) {
+	// Equal positions hash equal; playing any move changes the hash; the
+	// pass-history flag does not affect it (same reachable subtree).
+	a := Start().MustPlay("d3", "c5")
+	b := Start().MustPlay("d3", "c5")
+	if a.Hash() != b.Hash() {
+		t.Fatal("equal positions hash differently")
+	}
+	rng := rand.New(rand.NewSource(123))
+	seen := map[uint64]bool{}
+	cur := Start()
+	for i := 0; i < 40 && !cur.Terminal(); i++ {
+		h := cur.Hash()
+		if seen[h] {
+			t.Fatalf("hash repeated along a single game line at ply %d", i)
+		}
+		seen[h] = true
+		moves := cur.Moves()
+		if len(moves) == 0 {
+			cur, _ = cur.Play(-1)
+			continue
+		}
+		cur, _ = cur.Play(moves[rng.Intn(len(moves))])
+	}
+	// Same discs, different side to move: must differ.
+	sameDiscs := Board{own: a.opp, opp: a.own, blackToMove: !a.blackToMove}
+	if sameDiscs.Hash() == a.Hash() {
+		t.Fatal("side to move ignored by the hash")
+	}
+}
+
+func TestMustPlayPanicsOnIllegal(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustPlay accepted an illegal move")
+		}
+	}()
+	Start().MustPlay("a1")
+}
+
+func TestMustPlayPass(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustPlay accepted an illegal pass")
+		}
+	}()
+	Start().MustPlay("pass") // moves exist: pass is illegal
+}

@@ -1,0 +1,75 @@
+package othello
+
+import (
+	"fmt"
+
+	"ertree/internal/game"
+)
+
+// The paper's Figure 9 shows three midgame root configurations with WHITE to
+// move, searched to 7 ply. The exact boards are not machine-readable in the
+// source, so O1-O3 are deterministic substitutes with the same role: three
+// independent midgame positions of differing character (see DESIGN.md §3).
+//
+// Each root is produced by deterministic greedy self-play from the initial
+// position: at each ply the mover ranks its moves by the static evaluator
+// and picks the rank prescribed by the root's "style" string, one digit per
+// ply (cycled). Styles differ enough that the three positions share no
+// resemblance. Self-play stops when the prescribed number of plies has been
+// played and it is White's turn.
+
+func makeRoot(plies int, style string) Board {
+	b := Start()
+	for ply := 0; ply < plies || !isWhiteToMove(b); ply++ {
+		if b.Terminal() {
+			panic("othello: self-play reached a terminal position")
+		}
+		kids := b.Children()
+		// Rank children ascending by their value (from the child's
+		// perspective): lower child value is better for the mover.
+		best := make([]int, len(kids))
+		for i := range best {
+			best[i] = i
+		}
+		for i := 1; i < len(kids); i++ {
+			j := i
+			for j > 0 && kids[best[j]].Value() < kids[best[j-1]].Value() {
+				best[j], best[j-1] = best[j-1], best[j]
+				j--
+			}
+		}
+		rank := int(style[ply%len(style)]-'0') % len(kids)
+		b = kids[best[rank]].(Board)
+		if ply > plies+8 {
+			panic("othello: self-play failed to reach a White-to-move position")
+		}
+	}
+	return b
+}
+
+func isWhiteToMove(b Board) bool { return !b.blackToMove }
+
+// O1 returns the first Othello experiment root (quiet positional middlegame).
+func O1() Board { return makeRoot(16, "0102010") }
+
+// O2 returns the second Othello experiment root (sharper, more uneven play).
+func O2() Board { return makeRoot(18, "2103120") }
+
+// O3 returns the third Othello experiment root (unbalanced material).
+func O3() Board { return makeRoot(14, "1210201") }
+
+// Roots returns the three experiment roots keyed by the paper's names.
+func Roots() map[string]Board {
+	return map[string]Board{"O1": O1(), "O2": O2(), "O3": O3()}
+}
+
+// Root returns the named experiment root.
+func Root(name string) (Board, error) {
+	b, ok := Roots()[name]
+	if !ok {
+		return Board{}, fmt.Errorf("othello: unknown root %q (want O1, O2 or O3)", name)
+	}
+	return b, nil
+}
+
+var _ game.Position = Board{} // O1-O3 feed directly into searches

@@ -1,0 +1,51 @@
+package serial
+
+import "ertree/internal/game"
+
+// PVS is principal-variation search (minimal-window search), the technique
+// behind the pv-splitting variant of Marsland and Popowich that the paper's
+// footnote 3 describes: the first child is searched with the full window;
+// every later child is first *verified* with a null window (alpha, alpha+1),
+// which is cheap when the first child really is best, and re-searched with
+// the proper window only when the verification fails high.
+//
+// With a full root window the result equals Negmax exactly.
+func (s *Searcher) PVS(pos game.Position, depth int, w game.Window) game.Value {
+	s.Stats.AddGenerated(1)
+	return s.pvs(pos, depth, 0, w)
+}
+
+func (s *Searcher) pvs(pos game.Position, depth, ply int, w game.Window) game.Value {
+	if depth == 0 {
+		return s.leaf(pos, ply)
+	}
+	kids := s.expand(pos, ply, true)
+	if len(kids) == 0 {
+		return s.leaf(pos, ply)
+	}
+	// First child: full window.
+	m := -s.pvs(kids[0], depth-1, ply+1, game.Window{Alpha: -w.Beta, Beta: -w.Alpha})
+	if m >= w.Beta {
+		s.Stats.AddCutoffs(1)
+		return m
+	}
+	for _, k := range kids[1:] {
+		a := game.Max(w.Alpha, m)
+		// Null-window verification: is the child worse than the best so
+		// far?
+		t := -s.pvs(k, depth-1, ply+1, game.Window{Alpha: -(a + 1), Beta: -a})
+		if t > a && t < w.Beta {
+			// Verification failed high inside the window: re-search with
+			// the proper window for the exact value.
+			t = -s.pvs(k, depth-1, ply+1, game.Window{Alpha: -w.Beta, Beta: -a})
+		}
+		if t > m {
+			m = t
+		}
+		if m >= w.Beta {
+			s.Stats.AddCutoffs(1)
+			return m
+		}
+	}
+	return m
+}

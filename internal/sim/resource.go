@@ -1,0 +1,101 @@
+package sim
+
+// Resource is an exclusive, FIFO-granted lock in virtual time. Time spent
+// waiting for a Resource is accounted as interference loss (§3.1) — in the
+// paper's implementation this is contention for the shared game tree and the
+// problem heap.
+type Resource struct {
+	env     *Env
+	name    string
+	holder  *Proc
+	waiters []*Proc
+}
+
+// NewResource creates a named exclusive resource.
+func (e *Env) NewResource(name string) *Resource {
+	return &Resource{env: e, name: name}
+}
+
+// Acquire takes the resource, blocking in virtual time while another process
+// holds it. Grants are FIFO, so the simulation stays deterministic.
+func (p *Proc) Acquire(r *Resource) {
+	if r.holder == p {
+		panic("sim: recursive Acquire of " + r.name)
+	}
+	if r.holder == nil {
+		r.holder = p
+		return
+	}
+	r.waiters = append(r.waiters, p)
+	p.state = stateBlocked
+	p.blockedAt = p.env.now
+	p.park()
+	// Resumed by Release with holdership already transferred.
+	p.lockWait += p.env.now - p.blockedAt
+}
+
+// Release hands the resource to the longest-waiting process, or frees it.
+func (p *Proc) Release(r *Resource) {
+	if r.holder != p {
+		panic("sim: Release of " + r.name + " by non-holder")
+	}
+	if len(r.waiters) == 0 {
+		r.holder = nil
+		return
+	}
+	q := r.waiters[0]
+	r.waiters = r.waiters[1:]
+	r.holder = q
+	p.env.schedule(q, p.env.now)
+}
+
+// Cond is a condition variable tied to a Resource, mirroring sync.Cond.
+// Time spent in Wait is accounted as starvation loss (§3.1) — idle
+// processors with no work available.
+type Cond struct {
+	env     *Env
+	r       *Resource
+	waiters []*Proc
+}
+
+// NewCond creates a condition variable using r as its lock.
+func (e *Env) NewCond(r *Resource) *Cond {
+	return &Cond{env: e, r: r}
+}
+
+// Wait atomically releases the resource and blocks until Broadcast, then
+// reacquires the resource before returning. The caller must hold c's
+// resource.
+func (p *Proc) Wait(c *Cond) {
+	if c.r.holder != p {
+		panic("sim: Wait without holding the lock")
+	}
+	c.waiters = append(c.waiters, p)
+	start := p.env.now
+	p.Release(c.r)
+	p.state = stateBlocked
+	p.blockedAt = start
+	p.park()
+	p.starve += p.env.now - start
+	p.Acquire(c.r)
+}
+
+// Broadcast wakes every process blocked in Wait. The waiters re-contend for
+// the resource in FIFO order. The caller should hold c's resource (as with
+// sync.Cond, this is conventional rather than enforced).
+func (p *Proc) Broadcast(c *Cond) {
+	for _, q := range c.waiters {
+		p.env.schedule(q, p.env.now)
+	}
+	c.waiters = nil
+}
+
+// Signal wakes the longest-waiting process blocked in Wait, if any.
+func (p *Proc) Signal(c *Cond) {
+	if len(c.waiters) == 0 {
+		return
+	}
+	q := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	p.env.schedule(q, p.env.now)
+}

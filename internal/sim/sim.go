@@ -1,0 +1,207 @@
+// Package sim is a deterministic, process-oriented discrete-event simulator.
+// It is the repository's stand-in for the paper's 16-processor Sequent
+// Symmetry (DESIGN.md §3): parallel algorithms are written as ordinary
+// worker loops against sim's primitives (Advance, Acquire/Release, Wait/
+// Broadcast), and the simulator executes P such workers under a virtual
+// clock.
+//
+// Exactly one simulated process runs at any instant — processes hand control
+// back to the scheduler whenever they touch a primitive — so results are
+// bit-for-bit reproducible regardless of the host's real parallelism, and
+// the three loss sources the paper analyzes are directly measurable:
+// starvation (time blocked in Wait), interference (time blocked in Acquire),
+// and speculative loss (extra work, measured by the algorithms themselves).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Env is a simulation environment: a virtual clock plus a set of processes.
+// Create one with NewEnv, add processes with Spawn, then call Run.
+type Env struct {
+	now     int64
+	queue   eventQueue
+	seq     uint64
+	procs   []*Proc
+	parked  chan *Proc
+	live    int
+	running bool
+	trace   bool
+}
+
+// NewEnv returns an empty environment at virtual time 0.
+func NewEnv() *Env {
+	return &Env{parked: make(chan *Proc)}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() int64 { return e.now }
+
+// Procs returns the spawned processes (for metrics inspection after Run).
+func (e *Env) Procs() []*Proc { return e.procs }
+
+// procState tracks where a process is from the scheduler's point of view.
+type procState int8
+
+const (
+	stateNew procState = iota
+	stateRunnable
+	stateRunning
+	stateBlocked
+	stateExited
+)
+
+// Proc is a simulated process. All methods must be called from within the
+// process's own function (they yield to the scheduler); accessor methods
+// (Busy, StarveTime, LockTime, Name, ID) are safe after Run completes.
+type Proc struct {
+	env  *Env
+	id   int
+	name string
+	fn   func(*Proc)
+
+	cont  chan struct{}
+	state procState
+	wake  int64
+
+	busy      int64 // virtual time consumed by Advance
+	starve    int64 // virtual time blocked in Wait (starvation)
+	lockWait  int64 // virtual time blocked in Acquire (interference)
+	blockedAt int64
+	intervals []Interval // busy spans, recorded when tracing is enabled
+}
+
+// ID returns the process id (dense, starting at 0 in spawn order).
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the process name.
+func (p *Proc) Name() string { return p.name }
+
+// Busy returns the total virtual time the process spent in Advance.
+func (p *Proc) Busy() int64 { return p.busy }
+
+// StarveTime returns the total virtual time the process spent blocked in
+// Wait — the starvation loss of §3.1.
+func (p *Proc) StarveTime() int64 { return p.starve }
+
+// LockTime returns the total virtual time the process spent blocked in
+// Acquire — the interference loss of §3.1.
+func (p *Proc) LockTime() int64 { return p.lockWait }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() int64 { return p.env.now }
+
+// Spawn adds a process to the environment, runnable at the current virtual
+// time. It may be called before Run or from inside a running process.
+func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{env: e, id: len(e.procs), name: name, fn: fn, cont: make(chan struct{})}
+	e.procs = append(e.procs, p)
+	e.live++
+	e.schedule(p, e.now)
+	go func() {
+		<-p.cont
+		p.fn(p)
+		p.state = stateExited
+		e.parked <- p
+	}()
+	return p
+}
+
+// schedule marks p runnable at time t.
+func (e *Env) schedule(p *Proc, t int64) {
+	p.state = stateRunnable
+	p.wake = t
+	e.seq++
+	heap.Push(&e.queue, event{time: t, seq: e.seq, proc: p})
+}
+
+// park hands control back to the scheduler and blocks until resumed. Must be
+// called from the process goroutine.
+func (p *Proc) park() {
+	p.env.parked <- p
+	<-p.cont
+}
+
+// Run executes the simulation until every process has exited. It returns an
+// error on deadlock (processes blocked with nothing runnable). Run must be
+// called exactly once, after at least one Spawn.
+func (e *Env) Run() error {
+	if e.running {
+		return fmt.Errorf("sim: Run called twice")
+	}
+	e.running = true
+	for e.live > 0 {
+		if e.queue.Len() == 0 {
+			return e.deadlockError()
+		}
+		ev := heap.Pop(&e.queue).(event)
+		p := ev.proc
+		if p.state != stateRunnable || p.wake != ev.time {
+			continue // stale event
+		}
+		e.now = ev.time
+		p.state = stateRunning
+		p.cont <- struct{}{}
+		q := <-e.parked
+		if q.state == stateExited {
+			e.live--
+		}
+	}
+	return nil
+}
+
+func (e *Env) deadlockError() error {
+	var blocked []string
+	for _, p := range e.procs {
+		if p.state == stateBlocked {
+			blocked = append(blocked, p.name)
+		}
+	}
+	sort.Strings(blocked)
+	return fmt.Errorf("sim: deadlock at t=%d, blocked: %v", e.now, blocked)
+}
+
+// Advance consumes d units of virtual time (the process is busy). d must be
+// non-negative; zero is a no-op that does not yield.
+func (p *Proc) Advance(d int64) {
+	if d < 0 {
+		panic("sim: negative Advance")
+	}
+	if d == 0 {
+		return
+	}
+	p.busy += d
+	start := p.env.now
+	p.env.schedule(p, start+d)
+	p.park()
+	p.recordBusy(start, start+d)
+}
+
+// event is a scheduler queue entry.
+type event struct {
+	time int64
+	seq  uint64
+	proc *Proc
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}

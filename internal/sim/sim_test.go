@@ -1,0 +1,292 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAdvanceAccumulatesClock(t *testing.T) {
+	e := NewEnv()
+	var finished int64
+	e.Spawn("a", func(p *Proc) {
+		p.Advance(5)
+		p.Advance(7)
+		finished = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if finished != 12 || e.Now() != 12 {
+		t.Fatalf("clock = %d / %d, want 12", finished, e.Now())
+	}
+	if e.Procs()[0].Busy() != 12 {
+		t.Fatalf("busy = %d, want 12", e.Procs()[0].Busy())
+	}
+}
+
+func TestProcessesInterleaveByTime(t *testing.T) {
+	e := NewEnv()
+	var order []string
+	step := func(name string, d int64) func(*Proc) {
+		return func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				p.Advance(d)
+				order = append(order, name)
+			}
+		}
+	}
+	e.Spawn("slow", step("slow", 10))
+	e.Spawn("fast", step("fast", 3))
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// fast at t=3,6,9; slow at t=10,20,30.
+	want := "fast fast fast slow slow slow"
+	if got := strings.Join(order, " "); got != want {
+		t.Fatalf("order %q, want %q", got, want)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("makespan %d, want 30", e.Now())
+	}
+}
+
+func TestDeterministicTieBreaking(t *testing.T) {
+	run := func() []string {
+		e := NewEnv()
+		var order []string
+		for _, name := range []string{"p0", "p1", "p2"} {
+			name := name
+			e.Spawn(name, func(p *Proc) {
+				p.Advance(5) // all wake at the same instant
+				order = append(order, name)
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	a := strings.Join(run(), " ")
+	for i := 0; i < 10; i++ {
+		if b := strings.Join(run(), " "); b != a {
+			t.Fatalf("nondeterministic: %q vs %q", a, b)
+		}
+	}
+	if a != "p0 p1 p2" {
+		t.Fatalf("ties must resolve in spawn order, got %q", a)
+	}
+}
+
+func TestResourceMutualExclusionAndFIFO(t *testing.T) {
+	e := NewEnv()
+	r := e.NewResource("lock")
+	inside := 0
+	var maxInside int
+	var grants []string
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		e.Spawn(name, func(p *Proc) {
+			p.Acquire(r)
+			grants = append(grants, name)
+			inside++
+			if inside > maxInside {
+				maxInside = inside
+			}
+			p.Advance(10)
+			inside--
+			p.Release(r)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxInside != 1 {
+		t.Fatalf("mutual exclusion violated: %d inside", maxInside)
+	}
+	if got := strings.Join(grants, " "); got != "a b c" {
+		t.Fatalf("grants %q, want FIFO order", got)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("makespan %d, want 30 (serialized)", e.Now())
+	}
+	// b waited 10, c waited 20: interference accounting.
+	if e.Procs()[1].LockTime() != 10 || e.Procs()[2].LockTime() != 20 {
+		t.Fatalf("lock times %d/%d, want 10/20",
+			e.Procs()[1].LockTime(), e.Procs()[2].LockTime())
+	}
+}
+
+func TestCondWaitBroadcast(t *testing.T) {
+	e := NewEnv()
+	r := e.NewResource("lock")
+	c := e.NewCond(r)
+	ready := false
+	var consumedAt int64
+	e.Spawn("consumer", func(p *Proc) {
+		p.Acquire(r)
+		for !ready {
+			p.Wait(c)
+		}
+		consumedAt = p.Now()
+		p.Release(r)
+	})
+	e.Spawn("producer", func(p *Proc) {
+		p.Advance(42)
+		p.Acquire(r)
+		ready = true
+		p.Broadcast(c)
+		p.Release(r)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if consumedAt != 42 {
+		t.Fatalf("consumer woke at %d, want 42", consumedAt)
+	}
+	if st := e.Procs()[0].StarveTime(); st != 42 {
+		t.Fatalf("starvation time %d, want 42", st)
+	}
+}
+
+func TestSignalWakesOne(t *testing.T) {
+	e := NewEnv()
+	r := e.NewResource("lock")
+	c := e.NewCond(r)
+	woken := 0
+	items := 0
+	for i := 0; i < 2; i++ {
+		e.Spawn("waiter", func(p *Proc) {
+			p.Acquire(r)
+			for items == 0 {
+				p.Wait(c)
+			}
+			items--
+			woken++
+			p.Release(r)
+		})
+	}
+	e.Spawn("producer", func(p *Proc) {
+		p.Advance(5)
+		p.Acquire(r)
+		items = 1
+		p.Signal(c)
+		p.Release(r)
+		p.Advance(5)
+		p.Acquire(r)
+		items = 1
+		p.Signal(c)
+		p.Release(r)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woken != 2 || items != 0 {
+		t.Fatalf("woken=%d items=%d", woken, items)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	e := NewEnv()
+	r := e.NewResource("lock")
+	c := e.NewCond(r)
+	e.Spawn("stuck", func(p *Proc) {
+		p.Acquire(r)
+		p.Wait(c) // nobody will broadcast
+	})
+	err := e.Run()
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("expected deadlock error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "stuck") {
+		t.Fatalf("deadlock error should name the blocked process: %v", err)
+	}
+}
+
+func TestSpawnDuringRun(t *testing.T) {
+	e := NewEnv()
+	var childDone int64
+	e.Spawn("parent", func(p *Proc) {
+		p.Advance(10)
+		p.env.Spawn("child", func(q *Proc) {
+			q.Advance(5)
+			childDone = q.Now()
+		})
+		p.Advance(1)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if childDone != 15 {
+		t.Fatalf("child finished at %d, want 15", childDone)
+	}
+}
+
+func TestRunTwiceRejected(t *testing.T) {
+	e := NewEnv()
+	e.Spawn("a", func(p *Proc) {})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err == nil {
+		t.Fatal("second Run accepted")
+	}
+}
+
+func TestZeroAdvanceDoesNotYield(t *testing.T) {
+	e := NewEnv()
+	e.Spawn("a", func(p *Proc) {
+		p.Advance(0)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 0 {
+		t.Fatalf("clock moved on zero advance")
+	}
+}
+
+func TestNegativeAdvancePanics(t *testing.T) {
+	e := NewEnv()
+	panicked := make(chan bool, 1)
+	e.Spawn("a", func(p *Proc) {
+		defer func() {
+			panicked <- recover() != nil
+			// Re-park as exited so Run can finish.
+		}()
+		p.Advance(-1)
+	})
+	_ = e.Run()
+	if !<-panicked {
+		t.Fatal("negative Advance did not panic")
+	}
+}
+
+// A worker-pool smoke test: N workers drain a shared queue of jobs with
+// different costs; makespan must equal the LPT bound for this ordering.
+func TestWorkerPoolMakespan(t *testing.T) {
+	e := NewEnv()
+	r := e.NewResource("queue")
+	jobs := []int64{7, 3, 3, 3}
+	for w := 0; w < 2; w++ {
+		e.Spawn("worker", func(p *Proc) {
+			for {
+				p.Acquire(r)
+				if len(jobs) == 0 {
+					p.Release(r)
+					return
+				}
+				j := jobs[0]
+				jobs = jobs[1:]
+				p.Release(r)
+				p.Advance(j)
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// worker0: 7, then queue empty at its return time 7... worker1: 3+3+3=9.
+	if e.Now() != 9 {
+		t.Fatalf("makespan %d, want 9", e.Now())
+	}
+}

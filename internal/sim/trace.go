@@ -1,0 +1,29 @@
+package sim
+
+// Optional busy-interval tracing, used to render worker-utilization
+// timelines (which phases of a parallel search starve which processors).
+
+// Interval is a half-open busy span [Start, End) in virtual time.
+type Interval struct {
+	Start, End int64
+}
+
+// EnableTrace turns on busy-interval recording for all processes spawned
+// before or after the call. Call before Run.
+func (e *Env) EnableTrace() { e.trace = true }
+
+// BusyIntervals returns the recorded busy spans (only if tracing was
+// enabled). Adjacent spans are coalesced.
+func (p *Proc) BusyIntervals() []Interval { return p.intervals }
+
+// recordBusy appends a busy span, coalescing with the previous one.
+func (p *Proc) recordBusy(start, end int64) {
+	if !p.env.trace {
+		return
+	}
+	if n := len(p.intervals); n > 0 && p.intervals[n-1].End == start {
+		p.intervals[n-1].End = end
+		return
+	}
+	p.intervals = append(p.intervals, Interval{Start: start, End: end})
+}

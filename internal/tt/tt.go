@@ -1,0 +1,112 @@
+// Package tt provides a fixed-size transposition table, the standard
+// game-program substrate for caching search results across transpositions
+// (positions reachable by several move orders). The paper's algorithms
+// don't use one — 1990 memory budgets — but any engine a downstream user
+// builds on this library will want it, and experiment A5 measures what it
+// buys on transposition-rich games.
+package tt
+
+import (
+	"ertree/internal/game"
+)
+
+// Hashable is the optional capability a Position implements to enable
+// transposition tables: a 64-bit hash such that equal positions hash equal
+// and distinct positions collide with negligible probability.
+type Hashable interface {
+	Hash() uint64
+}
+
+// Bound classifies a stored value, following the usual alpha-beta
+// convention.
+type Bound uint8
+
+// Bound kinds.
+const (
+	Exact Bound = iota // value is the exact negamax value at Depth
+	Lower              // search failed high: true value >= Value
+	Upper              // search failed low: true value <= Value
+)
+
+// Entry is one table slot.
+type Entry struct {
+	Key   uint64
+	Depth int16
+	Value game.Value
+	Bound Bound
+	used  bool
+}
+
+// Table is a power-of-two direct-mapped transposition table. It is NOT safe
+// for concurrent use; each searcher should own one (or guard it).
+type Table struct {
+	slots []Entry
+	mask  uint64
+
+	// Statistics.
+	Probes, Hits, Stores, Replacements int64
+}
+
+// New creates a table with 2^bits slots (bits in [1, 30]).
+func New(bits int) *Table {
+	if bits < 1 {
+		bits = 1
+	}
+	if bits > 30 {
+		bits = 30
+	}
+	n := 1 << uint(bits)
+	return &Table{slots: make([]Entry, n), mask: uint64(n - 1)}
+}
+
+// Probe looks up the entry for key at exactly the given depth. Entries
+// stored at other depths are not returned: equal-depth matching preserves
+// the exact depth-d semantics of the search (see AlphaBetaTT), so a search
+// with a transposition table returns bit-identical root values.
+func (t *Table) Probe(key uint64, depth int) (Entry, bool) {
+	t.Probes++
+	e := t.slots[key&t.mask]
+	if !e.used || e.Key != key || int(e.Depth) != depth {
+		return Entry{}, false
+	}
+	t.Hits++
+	return e, true
+}
+
+// Store saves a result, preferring deeper entries on collisions (a deeper
+// result is more expensive to recompute) but always replacing entries from
+// the same position.
+func (t *Table) Store(key uint64, depth int, value game.Value, bound Bound) {
+	i := key & t.mask
+	e := &t.slots[i]
+	if e.used && e.Key != key && int(e.Depth) > depth {
+		return // keep the deeper stranger
+	}
+	if e.used && e.Key != key {
+		t.Replacements++
+	}
+	t.Stores++
+	*e = Entry{Key: key, Depth: int16(depth), Value: value, Bound: bound, used: true}
+}
+
+// Len returns the slot count.
+func (t *Table) Len() int { return len(t.slots) }
+
+// Fill returns the number of used slots.
+func (t *Table) Fill() int {
+	n := 0
+	for i := range t.slots {
+		if t.slots[i].used {
+			n++
+		}
+	}
+	return n
+}
+
+// HitRate returns hits over probes.
+func (t *Table) HitRate() float64 {
+	if t.Probes == 0 {
+		return 0
+	}
+	return float64(t.Hits) / float64(t.Probes)
+}

@@ -1,0 +1,140 @@
+package tt
+
+import (
+	"math/rand"
+	"testing"
+
+	"ertree/internal/connect4"
+	"ertree/internal/game"
+	"ertree/internal/othello"
+	"ertree/internal/ttt"
+)
+
+func TestStoreProbe(t *testing.T) {
+	tbl := New(8)
+	if tbl.Len() != 256 {
+		t.Fatalf("len %d", tbl.Len())
+	}
+	tbl.Store(42, 3, 17, Exact)
+	e, ok := tbl.Probe(42, 3)
+	if !ok || e.Value != 17 || e.Bound != Exact {
+		t.Fatalf("probe after store: %v %v", e, ok)
+	}
+	// Equal-depth matching: a different depth misses.
+	if _, ok := tbl.Probe(42, 4); ok {
+		t.Fatal("depth mismatch must miss")
+	}
+	// Wrong key misses.
+	if _, ok := tbl.Probe(43, 3); ok {
+		t.Fatal("wrong key must miss")
+	}
+	if tbl.HitRate() <= 0 || tbl.HitRate() > 1 {
+		t.Fatalf("hit rate %f", tbl.HitRate())
+	}
+}
+
+func TestReplacementPolicy(t *testing.T) {
+	tbl := New(1)  // two slots: lots of collisions
+	a := uint64(0) // slot 0
+	b := uint64(2) // also slot 0
+	tbl.Store(a, 5, 1, Exact)
+	tbl.Store(b, 3, 2, Exact) // shallower stranger: kept out
+	if _, ok := tbl.Probe(a, 5); !ok {
+		t.Fatal("deeper entry evicted by shallower stranger")
+	}
+	tbl.Store(b, 7, 3, Exact) // deeper stranger: replaces
+	if _, ok := tbl.Probe(b, 7); !ok {
+		t.Fatal("deeper stranger not stored")
+	}
+	if _, ok := tbl.Probe(a, 5); ok {
+		t.Fatal("evicted entry still present")
+	}
+	// Same key always replaces.
+	tbl.Store(b, 2, 9, Lower)
+	if e, ok := tbl.Probe(b, 2); !ok || e.Value != 9 || e.Bound != Lower {
+		t.Fatal("same-key update failed")
+	}
+}
+
+func TestFill(t *testing.T) {
+	tbl := New(4)
+	if tbl.Fill() != 0 {
+		t.Fatal("fresh table not empty")
+	}
+	for i := uint64(0); i < 8; i++ {
+		tbl.Store(i, 1, 0, Exact)
+	}
+	if f := tbl.Fill(); f == 0 || f > 8 {
+		t.Fatalf("fill %d", f)
+	}
+}
+
+func TestBitsClamped(t *testing.T) {
+	if New(0).Len() != 2 {
+		t.Fatal("low clamp")
+	}
+}
+
+func TestGameHashesDiscriminate(t *testing.T) {
+	// Connect Four: positions reached by different move orders that place
+	// the same stones hash equal; different positions differ.
+	a := connect4.New().MustDrop(3, 0, 4)
+	b := connect4.New().MustDrop(4, 0, 3) // same stones, transposed order
+	if a.Hash() != b.Hash() {
+		t.Fatal("connect4 transposition hashes differ")
+	}
+	c := connect4.New().MustDrop(3, 0, 5)
+	if a.Hash() == c.Hash() {
+		t.Fatal("different connect4 positions hash equal")
+	}
+
+	// Othello: playing moves must change the hash.
+	oa := othello.Start().MustPlay("d3", "c5", "e6")
+	if oa.Hash() == othello.Start().Hash() {
+		t.Fatal("othello hash ignores moves")
+	}
+
+	// Tic-tac-toe: X plays 0 then 4 vs 4 then 0 with O at 8 both times.
+	ta := ttt.New()
+	ta, _ = ta.Move(0)
+	ta, _ = ta.Move(8)
+	ta, _ = ta.Move(4)
+	tb := ttt.New()
+	tb, _ = tb.Move(4)
+	tb, _ = tb.Move(8)
+	tb, _ = tb.Move(0)
+	if ta.Hash() != tb.Hash() {
+		t.Fatal("ttt transposition hashes differ")
+	}
+}
+
+func TestHashCollisionRateLow(t *testing.T) {
+	// Random connect4 positions: hashes must be distinct in practice.
+	rng := rand.New(rand.NewSource(1))
+	seen := map[uint64]connect4.Board{}
+	positions := 0
+	for g := 0; g < 200; g++ {
+		b := connect4.New()
+		for !b.Terminal() {
+			kids := b.Children()
+			b = kids[rng.Intn(len(kids))].(connect4.Board)
+			h := b.Hash()
+			if prev, ok := seen[h]; ok {
+				if prev.String() != b.String() {
+					t.Fatalf("hash collision between distinct positions")
+				}
+			} else {
+				seen[h] = b
+				positions++
+			}
+		}
+	}
+	if positions < 1000 {
+		t.Fatalf("too few distinct positions sampled: %d", positions)
+	}
+}
+
+var _ Hashable = connect4.Board{}
+var _ Hashable = othello.Board{}
+var _ Hashable = ttt.Board{}
+var _ game.Position = connect4.Board{}

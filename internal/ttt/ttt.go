@@ -1,0 +1,165 @@
+// Package ttt implements tic-tac-toe, the game of the paper's Figure 1. Its
+// complete game tree is small enough to search exhaustively, which makes it a
+// useful end-to-end oracle: the value of the empty board is 0 (a draw, as
+// Figure 1 shows), and every search algorithm must reproduce that.
+package ttt
+
+import (
+	"strings"
+
+	"ertree/internal/game"
+)
+
+// Board is a tic-tac-toe position. Cells are indexed 0..8 row-major. X moves
+// first; ToMove is the player whose turn it is. Board implements
+// game.Position from the point of view of ToMove.
+type Board struct {
+	cells  [9]int8 // 0 empty, 1 X, 2 O
+	toMove int8    // 1 or 2
+}
+
+var _ game.Position = Board{}
+
+// New returns the empty board with X to move.
+func New() Board { return Board{toMove: 1} }
+
+// Parse builds a board from a 9-character string of 'X', 'O' and '.'
+// (whitespace ignored). The side to move is inferred from the piece counts.
+func Parse(s string) Board {
+	b := Board{}
+	i := 0
+	var nx, no int
+	for _, r := range s {
+		switch r {
+		case 'X', 'x':
+			b.cells[i] = 1
+			nx++
+			i++
+		case 'O', 'o':
+			b.cells[i] = 2
+			no++
+			i++
+		case '.':
+			i++
+		}
+		if i == 9 {
+			break
+		}
+	}
+	if nx > no {
+		b.toMove = 2
+	} else {
+		b.toMove = 1
+	}
+	return b
+}
+
+var lines = [8][3]int{
+	{0, 1, 2}, {3, 4, 5}, {6, 7, 8}, // rows
+	{0, 3, 6}, {1, 4, 7}, {2, 5, 8}, // columns
+	{0, 4, 8}, {2, 4, 6}, // diagonals
+}
+
+// winner returns 1 or 2 if that player has three in a row, else 0.
+func (b Board) winner() int8 {
+	for _, l := range lines {
+		c := b.cells[l[0]]
+		if c != 0 && c == b.cells[l[1]] && c == b.cells[l[2]] {
+			return c
+		}
+	}
+	return 0
+}
+
+// full reports whether every cell is occupied.
+func (b Board) full() bool {
+	for _, c := range b.cells {
+		if c == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Children returns the positions reachable in one move; the game tree
+// terminates at wins and full boards, exactly as in Figure 1.
+func (b Board) Children() []game.Position {
+	if b.winner() != 0 || b.full() {
+		return nil
+	}
+	var out []game.Position
+	for i, c := range b.cells {
+		if c != 0 {
+			continue
+		}
+		nb := b
+		nb.cells[i] = b.toMove
+		nb.toMove = 3 - b.toMove
+		out = append(out, nb)
+	}
+	return out
+}
+
+// Value scores the position for the player to move: -1 loss (the opponent
+// has completed a line), 0 otherwise. A win for the player to move is
+// impossible in a reachable terminal position (the winning move ends the
+// game), matching Figure 1's labels of -1, 0, +1 from the mover's view.
+func (b Board) Value() game.Value {
+	w := b.winner()
+	switch {
+	case w == 0:
+		return 0
+	case w == b.toMove:
+		return 1
+	default:
+		return -1
+	}
+}
+
+// Move returns the board after the player to move plays cell i, and whether
+// the move was legal.
+func (b Board) Move(i int) (Board, bool) {
+	if i < 0 || i > 8 || b.cells[i] != 0 || b.winner() != 0 {
+		return b, false
+	}
+	nb := b
+	nb.cells[i] = b.toMove
+	nb.toMove = 3 - b.toMove
+	return nb, true
+}
+
+// Terminal reports whether the game is over.
+func (b Board) Terminal() bool { return b.winner() != 0 || b.full() }
+
+// String renders the board.
+func (b Board) String() string {
+	var sb strings.Builder
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			switch b.cells[3*r+c] {
+			case 1:
+				sb.WriteByte('X')
+			case 2:
+				sb.WriteByte('O')
+			default:
+				sb.WriteByte('.')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Hash returns a 64-bit position hash for transposition tables: the board
+// encoded in base 3 plus the side to move, diffused.
+func (b Board) Hash() uint64 {
+	var code uint64
+	for _, c := range b.cells {
+		code = code*3 + uint64(c)
+	}
+	code = code*3 + uint64(b.toMove)
+	code += 0x9E3779B97F4A7C15
+	code = (code ^ (code >> 30)) * 0xBF58476D1CE4E5B9
+	code = (code ^ (code >> 27)) * 0x94D049BB133111EB
+	return code ^ (code >> 31)
+}

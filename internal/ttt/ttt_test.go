@@ -1,0 +1,134 @@
+package ttt
+
+import (
+	"testing"
+
+	"ertree/internal/game"
+	"ertree/internal/serial"
+)
+
+func TestEmptyBoardIsADraw(t *testing.T) {
+	// Figure 1: with optimal play tic-tac-toe is a draw (root value 0).
+	var s serial.Searcher
+	if got := s.Negmax(New(), 9); got != 0 {
+		t.Fatalf("negmax(empty) = %d, want 0", got)
+	}
+	if got := s.AlphaBeta(New(), 9, game.FullWindow()); got != 0 {
+		t.Fatalf("alpha-beta(empty) = %d, want 0", got)
+	}
+	if got := s.ER(New(), 9, game.FullWindow()); got != 0 {
+		t.Fatalf("ER(empty) = %d, want 0", got)
+	}
+}
+
+func TestAlphaBetaPrunesTicTacToe(t *testing.T) {
+	var ab, nm game.Stats
+	sa := serial.Searcher{Stats: &ab}
+	sn := serial.Searcher{Stats: &nm}
+	sa.AlphaBeta(New(), 9, game.FullWindow())
+	sn.Negmax(New(), 9)
+	if ab.Generated.Load() >= nm.Generated.Load() {
+		t.Fatalf("alpha-beta generated %d nodes, negmax %d", ab.Generated.Load(), nm.Generated.Load())
+	}
+	t.Logf("negmax: %d nodes; alpha-beta: %d nodes", nm.Generated.Load(), ab.Generated.Load())
+}
+
+func TestImmediateWinDetected(t *testing.T) {
+	// X to move with two in a row: value +1 at depth 1.
+	b := Parse("XX. OO. ...")
+	if b.toMove != 1 {
+		t.Fatalf("expected X to move, got %d", b.toMove)
+	}
+	var s serial.Searcher
+	if got := s.Negmax(b, 9); got != 1 {
+		t.Fatalf("negmax = %d, want 1 (X wins by playing cell 2)", got)
+	}
+}
+
+func TestForcedLoss(t *testing.T) {
+	// O to move; X (cells 0, 3, 4) threatens two lines — cell 5 completes
+	// 3-4-5 and cell 8 completes 0-4-8 — and O has no winning reply, so O
+	// cannot block both and loses.
+	b := Parse("X.O XX. O..")
+	if b.toMove != 2 {
+		t.Fatalf("expected O to move, got %d", b.toMove)
+	}
+	var s serial.Searcher
+	if got := s.Negmax(b, 9); got != -1 {
+		t.Fatalf("negmax = %d, want -1 (O is lost)", got)
+	}
+}
+
+func TestTerminalPositions(t *testing.T) {
+	win := Parse("XXX OO. ...")
+	if !win.Terminal() {
+		t.Fatal("completed line not terminal")
+	}
+	if win.Children() != nil {
+		t.Fatal("terminal position has children")
+	}
+	// The winner is X and it is O's turn, so the mover's value is -1.
+	if win.Value() != -1 {
+		t.Fatalf("value = %d, want -1", win.Value())
+	}
+	draw := Parse("XOX XXO OXO")
+	if !draw.Terminal() || draw.Value() != 0 {
+		t.Fatalf("draw: terminal=%v value=%d", draw.Terminal(), draw.Value())
+	}
+}
+
+func TestMoveLegality(t *testing.T) {
+	b := New()
+	b2, ok := b.Move(4)
+	if !ok || b2.cells[4] != 1 || b2.toMove != 2 {
+		t.Fatal("legal move rejected or misapplied")
+	}
+	if _, ok := b2.Move(4); ok {
+		t.Fatal("occupied cell accepted")
+	}
+	if _, ok := b2.Move(-1); ok {
+		t.Fatal("out-of-range cell accepted")
+	}
+	win := Parse("XXX OO. ...")
+	if _, ok := win.Move(8); ok {
+		t.Fatal("move after game over accepted")
+	}
+}
+
+func TestChildCountMatchesEmptyCells(t *testing.T) {
+	b := New()
+	if n := len(b.Children()); n != 9 {
+		t.Fatalf("empty board has %d children, want 9", n)
+	}
+	b, _ = b.Move(0)
+	if n := len(b.Children()); n != 8 {
+		t.Fatalf("after one move: %d children, want 8", n)
+	}
+}
+
+func TestFullGameTreeSize(t *testing.T) {
+	// The complete tic-tac-toe tree (terminating at wins) has a known node
+	// count: 549946 including the root.
+	var count func(b Board) int
+	count = func(b Board) int {
+		n := 1
+		for _, c := range b.Children() {
+			n += count(c.(Board))
+		}
+		return n
+	}
+	if got := count(New()); got != 549946 {
+		t.Fatalf("full tree size %d, want 549946", got)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	b := Parse("X.O .X. O.X")
+	s := b.String()
+	if s != "X.O\n.X.\nO.X\n" {
+		t.Fatalf("render:\n%s", s)
+	}
+	if b.toMove != 2 {
+		t.Fatalf("X has one extra piece; O to move, got %d", b.toMove)
+	}
+}

@@ -1,0 +1,31 @@
+package ertree
+
+import "ertree/internal/match"
+
+// Playable is a position that also knows when the game is over; all games
+// in this module (Othello, Connect Four, checkers, tic-tac-toe) implement
+// it.
+type Playable = match.Playable
+
+// Engine chooses moves in engine-vs-engine play.
+type Engine = match.Engine
+
+// SearchEngine is an Engine that picks the child maximizing the negation of
+// a supplied search function.
+type SearchEngine = match.SearchEngine
+
+// GameResult reports a finished (or aborted) game.
+type GameResult = match.Result
+
+// PlayGame alternates two engines from start until the game ends or
+// maxPlies is reached; the first engine moves first.
+func PlayGame(start Playable, first, second Engine, maxPlies int) GameResult {
+	return match.Play(start, first, second, maxPlies)
+}
+
+// PlaySeries plays n games alternating which engine moves first and returns
+// (aWins, bWins, draws). outcome maps a final position to +1 when the
+// player to move at the end has won, -1 when they have lost, 0 for a draw.
+func PlaySeries(start Playable, a, b Engine, games, maxPlies int, outcome func(final Playable) int) (aWins, bWins, draws int) {
+	return match.Series(start, a, b, games, maxPlies, outcome)
+}
