@@ -181,8 +181,8 @@ func BenchmarkParallelER_Simulated16(b *testing.B) {
 	opt.Workers = 16
 	opt.SerialDepth = 4
 	for i := 0; i < b.N; i++ {
-		res := core.Simulate(tr.Root(), 6, opt, benchCost)
-		if res.Value == game.NoValue {
+		res, err := core.Simulate(tr.Root(), 6, opt, benchCost)
+		if err != nil || res.Value == game.NoValue {
 			b.Fatal("bad value")
 		}
 	}
@@ -194,8 +194,8 @@ func BenchmarkParallelER_RealGoroutines(b *testing.B) {
 	opt.Workers = 8
 	opt.SerialDepth = 4
 	for i := 0; i < b.N; i++ {
-		res := core.Search(tr.Root(), 6, opt)
-		if res.Value == game.NoValue {
+		res, err := core.Search(tr.Root(), 6, opt)
+		if err != nil || res.Value == game.NoValue {
 			b.Fatal("bad value")
 		}
 	}

@@ -1,60 +1,104 @@
 package ertree
 
-import "ertree/internal/serial"
+import (
+	"errors"
+
+	"ertree/internal/serial"
+)
+
+// ErrNoMoves reports a position with no legal moves passed to BestMove.
+var ErrNoMoves = errors.New("ertree: position has no legal moves")
 
 // Move pairs a move index (position in the root's Children slice, natural
-// move order) with its exact negamax score from the root player's view.
+// move order) with its negamax score from the root player's view. Exact
+// reports whether Score is the move's exact value; when false the move was
+// refuted by a scout search and Score is a fail-soft upper bound — enough to
+// know the move is no better than the best.
 type Move struct {
 	Index int
 	Score Value
+	Exact bool
 }
 
-// BestMove searches each child of pos to depth-1 with parallel ER and
+// BestMove searches the children of pos to depth-1 with parallel ER and
 // returns the move with the highest score, together with all scored moves.
-// It returns ok=false when pos has no children. Every child is searched
-// with a full window, so all returned scores are exact — what a
-// game-playing program needs for move selection and analysis.
-func BestMove(pos Position, depth int, cfg Config) (best Move, all []Move, ok bool) {
+// The first child is searched with a full window; every later child is
+// scouted against a fail-soft lower bound of the best score so far (a null
+// window just above it) and re-searched with an open window only when it
+// fails high — the principal-variation pattern that keeps the best move's
+// score exact while refuted moves cut quickly on a bound.
+func BestMove(pos Position, depth int, cfg Config) (best Move, all []Move, err error) {
 	kids := pos.Children()
 	if len(kids) == 0 {
-		return Move{}, nil, false
+		return Move{}, nil, ErrNoMoves
 	}
+	all = make([]Move, 0, len(kids))
 	best = Move{Index: -1, Score: -Inf - 1}
 	for i, k := range kids {
-		var v Value
-		if depth <= 1 {
+		m := Move{Index: i, Exact: true}
+		switch {
+		case depth <= 1:
 			var s serial.Searcher
 			s.Stats = cfg.Stats
-			v = -s.Negmax(k, 0)
-		} else {
-			res := Search(k, depth-1, cfg)
-			v = -res.Value
+			m.Score = -s.Negmax(k, 0)
+		case best.Index < 0:
+			// First child: full window; its exact score seeds the bound.
+			res, err := Search(k, depth-1, cfg)
+			if err != nil {
+				return Move{}, all, err
+			}
+			m.Score = -res.Value
+		default:
+			// Scout: can this move beat the best? Null window (b, b+1).
+			scout := cfg
+			scout.RootWindow = &Window{Alpha: -(best.Score + 1), Beta: -best.Score}
+			res, err := Search(k, depth-1, scout)
+			if err != nil {
+				return Move{}, all, err
+			}
+			m.Score = -res.Value
+			if m.Score > best.Score {
+				// Fail high: the move beats the best so far. Re-search with
+				// the upper window open; the true value exceeds Alpha, so
+				// the fail-soft result is exact.
+				wide := cfg
+				wide.RootWindow = &Window{Alpha: -Inf, Beta: -best.Score}
+				res, err = Search(k, depth-1, wide)
+				if err != nil {
+					return Move{}, all, err
+				}
+				m.Score = -res.Value
+			} else {
+				m.Exact = false // refuted: Score is an upper bound
+			}
 		}
-		m := Move{Index: i, Score: v}
 		all = append(all, m)
-		if v > best.Score {
+		if m.Score > best.Score {
 			best = m
 		}
 	}
-	return best, all, true
+	return best, all, nil
 }
 
 // BestLine returns the principal variation from pos to the given depth as a
 // sequence of child indices (natural move order at each step), by repeatedly
 // selecting the best move with parallel ER. The line has up to depth moves;
 // it stops early at terminal positions.
-func BestLine(pos Position, depth int, cfg Config) []Move {
+func BestLine(pos Position, depth int, cfg Config) ([]Move, error) {
 	var line []Move
 	cur := pos
 	for d := depth; d > 0; d-- {
-		best, _, ok := BestMove(cur, d, cfg)
-		if !ok {
+		best, _, err := BestMove(cur, d, cfg)
+		if errors.Is(err, ErrNoMoves) {
 			break
+		}
+		if err != nil {
+			return line, err
 		}
 		line = append(line, best)
 		cur = cur.Children()[best.Index]
 	}
-	return line
+	return line, nil
 }
 
 // IterativeDeepening runs serial iterative deepening with aspiration windows

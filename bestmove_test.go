@@ -19,9 +19,9 @@ func TestBestMoveFindsTicTacToeWin(t *testing.T) {
 			t.Fatal("setup move rejected")
 		}
 	}
-	best, all, ok := ertree.BestMove(b, 5, ertree.Config{Workers: 4, SerialDepth: 2})
-	if !ok {
-		t.Fatal("no moves")
+	best, all, err := ertree.BestMove(b, 5, ertree.Config{Workers: 4, SerialDepth: 2})
+	if err != nil {
+		t.Fatal(err)
 	}
 	if best.Score != 1 {
 		t.Fatalf("best score %d, want 1 (X wins)", best.Score)
@@ -37,26 +37,39 @@ func TestBestMoveFindsTicTacToeWin(t *testing.T) {
 	}
 }
 
-func TestBestMoveScoresAreExact(t *testing.T) {
+func TestBestMoveScoutBounds(t *testing.T) {
 	tr := ertree.NewRandomTree(12, 3, 5)
 	root := tr.Root()
-	best, all, ok := ertree.BestMove(root, 5, ertree.Config{Workers: 8, SerialDepth: 2})
-	if !ok {
-		t.Fatal("no moves")
+	best, all, err := ertree.BestMove(root, 5, ertree.Config{Workers: 8, SerialDepth: 2})
+	if err != nil {
+		t.Fatal(err)
 	}
 	kids := root.Children()
-	want := -ertree.Inf
+	if len(all) != len(kids) {
+		t.Fatalf("scored %d of %d moves", len(all), len(kids))
+	}
+	// The best move's score must be exact and equal the root value; refuted
+	// moves carry fail-soft upper bounds no better than the best.
+	if !best.Exact {
+		t.Fatal("best move's score not exact")
+	}
+	if want := ertree.Negmax(root, 5); best.Score != want {
+		t.Fatalf("best score %d, want %d (= root value)", best.Score, want)
+	}
 	for i, k := range kids {
 		exact := -ertree.Negmax(k, 4)
-		if all[i].Score != exact {
-			t.Fatalf("move %d score %d, exact %d", i, all[i].Score, exact)
+		if all[i].Exact {
+			if all[i].Score != exact {
+				t.Fatalf("move %d marked exact: score %d, exact %d", i, all[i].Score, exact)
+			}
+			continue
 		}
-		if exact > want {
-			want = exact
+		if all[i].Score < exact {
+			t.Fatalf("move %d bound %d below exact %d", i, all[i].Score, exact)
 		}
-	}
-	if best.Score != want || want != ertree.Negmax(root, 5) {
-		t.Fatalf("best score %d, want %d (= root value)", best.Score, want)
+		if all[i].Score > best.Score {
+			t.Fatalf("refuted move %d bound %d exceeds best %d", i, all[i].Score, best.Score)
+		}
 	}
 }
 
@@ -68,14 +81,14 @@ func TestBestMoveDegenerate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, ok := ertree.BestMove(full, 3, ertree.Config{}); ok {
-		t.Fatal("terminal position returned a move")
+	if _, _, err := ertree.BestMove(full, 3, ertree.Config{}); err != ertree.ErrNoMoves {
+		t.Fatalf("terminal position: err = %v, want ErrNoMoves", err)
 	}
 	// Depth 1: children scored statically.
 	tr := ertree.NewRandomTree(5, 3, 4)
-	best, all, ok := ertree.BestMove(tr.Root(), 1, ertree.Config{})
-	if !ok || len(all) != 3 {
-		t.Fatalf("depth-1 best move: ok=%v moves=%d", ok, len(all))
+	best, all, err := ertree.BestMove(tr.Root(), 1, ertree.Config{})
+	if err != nil || len(all) != 3 {
+		t.Fatalf("depth-1 best move: err=%v moves=%d", err, len(all))
 	}
 	for i, k := range tr.Root().Children() {
 		if want := -k.Value(); all[i].Score != want {
@@ -132,7 +145,10 @@ func TestIterativeDeepeningAspirationSavesWork(t *testing.T) {
 func TestBestLineIsPrincipalVariation(t *testing.T) {
 	tr := ertree.NewRandomTree(21, 3, 5)
 	cfg := ertree.Config{Workers: 4, SerialDepth: 2}
-	line := ertree.BestLine(tr.Root(), 5, cfg)
+	line, err := ertree.BestLine(tr.Root(), 5, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(line) != 5 {
 		t.Fatalf("line length %d, want 5", len(line))
 	}
@@ -159,7 +175,10 @@ func TestBestLineStopsAtTerminal(t *testing.T) {
 	for _, mv := range []int{0, 3, 1, 4} {
 		b, _ = b.Move(mv)
 	}
-	line := ertree.BestLine(b, 9, ertree.Config{Workers: 2, SerialDepth: 3})
+	line, err := ertree.BestLine(b, 9, ertree.Config{Workers: 2, SerialDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(line) == 0 {
 		t.Fatal("empty line")
 	}

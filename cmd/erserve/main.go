@@ -1,0 +1,54 @@
+// Command erserve is an HTTP/JSON analysis service over the repository's
+// parallel ER engine: cancellable, time-managed search sessions with a
+// bounded concurrent-session pool and per-game shared transposition tables.
+//
+// Endpoints:
+//
+//	GET /bestmove?game=connect4&moves=3,3&depth=8&budget_ms=500
+//	GET /analyze?game=othello&depth=6        (adds per-iteration history)
+//	GET /healthz
+//	GET /stats
+//
+// A position is the list of child indices (natural move order) from the
+// game's initial position. The search runs iterative deepening under the
+// request budget and always answers with the deepest completed iteration,
+// marking completed=false when the budget cut it short.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8080", "listen address")
+		workers       = flag.Int("workers", 4, "parallel-ER workers per search")
+		serialDepth   = flag.Int("serial-depth", 3, "depth at or below which subtrees are searched serially")
+		tableBits     = flag.Int("table-bits", 20, "per-game transposition table size (2^bits slots, 0 disables)")
+		maxConcurrent = flag.Int("max-concurrent", 2, "server-wide concurrent search sessions")
+		queueTimeout  = flag.Duration("queue-timeout", time.Second, "how long an over-capacity request waits for a slot before 503")
+		maxDepth      = flag.Int("max-depth", 32, "cap on the requested search depth")
+		defaultBudget = flag.Duration("default-budget", 5*time.Second, "search budget when the request has no budget_ms")
+	)
+	flag.Parse()
+
+	s := newServer(serverConfig{
+		Workers:       *workers,
+		SerialDepth:   *serialDepth,
+		TableBits:     *tableBits,
+		MaxConcurrent: *maxConcurrent,
+		QueueTimeout:  *queueTimeout,
+		MaxDepth:      *maxDepth,
+		DefaultBudget: *defaultBudget,
+	})
+	fmt.Printf("erserve: listening on %s (%d workers/search, %d concurrent sessions)\n",
+		*addr, *workers, *maxConcurrent)
+	if err := http.ListenAndServe(*addr, s.handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "erserve:", err)
+		os.Exit(1)
+	}
+}

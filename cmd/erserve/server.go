@@ -1,0 +1,279 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"ertree/internal/checkers"
+	"ertree/internal/connect4"
+	"ertree/internal/engine"
+	"ertree/internal/game"
+	"ertree/internal/othello"
+	"ertree/internal/ttt"
+)
+
+// gameSpec describes one servable game: its initial position and the move
+// ordering its searches should use.
+type gameSpec struct {
+	root  func() game.Position
+	order game.Orderer
+}
+
+// games registers the built-in games. Positions are addressed by the list of
+// child indices (natural move order) leading from the initial position.
+var games = map[string]gameSpec{
+	"ttt":      {root: func() game.Position { return ttt.New() }},
+	"connect4": {root: func() game.Position { return connect4.New() }},
+	"othello":  {root: func() game.Position { return othello.Start() }, order: game.StaticOrder{MaxPly: 5}},
+	"checkers": {root: func() game.Position { return checkers.Start() }, order: game.StaticOrder{MaxPly: 5}},
+}
+
+// serverConfig configures a server; flag parsing in main fills it.
+type serverConfig struct {
+	Workers       int           // parallel-ER workers per search
+	SerialDepth   int           // serial work grain
+	TableBits     int           // per-game shared transposition table size
+	MaxConcurrent int           // server-wide concurrent sessions
+	QueueTimeout  time.Duration // admission-queue wait before 503
+	MaxDepth      int           // cap on requested depth
+	DefaultBudget time.Duration // search budget when the client sends none
+}
+
+// server is the HTTP analysis service: one engine per game, all sharing one
+// session-slot pool, so the whole server runs at most MaxConcurrent searches
+// with queued admission.
+type server struct {
+	cfg     serverConfig
+	engines map[string]*engine.Engine
+	start   time.Time
+}
+
+func newServer(cfg serverConfig) *server {
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 32
+	}
+	if cfg.DefaultBudget <= 0 {
+		cfg.DefaultBudget = 5 * time.Second
+	}
+	pool := engine.NewPool(cfg.MaxConcurrent)
+	s := &server{cfg: cfg, engines: make(map[string]*engine.Engine), start: time.Now()}
+	for name, spec := range games {
+		s.engines[name] = engine.New(engine.Config{
+			Workers:      cfg.Workers,
+			SerialDepth:  cfg.SerialDepth,
+			Order:        spec.order,
+			TableBits:    cfg.TableBits,
+			Delta:        32,
+			Pool:         pool,
+			QueueTimeout: cfg.QueueTimeout,
+		})
+	}
+	return s
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/bestmove", s.handleAnalyze(false))
+	mux.HandleFunc("/analyze", s.handleAnalyze(true))
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+// httpError is the JSON error envelope.
+type httpError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func fail(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, httpError{Error: fmt.Sprintf(format, args...)})
+}
+
+// iterationJSON is one completed deepening iteration on the wire.
+type iterationJSON struct {
+	Depth      int   `json:"depth"`
+	Move       int   `json:"move"`
+	Value      int   `json:"value"`
+	Researches int   `json:"researches"`
+	Nodes      int64 `json:"nodes"`
+	ElapsedMS  int64 `json:"elapsed_ms"`
+}
+
+// analysisJSON is the /bestmove and /analyze response body.
+type analysisJSON struct {
+	Game           string          `json:"game"`
+	RequestedDepth int             `json:"requested_depth"`
+	Depth          int             `json:"depth"`
+	Move           int             `json:"move"`
+	Value          int             `json:"value"`
+	Completed      bool            `json:"completed"`
+	Nodes          int64           `json:"nodes"`
+	ElapsedMS      int64           `json:"elapsed_ms"`
+	Iterations     []iterationJSON `json:"iterations,omitempty"`
+}
+
+// parsePosition resolves the game and walks the moves list (child indices,
+// natural move order) from the initial position.
+func parsePosition(q map[string][]string) (name string, pos game.Position, err error) {
+	name = firstValue(q, "game")
+	if name == "" {
+		return "", nil, errors.New("missing game parameter")
+	}
+	spec, ok := games[name]
+	if !ok {
+		return "", nil, fmt.Errorf("unknown game %q", name)
+	}
+	pos = spec.root()
+	movesParam := firstValue(q, "moves")
+	if movesParam == "" {
+		return name, pos, nil
+	}
+	for step, f := range strings.Split(movesParam, ",") {
+		idx, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return "", nil, fmt.Errorf("moves[%d]: %q is not a child index", step, f)
+		}
+		kids := pos.Children()
+		if idx < 0 || idx >= len(kids) {
+			return "", nil, fmt.Errorf("moves[%d]: index %d out of range (%d children)", step, idx, len(kids))
+		}
+		pos = kids[idx]
+	}
+	return name, pos, nil
+}
+
+func firstValue(q map[string][]string, key string) string {
+	if vs := q[key]; len(vs) > 0 {
+		return vs[0]
+	}
+	return ""
+}
+
+// handleAnalyze serves /bestmove and /analyze: the same session, with the
+// per-iteration history included only on /analyze.
+func (s *server) handleAnalyze(includeIterations bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		name, pos, err := parsePosition(q)
+		if err != nil {
+			fail(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		depth := 8
+		if d := firstValue(q, "depth"); d != "" {
+			depth, err = strconv.Atoi(d)
+			if err != nil || depth < 1 {
+				fail(w, http.StatusBadRequest, "bad depth %q", d)
+				return
+			}
+		}
+		if depth > s.cfg.MaxDepth {
+			fail(w, http.StatusBadRequest, "depth %d exceeds the server cap %d", depth, s.cfg.MaxDepth)
+			return
+		}
+		budget := s.cfg.DefaultBudget
+		if b := firstValue(q, "budget_ms"); b != "" {
+			ms, err := strconv.Atoi(b)
+			if err != nil || ms < 1 {
+				fail(w, http.StatusBadRequest, "bad budget_ms %q", b)
+				return
+			}
+			budget = time.Duration(ms) * time.Millisecond
+		}
+		// The session stops at the budget or when the client disconnects,
+		// whichever comes first, and still answers with the deepest
+		// completed iteration.
+		ctx, cancel := context.WithTimeout(r.Context(), budget)
+		defer cancel()
+
+		an, err := s.engines[name].Analyze(ctx, pos, depth)
+		switch {
+		case err == nil:
+		case errors.Is(err, engine.ErrBusy):
+			w.Header().Set("Retry-After", "1")
+			fail(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		case errors.Is(err, engine.ErrNoMoves):
+			fail(w, http.StatusUnprocessableEntity, "position is terminal: no moves to search")
+			return
+		case errors.Is(err, engine.ErrNoResult):
+			fail(w, http.StatusGatewayTimeout, "budget %v expired before the first iteration completed", budget)
+			return
+		case errors.Is(err, context.Canceled):
+			fail(w, http.StatusServiceUnavailable, "request cancelled while queued")
+			return
+		default:
+			fail(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+
+		out := analysisJSON{
+			Game:           name,
+			RequestedDepth: depth,
+			Depth:          an.Depth,
+			Move:           an.Move,
+			Value:          int(an.Value),
+			Completed:      an.Completed,
+			Nodes:          an.Nodes,
+			ElapsedMS:      an.Elapsed.Milliseconds(),
+		}
+		if includeIterations {
+			for _, it := range an.Iterations {
+				out.Iterations = append(out.Iterations, iterationJSON{
+					Depth:      it.Depth,
+					Move:       it.Move,
+					Value:      int(it.Value),
+					Researches: it.Researches,
+					Nodes:      it.Nodes,
+					ElapsedMS:  it.Elapsed.Milliseconds(),
+				})
+			}
+		}
+		writeJSON(w, http.StatusOK, out)
+	}
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"uptime_ms": time.Since(s.start).Milliseconds(),
+		"games":     len(s.engines),
+	})
+}
+
+// statsJSON is the /stats response: the admission pool plus per-game engine
+// counters.
+type statsJSON struct {
+	UptimeMS int64                   `json:"uptime_ms"`
+	Capacity int                     `json:"capacity"`
+	Active   int                     `json:"active"`
+	Games    map[string]engine.Stats `json:"games"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	out := statsJSON{
+		UptimeMS: time.Since(s.start).Milliseconds(),
+		Games:    make(map[string]engine.Stats, len(s.engines)),
+	}
+	for name, e := range s.engines {
+		st := e.Stats()
+		out.Capacity = st.Capacity // shared pool: same for every engine
+		out.Active = st.Active
+		out.Games[name] = st
+	}
+	writeJSON(w, http.StatusOK, out)
+}

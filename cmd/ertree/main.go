@@ -87,7 +87,11 @@ func main() {
 	case "er-par":
 		cfg2 := cfg
 		cfg2.Trace = *timeline
-		res := ertree.Simulate(pos, *depth, cfg2, cost)
+		res, err := ertree.Simulate(pos, *depth, cfg2, cost)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ertree:", err)
+			os.Exit(1)
+		}
 		report(res.Value, &stats)
 		fmt.Printf("virtual time %d on %d processors (busy %d, starved %d, lock wait %d)\n",
 			res.VirtualTime, res.Workers, res.BusyTime, res.StarveTime, res.LockTime)
@@ -103,7 +107,11 @@ func main() {
 			fmt.Print(metrics.Timeline("worker utilization", spans, res.VirtualTime, 64))
 		}
 	case "er-real":
-		res := ertree.Search(pos, *depth, cfg)
+		res, err := ertree.Search(pos, *depth, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ertree:", err)
+			os.Exit(1)
+		}
 		report(res.Value, &stats)
 		fmt.Printf("elapsed %v on %d workers\n", res.Elapsed, res.Workers)
 	case "aspiration":
@@ -139,7 +147,11 @@ func main() {
 	}
 
 	if *bestLine {
-		line := ertree.BestLine(pos, *depth, cfg)
+		line, err := ertree.BestLine(pos, *depth, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ertree:", err)
+			os.Exit(1)
+		}
 		if len(line) == 0 {
 			fmt.Println("no moves (terminal position)")
 			return

@@ -51,13 +51,13 @@ func TestEveryAlgorithmAgreesEverywhere(t *testing.T) {
 			assert("AlphaBetaTT", s.AlphaBetaTT(root, h, ertree.FullWindow(), ertree.NewTranspositionTable(10)))
 
 			cfg := ertree.Config{Workers: 1 + rng.Intn(16), SerialDepth: rng.Intn(h + 1)}
-			assert("Search", ertree.Search(root, h, cfg).Value)
-			assert("Simulate", ertree.Simulate(root, h, cfg, cost).Value)
+			assert("Search", mustSearch(t, root, h, cfg).Value)
+			assert("Simulate", mustSimulate(t, root, h, cfg, cost).Value)
 
 			cfgAlt := cfg
 			cfgAlt.SpecRank = ertree.SpecRankBound
 			cfgAlt.EagerSpec = true
-			assert("Simulate/bound+eager", ertree.Simulate(root, h, cfgAlt, cost).Value)
+			assert("Simulate/bound+eager", mustSimulate(t, root, h, cfgAlt, cost).Value)
 
 			assert("Aspiration", ertree.Aspiration(root, h,
 				ertree.AspirationOptions{Workers: 1 + rng.Intn(8), Bound: spec.ValueRange + 10}, cost).Value)
@@ -131,7 +131,7 @@ func TestAlgorithmsAgreeOnRealGames(t *testing.T) {
 		}
 		for _, p := range []int{2, 7, 16} {
 			cfg := ertree.Config{Workers: p, SerialDepth: tc.depth / 2, Order: order}
-			if got := ertree.Simulate(tc.pos, tc.depth, cfg, cost); got.Value != want {
+			if got := mustSimulate(t, tc.pos, tc.depth, cfg, cost); got.Value != want {
 				t.Errorf("%s P=%d: parallel ER %d, want %d", tc.name, p, got.Value, want)
 			}
 		}

@@ -12,7 +12,7 @@
 // Define a game by implementing Position (or use a built-in game):
 //
 //	board := ertree.Othello()                   // initial Othello position
-//	res := ertree.Search(board, 6, ertree.Config{Workers: 8, SerialDepth: 4})
+//	res, _ := ertree.Search(board, 6, ertree.Config{Workers: 8, SerialDepth: 4})
 //	fmt.Println(res.Value)                      // exact negamax value, 6 plies
 //
 // Search runs parallel ER on goroutines. Simulate runs the identical

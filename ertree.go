@@ -1,10 +1,22 @@
 package ertree
 
 import (
+	"context"
+
 	"ertree/internal/core"
 	"ertree/internal/game"
 	"ertree/internal/serial"
 	"ertree/internal/tt"
+)
+
+// Errors returned by Search, SearchContext and Simulate.
+var (
+	// ErrAborted reports a search cancelled before the root resolved; the
+	// partial Result still carries statistics.
+	ErrAborted = core.ErrAborted
+	// ErrUnresolved reports a search that terminated without resolving the
+	// root, an internal invariant violation.
+	ErrUnresolved = core.ErrUnresolved
 )
 
 // Position is a game state from the point of view of the player to move.
@@ -114,6 +126,11 @@ type Config struct {
 	// elder grandchild instead of the paper's all-but-one rule. Helps on
 	// uninformed trees, hurts on strongly ordered games (experiment A6).
 	EagerSpec bool
+	// RootWindow, if non-nil, narrows the root search window. The search is
+	// fail-soft: a value inside the window is exact, a value at or below
+	// Alpha is an upper bound, a value at or above Beta is a lower bound.
+	// Nil searches the full window and always returns the exact value.
+	RootWindow *Window
 	// Stats, if non-nil, receives node accounting.
 	Stats *Stats
 }
@@ -138,6 +155,7 @@ func (c Config) options() core.Options {
 		EarlyChoice:        !c.DisableEarlyChoice,
 		SpecRank:           c.SpecRank,
 		EagerSpec:          c.EagerSpec,
+		RootWindow:         c.RootWindow,
 		Trace:              c.Trace,
 		Stats:              c.Stats,
 	}
@@ -153,16 +171,30 @@ type CostModel = core.CostModel
 // DefaultCostModel returns the cost model used by the experiment harness.
 func DefaultCostModel() CostModel { return core.DefaultCostModel() }
 
-// Search runs parallel ER on real goroutines and returns the exact root
-// value. Correct for any worker count; prefer Simulate for speedup
-// measurement on machines with few cores.
-func Search(pos Position, depth int, cfg Config) Result {
+// Search runs parallel ER on real goroutines and returns the root value —
+// exact, or a fail-soft bound when Config.RootWindow excludes it. Correct for
+// any worker count; prefer Simulate for speedup measurement on machines with
+// few cores. The error is always nil today unless a RootWindow search trips
+// an internal invariant; it exists so cancellable variants share the
+// signature.
+func Search(pos Position, depth int, cfg Config) (Result, error) {
 	return core.Search(pos, depth, cfg.options())
+}
+
+// SearchContext is Search under a context: when ctx is cancelled or its
+// deadline expires, the workers stop cooperatively and SearchContext returns
+// the partial Result with ErrAborted. Callers wanting a best-so-far answer
+// under time control should prefer the engine package, which wraps this in
+// iterative deepening.
+func SearchContext(ctx context.Context, pos Position, depth int, cfg Config) (Result, error) {
+	opt := cfg.options()
+	opt.Cancel = ctx.Done()
+	return core.Search(pos, depth, opt)
 }
 
 // Simulate runs parallel ER on P virtual processors of the deterministic
 // discrete-event simulator under the given cost model, reporting virtual
 // makespan and the starvation/interference loss decomposition of §3.1.
-func Simulate(pos Position, depth int, cfg Config, cost CostModel) Result {
+func Simulate(pos Position, depth int, cfg Config, cost CostModel) (Result, error) {
 	return core.Simulate(pos, depth, cfg.options(), cost)
 }

@@ -20,11 +20,11 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	if v := ertree.SerialER(b, 4); v != want {
 		t.Fatalf("SerialER %d, want %d", v, want)
 	}
-	res := ertree.Search(b, 4, ertree.Config{Workers: 4, SerialDepth: 2})
+	res := mustSearch(t, b, 4, ertree.Config{Workers: 4, SerialDepth: 2})
 	if res.Value != want {
 		t.Fatalf("Search %d, want %d", res.Value, want)
 	}
-	sim := ertree.Simulate(b, 4, ertree.Config{Workers: 4, SerialDepth: 2}, ertree.DefaultCostModel())
+	sim := mustSimulate(t, b, 4, ertree.Config{Workers: 4, SerialDepth: 2}, ertree.DefaultCostModel())
 	if sim.Value != want {
 		t.Fatalf("Simulate %d, want %d", sim.Value, want)
 	}
@@ -41,7 +41,7 @@ func TestPublicAPIWorkloads(t *testing.T) {
 	}
 	tr := ertree.NewRandomTree(1, 3, 5)
 	want := ertree.Negmax(tr.Root(), 5)
-	res := ertree.Simulate(tr.Root(), 5, ertree.Config{Workers: 8, SerialDepth: 2}, ertree.DefaultCostModel())
+	res := mustSimulate(t, tr.Root(), 5, ertree.Config{Workers: 8, SerialDepth: 2}, ertree.DefaultCostModel())
 	if res.Value != want {
 		t.Fatalf("random tree: %d want %d", res.Value, want)
 	}
@@ -94,7 +94,7 @@ func TestConfigTogglesMapThrough(t *testing.T) {
 		DisableMultipleENodes:     true,
 		DisableEarlyChoice:        true,
 	}
-	res := ertree.Simulate(tr.Root(), 5, cfg, ertree.DefaultCostModel())
+	res := mustSimulate(t, tr.Root(), 5, cfg, ertree.DefaultCostModel())
 	if res.Value != want {
 		t.Fatalf("no-speculation config: %d want %d", res.Value, want)
 	}
@@ -106,7 +106,7 @@ func TestConfigTogglesMapThrough(t *testing.T) {
 func TestStatsPlumbing(t *testing.T) {
 	var st ertree.Stats
 	tr := ertree.NewRandomTree(4, 3, 4)
-	ertree.Search(tr.Root(), 4, ertree.Config{Workers: 2, Stats: &st})
+	mustSearch(t, tr.Root(), 4, ertree.Config{Workers: 2, Stats: &st})
 	snap := st.Snapshot()
 	if snap.Generated == 0 || snap.Evaluated == 0 {
 		t.Fatalf("stats not accumulated: %+v", snap)

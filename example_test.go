@@ -17,7 +17,7 @@ func ExampleNegmax() {
 func ExampleSearch() {
 	tree := ertree.NewRandomTree(7, 4, 6)
 	serial := ertree.AlphaBeta(tree.Root(), 6)
-	parallel := ertree.Search(tree.Root(), 6, ertree.Config{Workers: 8, SerialDepth: 3})
+	parallel, _ := ertree.Search(tree.Root(), 6, ertree.Config{Workers: 8, SerialDepth: 3})
 	fmt.Println(serial == parallel.Value)
 	// Output: true
 }
@@ -27,14 +27,14 @@ func ExampleSearch() {
 func ExampleSimulate() {
 	tree := ertree.NewRandomTree(7, 4, 6)
 	cfg := ertree.Config{Workers: 16, SerialDepth: 3}
-	a := ertree.Simulate(tree.Root(), 6, cfg, ertree.DefaultCostModel())
-	b := ertree.Simulate(tree.Root(), 6, cfg, ertree.DefaultCostModel())
+	a, _ := ertree.Simulate(tree.Root(), 6, cfg, ertree.DefaultCostModel())
+	b, _ := ertree.Simulate(tree.Root(), 6, cfg, ertree.DefaultCostModel())
 	fmt.Println(a.VirtualTime == b.VirtualTime, a.Value == b.Value)
 	// Output: true true
 }
 
-// BestMove scores every move exactly; in Connect Four the center opening is
-// best.
+// BestMove returns the highest-scoring move with an exact score; in Connect
+// Four the center opening is best.
 func ExampleBestMove() {
 	best, _, _ := ertree.BestMove(ertree.Connect4(), 7, ertree.Config{Workers: 4, SerialDepth: 4})
 	// Children are ordered center-out, so index 0 is the center column.

@@ -39,8 +39,11 @@ func main() {
 
 	fmt.Printf("%4s %12s %12s %12s %12s %12s\n", "P", "parallel-ER", "aspiration", "MWF", "tree-split", "pv-split")
 	for _, p := range []int{1, 2, 4, 8, 16} {
-		er := ertree.Simulate(tr.Root(), *depth,
+		er, err := ertree.Simulate(tr.Root(), *depth,
 			ertree.Config{Workers: p, SerialDepth: *depth - 3, Order: order}, cost)
+		if err != nil {
+			panic(err)
+		}
 		check("parallel ER", er.Value)
 
 		asp := ertree.Aspiration(tr.Root(), *depth,

@@ -20,9 +20,9 @@ func main() {
 
 	// Score every first move of the game.
 	b := ertree.Connect4()
-	best, all, ok := ertree.BestMove(b, searchDepth, cfg)
-	if !ok {
-		log.Fatal("no moves on the empty board")
+	best, all, err := ertree.BestMove(b, searchDepth, cfg)
+	if err != nil {
+		log.Fatal(err)
 	}
 	fmt.Printf("opening analysis at depth %d (children are center-out: 3,2,4,1,5,0,6):\n", searchDepth)
 	for _, m := range all {
@@ -30,14 +30,18 @@ func main() {
 		if m.Index == best.Index {
 			marker = "*"
 		}
-		fmt.Printf("  %s child %d: score %+d\n", marker, m.Index, m.Score)
+		kind := "score"
+		if !m.Exact {
+			kind = "bound" // refuted by the scout search: upper bound only
+		}
+		fmt.Printf("  %s child %d: %s %+d\n", marker, m.Index, kind, m.Score)
 	}
 
 	// Self-play: the engine answers itself for a few plies.
 	fmt.Printf("\nself-play, %d plies at depth %d:\n\n", playPlies, searchDepth)
 	for i := 0; i < playPlies && !b.Terminal(); i++ {
-		best, _, ok := ertree.BestMove(b, searchDepth, cfg)
-		if !ok {
+		best, _, err := ertree.BestMove(b, searchDepth, cfg)
+		if err != nil {
 			break
 		}
 		kids := b.Children()

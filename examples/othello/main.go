@@ -34,11 +34,14 @@ func pickMove(b ertree.OthelloBoard, search func(ertree.Position) ertree.Value) 
 func main() {
 	order := ertree.StaticOrder{MaxPly: 5}
 	parallelER := func(p ertree.Position) ertree.Value {
-		res := ertree.Search(p, searchDepth, ertree.Config{
+		res, err := ertree.Search(p, searchDepth, ertree.Config{
 			Workers:     4,
 			SerialDepth: 3,
 			Order:       order,
 		})
+		if err != nil {
+			panic(err)
+		}
 		return res.Value
 	}
 	alphaBeta := func(p ertree.Position) ertree.Value {

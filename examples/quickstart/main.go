@@ -51,12 +51,18 @@ func main() {
 		er := ertree.SerialER(Nim(pile), depth)
 
 		// Parallel ER on 4 goroutine workers.
-		par := ertree.Search(Nim(pile), depth, ertree.Config{Workers: 4, SerialDepth: 3})
+		par, err := ertree.Search(Nim(pile), depth, ertree.Config{Workers: 4, SerialDepth: 3})
+		if err != nil {
+			log.Fatalf("pile %d: %v", pile, err)
+		}
 
 		// Parallel ER on 4 virtual processors of the deterministic
 		// simulator, which also reports virtual time.
-		sim := ertree.Simulate(Nim(pile), depth, ertree.Config{Workers: 4, SerialDepth: 3},
+		sim, err := ertree.Simulate(Nim(pile), depth, ertree.Config{Workers: 4, SerialDepth: 3},
 			ertree.DefaultCostModel())
+		if err != nil {
+			log.Fatalf("pile %d: %v", pile, err)
+		}
 
 		if negmax != want || ab != want || er != want || par.Value != want || sim.Value != want {
 			log.Fatalf("pile %d: got %d/%d/%d/%d/%d, want %d",

@@ -44,10 +44,13 @@ func main() {
 
 	fmt.Printf("%3s  %10s  %10s  %10s  %s\n", "P", "time", "speedup", "nodes", "efficiency")
 	for _, p := range []int{1, 2, 4, 8, 12, 16} {
-		res := ertree.Simulate(tr.Root(), *depth, ertree.Config{
+		res, err := ertree.Simulate(tr.Root(), *depth, ertree.Config{
 			Workers:     p,
 			SerialDepth: *serial,
 		}, cost)
+		if err != nil {
+			panic(err)
+		}
 		if res.Value != value {
 			panic("parallel ER disagrees")
 		}

@@ -21,7 +21,11 @@ func engine(name string, depth int, search func(ertree.Position, int) ertree.Val
 
 func main() {
 	parER := func(p ertree.Position, d int) ertree.Value {
-		return ertree.Search(p, d, ertree.Config{Workers: 4, SerialDepth: d - 2}).Value
+		res, err := ertree.Search(p, d, ertree.Config{Workers: 4, SerialDepth: d - 2})
+		if err != nil {
+			panic(err)
+		}
+		return res.Value
 	}
 	alphaBeta := func(p ertree.Position, d int) ertree.Value {
 		var s ertree.Serial

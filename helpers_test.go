@@ -1,0 +1,28 @@
+package ertree_test
+
+import (
+	"testing"
+
+	"ertree"
+)
+
+// mustSearch and mustSimulate unwrap the error-returning entry points for
+// tests that search with a full window and no cancellation, where any error
+// is a bug.
+func mustSearch(t testing.TB, pos ertree.Position, depth int, cfg ertree.Config) ertree.Result {
+	t.Helper()
+	res, err := ertree.Search(pos, depth, cfg)
+	if err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	return res
+}
+
+func mustSimulate(t testing.TB, pos ertree.Position, depth int, cfg ertree.Config, cost ertree.CostModel) ertree.Result {
+	t.Helper()
+	res, err := ertree.Simulate(pos, depth, cfg, cost)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	return res
+}

@@ -34,11 +34,11 @@ func TestParallelERExactOnFixtures(t *testing.T) {
 		for _, workers := range []int{1, 2, 4, 16} {
 			opt := DefaultOptions()
 			opt.Workers = workers
-			res := Simulate(f.root, f.root.Height(), opt, DefaultCostModel())
+			res := mustSimulate(t, f.root, f.root.Height(), opt, DefaultCostModel())
 			if res.Value != f.want {
 				t.Errorf("%s P=%d: value %d, want %d", f.name, workers, res.Value, f.want)
 			}
-			got := Search(f.root, f.root.Height(), opt)
+			got := mustSearch(t, f.root, f.root.Height(), opt)
 			if got.Value != f.want {
 				t.Errorf("%s P=%d (real): value %d, want %d", f.name, workers, got.Value, f.want)
 			}
@@ -79,7 +79,7 @@ func TestParallelERExactRandomSweep(t *testing.T) {
 						opt := cfg
 						opt.Workers = workers
 						opt.SerialDepth = sd
-						res := Simulate(root, h, opt, DefaultCostModel())
+						res := mustSimulate(t, root, h, opt, DefaultCostModel())
 						if res.Value != want {
 							t.Fatalf("spec tree %d cfg %d P=%d sd=%d: value %d, want %d\n%s",
 								i, ci, workers, sd, res.Value, want, root)
@@ -106,7 +106,7 @@ func TestParallelERRealRuntimeRandomSweep(t *testing.T) {
 			opt := DefaultOptions()
 			opt.Workers = workers
 			opt.SerialDepth = h / 2
-			res := Search(root, h, opt)
+			res := mustSearch(t, root, h, opt)
 			if res.Value != want {
 				t.Fatalf("tree %d P=%d: value %d, want %d\n%s", i, workers, res.Value, want, root)
 			}
@@ -121,9 +121,9 @@ func TestSimulateDeterministic(t *testing.T) {
 	opt := DefaultOptions()
 	opt.Workers = 7
 	opt.SerialDepth = 3
-	a := Simulate(tr.Root(), 5, opt, DefaultCostModel())
+	a := mustSimulate(t, tr.Root(), 5, opt, DefaultCostModel())
 	for i := 0; i < 3; i++ {
-		b := Simulate(tr.Root(), 5, opt, DefaultCostModel())
+		b := mustSimulate(t, tr.Root(), 5, opt, DefaultCostModel())
 		if a.Value != b.Value || a.VirtualTime != b.VirtualTime ||
 			a.Stats.Generated != b.Stats.Generated || a.SpecPops != b.SpecPops {
 			t.Fatalf("nondeterministic simulation: %+v vs %+v", a, b)
@@ -143,7 +143,7 @@ func TestRealGamesAllWorkerCounts(t *testing.T) {
 		opt := DefaultOptions()
 		opt.Workers = workers
 		opt.SerialDepth = 4
-		if res := Simulate(b, 7, opt, DefaultCostModel()); res.Value != want {
+		if res := mustSimulate(t, b, 7, opt, DefaultCostModel()); res.Value != want {
 			t.Fatalf("ttt P=%d: %d want %d", workers, res.Value, want)
 		}
 	}
@@ -156,7 +156,7 @@ func TestRealGamesAllWorkerCounts(t *testing.T) {
 		opt.Workers = workers
 		opt.SerialDepth = 1
 		opt.Order = game.StaticOrder{MaxPly: 5}
-		if res := Simulate(o, 3, opt, DefaultCostModel()); res.Value != wantO {
+		if res := mustSimulate(t, o, 3, opt, DefaultCostModel()); res.Value != wantO {
 			t.Fatalf("othello P=%d: %d want %d", workers, res.Value, wantO)
 		}
 	}
@@ -172,7 +172,7 @@ func TestSpeedupOnRandomTree(t *testing.T) {
 		opt := DefaultOptions()
 		opt.Workers = workers
 		opt.SerialDepth = 4
-		res := Simulate(tr.Root(), 7, opt, DefaultCostModel())
+		res := mustSimulate(t, tr.Root(), 7, opt, DefaultCostModel())
 		times[workers] = res.VirtualTime
 		if workers == 1 {
 			nodes1 = res.Stats.Generated
@@ -205,7 +205,7 @@ func TestNodesGrowWithWorkers(t *testing.T) {
 		opt := DefaultOptions()
 		opt.Workers = workers
 		opt.SerialDepth = 4
-		res := Simulate(tr.Root(), 7, opt, DefaultCostModel())
+		res := mustSimulate(t, tr.Root(), 7, opt, DefaultCostModel())
 		nodes[workers] = res.Stats.Generated + res.Stats.Evaluated
 	}
 	if nodes[4] < nodes[1] {
@@ -228,8 +228,8 @@ func TestStarvationWithoutSpeculation(t *testing.T) {
 	noSpec := base
 	full := base
 	full.ParallelRefutation, full.MultipleENodes, full.EarlyChoice = true, true, true
-	rNo := Simulate(tr.Root(), 6, noSpec, DefaultCostModel())
-	rFull := Simulate(tr.Root(), 6, full, DefaultCostModel())
+	rNo := mustSimulate(t, tr.Root(), 6, noSpec, DefaultCostModel())
+	rFull := mustSimulate(t, tr.Root(), 6, full, DefaultCostModel())
 	if rNo.Value != rFull.Value {
 		t.Fatalf("values differ: %d vs %d", rNo.Value, rFull.Value)
 	}
@@ -248,12 +248,12 @@ func TestSpecQueueUsed(t *testing.T) {
 	opt := DefaultOptions()
 	opt.Workers = 8
 	opt.SerialDepth = 3
-	res := Simulate(tr.Root(), 6, opt, DefaultCostModel())
+	res := mustSimulate(t, tr.Root(), 6, opt, DefaultCostModel())
 	if res.SpecPops == 0 {
 		t.Errorf("speculative queue never used with 8 workers")
 	}
 	opt.MultipleENodes, opt.EarlyChoice = false, false
-	res = Simulate(tr.Root(), 6, opt, DefaultCostModel())
+	res = mustSimulate(t, tr.Root(), 6, opt, DefaultCostModel())
 	if res.SpecPops != 0 {
 		t.Errorf("speculative queue used while disabled: %d pops", res.SpecPops)
 	}
@@ -265,7 +265,7 @@ func TestSerialDepthEquivalence(t *testing.T) {
 	tr := &randtree.Tree{Seed: 21, Degree: 3, Depth: 6, ValueRange: 100}
 	opt := DefaultOptions()
 	opt.SerialDepth = 6
-	res := Simulate(tr.Root(), 6, opt, DefaultCostModel())
+	res := mustSimulate(t, tr.Root(), 6, opt, DefaultCostModel())
 	var st game.Stats
 	s := serial.Searcher{Stats: &st}
 	want := s.ER(tr.Root(), 6, game.FullWindow())
@@ -288,17 +288,17 @@ func TestSerialDepthEquivalence(t *testing.T) {
 func TestDegenerateRoots(t *testing.T) {
 	leaf := gtree.L(42)
 	opt := DefaultOptions()
-	if res := Simulate(leaf, 0, opt, DefaultCostModel()); res.Value != 42 {
+	if res := mustSimulate(t, leaf, 0, opt, DefaultCostModel()); res.Value != 42 {
 		t.Fatalf("depth-0 root: %d want 42", res.Value)
 	}
-	if res := Simulate(leaf, 5, opt, DefaultCostModel()); res.Value != 42 {
+	if res := mustSimulate(t, leaf, 5, opt, DefaultCostModel()); res.Value != 42 {
 		t.Fatalf("terminal root: %d want 42", res.Value)
 	}
 	single := gtree.N(gtree.L(-3))
-	if res := Simulate(single, 1, opt, DefaultCostModel()); res.Value != 3 {
+	if res := mustSimulate(t, single, 1, opt, DefaultCostModel()); res.Value != 3 {
 		t.Fatalf("single child: %d want 3", res.Value)
 	}
-	if res := Search(single, 1, opt); res.Value != 3 {
+	if res := mustSearch(t, single, 1, opt); res.Value != 3 {
 		t.Fatalf("single child (real): %d want 3", res.Value)
 	}
 }
@@ -420,7 +420,7 @@ func TestCutoffDropsHappen(t *testing.T) {
 	opt := DefaultOptions()
 	opt.Workers = 16
 	opt.SerialDepth = 2
-	res := Simulate(tr.Root(), 5, opt, DefaultCostModel())
+	res := mustSimulate(t, tr.Root(), 5, opt, DefaultCostModel())
 	if res.CutoffDrops+res.Dropped == 0 {
 		t.Errorf("no queued work was ever cancelled with 16 workers")
 	}
@@ -443,7 +443,7 @@ func TestSpecRankVariantsExact(t *testing.T) {
 				opt.Workers = workers
 				opt.SerialDepth = h / 2
 				opt.SpecRank = rank
-				if res := Simulate(root, h, opt, DefaultCostModel()); res.Value != want {
+				if res := mustSimulate(t, root, h, opt, DefaultCostModel()); res.Value != want {
 					t.Fatalf("tree %d rank=%v P=%d: value %d, want %d", i, rank, workers, res.Value, want)
 				}
 			}
@@ -471,7 +471,7 @@ func TestEagerSpecExact(t *testing.T) {
 			opt.Workers = workers
 			opt.SerialDepth = h / 2
 			opt.EagerSpec = true
-			if res := Simulate(root, h, opt, DefaultCostModel()); res.Value != want {
+			if res := mustSimulate(t, root, h, opt, DefaultCostModel()); res.Value != want {
 				t.Fatalf("tree %d P=%d eager: value %d, want %d", i, workers, res.Value, want)
 			}
 		}
@@ -486,7 +486,7 @@ func TestTraceTimeline(t *testing.T) {
 	opt.Workers = 4
 	opt.SerialDepth = 3
 	opt.Trace = true
-	res := Simulate(tr.Root(), 5, opt, DefaultCostModel())
+	res := mustSimulate(t, tr.Root(), 5, opt, DefaultCostModel())
 	if len(res.Timeline) != 4 {
 		t.Fatalf("timeline rows %d, want 4", len(res.Timeline))
 	}
@@ -512,7 +512,7 @@ func TestTraceTimeline(t *testing.T) {
 	}
 	// Without Trace, no timeline is recorded.
 	opt.Trace = false
-	if res := Simulate(tr.Root(), 5, opt, DefaultCostModel()); res.Timeline != nil {
+	if res := mustSimulate(t, tr.Root(), 5, opt, DefaultCostModel()); res.Timeline != nil {
 		t.Fatal("timeline recorded without Trace")
 	}
 }
@@ -527,8 +527,8 @@ func TestRealMatchesSimAtP1(t *testing.T) {
 		h := root.Height()
 		opt := DefaultOptions()
 		opt.SerialDepth = h / 2
-		real := Search(root, h, opt)
-		sim := Simulate(root, h, opt, DefaultCostModel())
+		real := mustSearch(t, root, h, opt)
+		sim := mustSimulate(t, root, h, opt, DefaultCostModel())
 		if real.Value != sim.Value {
 			t.Fatalf("tree %d: values differ: %d vs %d", i, real.Value, sim.Value)
 		}

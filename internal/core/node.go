@@ -51,6 +51,10 @@ type node struct {
 	// completes). It only ever increases.
 	value game.Value
 
+	// rootWin is the search window of the whole tree; meaningful only on
+	// the root node (Options.RootWindow, FullWindow by default).
+	rootWin game.Window
+
 	done   bool // value is final (subtree solved or node cut off)
 	cutoff bool // done because value >= effective beta
 
@@ -97,7 +101,7 @@ func (n *node) alive() bool {
 // come from the alpha side being inherited across levels.
 func (n *node) window() game.Window {
 	if n.parent == nil {
-		return game.FullWindow()
+		return n.rootWin
 	}
 	pw := n.parent.window()
 	a := pw.Alpha

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -8,6 +9,17 @@ import (
 	"ertree/internal/game"
 	"ertree/internal/sim"
 )
+
+// ErrAborted is returned by Search when the Cancel channel fired before the
+// root was resolved. The accompanying Result carries everything the engine
+// had proven at that point: Value is the root's running fail-soft lower
+// bound (-Inf when no child had completed) and the statistics count the work
+// actually performed.
+var ErrAborted = errors.New("core: search aborted")
+
+// ErrUnresolved reports that the workers all exited with the root still
+// unresolved and no cancellation requested — an engine invariant violation.
+var ErrUnresolved = errors.New("core: search terminated with unresolved root")
 
 // Options configures a parallel ER search.
 type Options struct {
@@ -43,6 +55,18 @@ type Options struct {
 	EagerSpec bool
 	// Stats, if non-nil, receives node accounting.
 	Stats *game.Stats
+	// RootWindow, when non-nil, restricts the whole search to the given
+	// alpha-beta window instead of (-Inf, Inf). The result is fail-soft: a
+	// value inside the window is exact, a value at or below Alpha is an
+	// upper bound on the true value, a value at or above Beta a lower
+	// bound. Aspiration drivers (internal/engine) use this to steer
+	// iterative deepening.
+	RootWindow *game.Window
+	// Cancel, when non-nil, makes Search cooperatively cancellable: once
+	// the channel is closed every worker abandons the search at its next
+	// pop-loop check and Search returns ErrAborted together with the
+	// partial result. Ignored by Simulate, which is deterministic.
+	Cancel <-chan struct{}
 }
 
 // SpecRank is a speculative-queue ordering policy.
@@ -153,13 +177,31 @@ func (s *state) result(workers int) Result {
 // is correct for any worker count; on a single-CPU host the workers
 // interleave rather than run in parallel, so use Simulate for speedup
 // measurements.
-func Search(pos game.Position, depth int, opt Options) Result {
+//
+// When Options.Cancel fires before the root is resolved, Search returns the
+// partial Result together with ErrAborted; all workers exit promptly at
+// their next pop-loop check.
+func Search(pos game.Position, depth int, opt Options) (Result, error) {
 	workers := opt.Workers
 	if workers < 1 {
 		workers = 1
 	}
 	s := newState(pos, depth, opt, DefaultCostModel())
 	rt := newRealRuntime()
+	if opt.Cancel != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-opt.Cancel:
+				rt.mu.Lock()
+				s.aborted = true
+				rt.cond.Broadcast()
+				rt.mu.Unlock()
+			case <-stop:
+			}
+		}()
+	}
 	start := time.Now()
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
@@ -170,23 +212,32 @@ func Search(pos game.Position, depth int, opt Options) Result {
 		}()
 	}
 	wg.Wait()
+	rt.mu.Lock()
+	aborted := s.aborted
+	rt.mu.Unlock()
 	res := s.result(workers)
 	res.Elapsed = time.Since(start)
 	if !s.root.done {
-		panic("core: search terminated with unresolved root")
+		if aborted {
+			return res, ErrAborted
+		}
+		return res, ErrUnresolved
 	}
-	return res
+	return res, nil
 }
 
 // Simulate runs parallel ER on the deterministic discrete-event simulator
 // with P virtual processors under the given cost model. Results (value,
 // node counts, virtual makespan, loss decomposition) are exactly
-// reproducible. It panics if the engine deadlocks, which would be a bug.
-func Simulate(pos game.Position, depth int, opt Options, cost CostModel) Result {
+// reproducible. Options.Cancel is ignored: simulated runs always complete.
+// It panics if the simulator itself deadlocks — an internal-invariant
+// violation — but an unresolved root is reported as ErrUnresolved.
+func Simulate(pos game.Position, depth int, opt Options, cost CostModel) (Result, error) {
 	workers := opt.Workers
 	if workers < 1 {
 		workers = 1
 	}
+	opt.Cancel = nil
 	s := newState(pos, depth, opt, cost)
 	env := sim.NewEnv()
 	if opt.Trace {
@@ -203,7 +254,7 @@ func Simulate(pos game.Position, depth int, opt Options, cost CostModel) Result 
 		panic("core: " + err.Error())
 	}
 	if !s.root.done {
-		panic("core: simulation terminated with unresolved root")
+		return s.result(workers), ErrUnresolved
 	}
 	out := s.result(workers)
 	out.VirtualTime = env.Now()
@@ -215,5 +266,5 @@ func Simulate(pos game.Position, depth int, opt Options, cost CostModel) Result 
 			out.Timeline = append(out.Timeline, p.BusyIntervals())
 		}
 	}
-	return out
+	return out, nil
 }

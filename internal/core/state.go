@@ -17,6 +17,7 @@ type state struct {
 	root     *node
 	seq      uint64
 	finished bool
+	aborted  bool // cancellation requested; workers exit at the next pop-loop check
 	stats    *game.Stats
 
 	// engine counters (beyond game.Stats)
@@ -31,6 +32,9 @@ func newState(pos game.Position, depth int, opt Options, cost CostModel) *state 
 		s.stats = &game.Stats{}
 	}
 	s.root = s.newNode(pos, nil, eNode, depth)
+	if opt.RootWindow != nil {
+		s.root.rootWin = *opt.RootWindow
+	}
 	s.stats.AddGenerated(1)
 	s.heap.pushPrimary(s.root)
 	return s
@@ -41,6 +45,8 @@ func (s *state) newNode(pos game.Position, parent *node, typ nodeType, depth int
 	n := &node{pos: pos, parent: parent, typ: typ, depth: depth, value: -game.Inf, seq: s.seq}
 	if parent != nil {
 		n.ply = parent.ply + 1
+	} else {
+		n.rootWin = game.FullWindow()
 	}
 	return n
 }

@@ -11,8 +11,10 @@ import "ertree/internal/game"
 //	until done;
 //
 // extended with the serial-depth cut-over (nodes at remaining depth at or
-// below Options.SerialDepth are searched by serial ER in one unit) and lazy
-// cancellation of work whose ancestors were resolved while it was queued.
+// below Options.SerialDepth are searched by serial ER in one unit), lazy
+// cancellation of work whose ancestors were resolved while it was queued,
+// and a cooperative abort flag checked on every pop-loop round so a
+// cancelled search winds down after at most one in-flight task per worker.
 //
 // Heavy computation (position expansion, static evaluation, serial subtree
 // search) happens outside the lock; all tree and heap mutation happens under
@@ -21,10 +23,10 @@ func (s *state) worker(rt Runtime) {
 	rt.Lock()
 	defer rt.Unlock()
 	for {
-		for !s.finished && s.heap.empty() {
+		for !s.finished && !s.aborted && s.heap.empty() {
 			rt.WaitWork()
 		}
-		if s.finished {
+		if s.finished || s.aborted {
 			return
 		}
 		n, fromSpec := s.heap.pop()

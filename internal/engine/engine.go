@@ -1,0 +1,194 @@
+// Package engine turns the repository's one-shot searches into a long-lived
+// analysis engine: cancellable, time-managed sessions that drive iterative
+// deepening with aspiration windows over parallel ER, share one concurrent
+// transposition table per engine, and always have a best-move-so-far answer
+// when a deadline cuts them short. It is the serving-shaped subsystem behind
+// cmd/erserve.
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"ertree/internal/game"
+	"ertree/internal/tt"
+)
+
+// Sentinel errors returned by Analyze.
+var (
+	// ErrBusy reports that every session slot was occupied and none freed
+	// up within the admission timeout.
+	ErrBusy = errors.New("engine: busy: no session slot within the admission timeout")
+	// ErrNoMoves reports a position with no legal moves.
+	ErrNoMoves = errors.New("engine: position has no legal moves")
+	// ErrNoResult reports that the deadline expired before even the
+	// depth-1 iteration completed, so there is no move to return.
+	ErrNoResult = errors.New("engine: deadline expired before the first iteration completed")
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Workers is the parallel-ER worker count used by each search.
+	// Defaults to 1.
+	Workers int
+	// SerialDepth is the remaining depth at or below which subtrees are
+	// searched serially (the work grain of the core engine).
+	SerialDepth int
+	// Order is the move-ordering policy for the underlying searches; nil
+	// means natural order.
+	Order game.Orderer
+	// TableBits sizes the shared transposition table at 2^TableBits slots.
+	// Zero disables the table. All sessions of this engine share it, both
+	// concurrently and across iterations.
+	TableBits int
+	// TableShards is the stripe count of the shared table; zero picks
+	// tt.DefaultShards.
+	TableShards int
+	// DeeperHits accepts transposition entries searched deeper than
+	// requested (Plaat-style memory reuse). Off, probes match equal depth
+	// only and every reported value is the exact depth-d value; on, values
+	// may come from deeper searches — better moves, weaker depth
+	// semantics.
+	DeeperHits bool
+	// Delta is the aspiration half-window around the previous iteration's
+	// value. Zero searches every iteration with a full window.
+	Delta game.Value
+	// MaxConcurrent bounds the number of sessions analyzed at once;
+	// further requests wait up to QueueTimeout for a slot. Defaults to 1.
+	// Ignored when Pool is set.
+	MaxConcurrent int
+	// QueueTimeout is how long an over-capacity request may wait for a
+	// session slot before ErrBusy. Zero rejects immediately when full.
+	QueueTimeout time.Duration
+	// Pool, if non-nil, is a session-slot pool shared with other engines:
+	// all of them together run at most cap(Pool) concurrent sessions. A
+	// multi-game server uses one Pool across its per-game engines.
+	Pool Pool
+}
+
+// Pool is a shared set of session slots (a counting semaphore). Engines
+// created with the same Pool contend for the same slots.
+type Pool chan struct{}
+
+// NewPool creates a pool of n session slots (minimum 1).
+func NewPool(n int) Pool {
+	if n < 1 {
+		n = 1
+	}
+	return make(Pool, n)
+}
+
+// Engine is a long-lived analysis engine for one game. Sessions admitted
+// through Analyze share the engine's transposition table and its bounded
+// pool of session slots. All methods are safe for concurrent use.
+type Engine struct {
+	cfg   Config
+	table *tt.Shared
+	sem   chan struct{}
+
+	waiting     atomic.Int64
+	started     atomic.Int64
+	completed   atomic.Int64
+	deadlineCut atomic.Int64
+	rejected    atomic.Int64
+	failed      atomic.Int64
+	nodes       atomic.Int64
+}
+
+// New creates an engine. The zero Config is usable: one worker, one
+// concurrent session, no transposition table, full-window iterations.
+func New(cfg Config) *Engine {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.MaxConcurrent < 1 {
+		cfg.MaxConcurrent = 1
+	}
+	e := &Engine{cfg: cfg, sem: cfg.Pool}
+	if e.sem == nil {
+		e.sem = make(chan struct{}, cfg.MaxConcurrent)
+	}
+	if cfg.TableBits > 0 {
+		e.table = tt.NewShared(cfg.TableBits, cfg.TableShards)
+	}
+	return e
+}
+
+// acquire claims a session slot, waiting up to QueueTimeout when the pool is
+// full. ctx expiry during the wait is reported as the context's error.
+func (e *Engine) acquire(ctx context.Context) error {
+	select {
+	case e.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if e.cfg.QueueTimeout <= 0 {
+		e.rejected.Add(1)
+		return ErrBusy
+	}
+	e.waiting.Add(1)
+	defer e.waiting.Add(-1)
+	timer := time.NewTimer(e.cfg.QueueTimeout)
+	defer timer.Stop()
+	select {
+	case e.sem <- struct{}{}:
+		return nil
+	case <-timer.C:
+		e.rejected.Add(1)
+		return ErrBusy
+	case <-ctx.Done():
+		e.rejected.Add(1)
+		return ctx.Err()
+	}
+}
+
+func (e *Engine) release() { <-e.sem }
+
+// Stats is a point-in-time snapshot of an engine's counters.
+type Stats struct {
+	Capacity    int   // session slots
+	Active      int   // sessions currently running
+	Waiting     int64 // requests queued for a slot
+	Started     int64 // sessions admitted
+	Completed   int64 // sessions that reached their full requested depth
+	DeadlineCut int64 // sessions cut short by their deadline
+	Rejected    int64 // admissions refused (queue timeout or caller gave up)
+	Failed      int64 // sessions that errored
+	Nodes       int64 // total tree nodes generated across all sessions
+
+	HasTable     bool
+	Table        tt.SharedStats
+	TableHitRate float64
+	TableFill    int
+	TableLen     int
+}
+
+// Stats returns the engine's current counters. Counters are atomics; the
+// snapshot is approximate while sessions are running.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Capacity:    cap(e.sem),
+		Active:      len(e.sem),
+		Waiting:     e.waiting.Load(),
+		Started:     e.started.Load(),
+		Completed:   e.completed.Load(),
+		DeadlineCut: e.deadlineCut.Load(),
+		Rejected:    e.rejected.Load(),
+		Failed:      e.failed.Load(),
+		Nodes:       e.nodes.Load(),
+	}
+	if e.table != nil {
+		s.HasTable = true
+		s.Table = e.table.Stats()
+		s.TableHitRate = e.table.HitRate()
+		s.TableFill = e.table.Fill()
+		s.TableLen = e.table.Len()
+	}
+	return s
+}
+
+// Table exposes the engine's shared transposition table (nil when disabled);
+// tests use it to assert cross-session reuse.
+func (e *Engine) Table() *tt.Shared { return e.table }

@@ -1,0 +1,273 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"ertree/internal/core"
+	"ertree/internal/game"
+	"ertree/internal/tt"
+)
+
+// Iteration reports one completed depth of a session's iterative deepening.
+type Iteration struct {
+	Depth      int        // search depth of this iteration
+	Move       int        // best child index (natural move order)
+	Value      game.Value // root value, from the side to move
+	Researches int        // aspiration-window re-searches
+	Nodes      int64      // tree nodes generated during this iteration
+	Elapsed    time.Duration
+}
+
+// Analysis is the result of a session: the best move found, at the deepest
+// depth the deadline allowed, with the full per-iteration history.
+type Analysis struct {
+	Move       int        // best child index (natural move order)
+	Value      game.Value // value of the deepest completed iteration
+	Depth      int        // deepest completed iteration
+	Completed  bool       // the session reached the full requested depth
+	Nodes      int64
+	Elapsed    time.Duration
+	Iterations []Iteration
+}
+
+// Analyze runs one analysis session: iterative deepening from depth 1 to
+// maxDepth, each iteration steered by an aspiration window around the
+// previous value and searched move-by-move at the root with parallel ER
+// under fail-soft bounds, probing and feeding the engine's shared
+// transposition table.
+//
+// The session honors ctx cooperatively: when the deadline expires
+// mid-iteration the in-flight searches abort, the partial iteration is
+// discarded, and Analyze returns the deepest completed iteration's move with
+// Completed=false and a nil error — a best-move-so-far is a successful
+// answer for a time-managed engine. Only when not even depth 1 finished does
+// it return ErrNoResult.
+func (e *Engine) Analyze(ctx context.Context, pos game.Position, maxDepth int) (*Analysis, error) {
+	if maxDepth < 1 {
+		return nil, fmt.Errorf("engine: maxDepth %d, must be at least 1", maxDepth)
+	}
+	kids := pos.Children()
+	if len(kids) == 0 {
+		return nil, ErrNoMoves
+	}
+	if err := e.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer e.release()
+	e.started.Add(1)
+
+	s := &session{
+		e:      e,
+		cancel: ctx.Done(),
+		kids:   kids,
+		order:  make([]int, len(kids)),
+		scores: make([]game.Value, len(kids)),
+		prev:   game.NoValue,
+	}
+	for i := range s.order {
+		s.order[i] = i
+	}
+
+	start := time.Now()
+	an := &Analysis{Move: -1}
+	for depth := 1; depth <= maxDepth; depth++ {
+		if ctx.Err() != nil {
+			break
+		}
+		it, err := s.iterate(depth)
+		if err != nil {
+			if errors.Is(err, core.ErrAborted) {
+				break // deadline hit mid-iteration; keep what we have
+			}
+			e.failed.Add(1)
+			e.nodes.Add(s.nodes)
+			return nil, err
+		}
+		an.Iterations = append(an.Iterations, it)
+		an.Move, an.Value, an.Depth = it.Move, it.Value, it.Depth
+		s.prev = it.Value
+		// Search the previous best first next iteration, then the rest by
+		// their latest (bound) scores: the engine's own move ordering.
+		s.reorder()
+	}
+	an.Elapsed = time.Since(start)
+	an.Nodes = s.nodes
+	e.nodes.Add(s.nodes)
+	if len(an.Iterations) == 0 {
+		e.deadlineCut.Add(1)
+		return nil, ErrNoResult
+	}
+	an.Completed = an.Depth == maxDepth
+	if an.Completed {
+		e.completed.Add(1)
+	} else {
+		e.deadlineCut.Add(1)
+	}
+	return an, nil
+}
+
+// session is the per-request state of one deepening run.
+type session struct {
+	e      *Engine
+	cancel <-chan struct{}
+	kids   []game.Position // root children, natural order
+	order  []int           // search order (indices into kids)
+	scores []game.Value    // latest root-view score per child (bounds for non-best)
+	prev   game.Value      // previous iteration's value (aspiration center)
+	nodes  int64
+}
+
+// iterate completes one depth: an aspiration loop around the previous value
+// that re-searches with a reopened window on failure, so the accepted value
+// is exact and the move proving it is known.
+func (s *session) iterate(depth int) (Iteration, error) {
+	it := Iteration{Depth: depth}
+	start := time.Now()
+	nodes0 := s.nodes
+	w := game.FullWindow()
+	if s.e.cfg.Delta > 0 && s.prev != game.NoValue {
+		w = game.Window{Alpha: s.prev - s.e.cfg.Delta, Beta: s.prev + s.e.cfg.Delta}
+	}
+	for {
+		move, v, err := s.searchRoot(depth, w)
+		if err != nil {
+			return it, err
+		}
+		if v <= w.Alpha && w.Alpha > -game.Inf {
+			// Fail low: true value <= v; reopen the lower half.
+			it.Researches++
+			w = game.Window{Alpha: -game.Inf, Beta: v + 1}
+			continue
+		}
+		if v >= w.Beta && w.Beta < game.Inf {
+			// Fail high: true value >= v; reopen the upper half.
+			it.Researches++
+			w = game.Window{Alpha: v - 1, Beta: game.Inf}
+			continue
+		}
+		it.Move, it.Value = move, v
+		it.Nodes = s.nodes - nodes0
+		it.Elapsed = time.Since(start)
+		return it, nil
+	}
+}
+
+// searchRoot scores the root children in the session's current order with
+// fail-soft alpha raising: after the first child every search runs under a
+// lower bound of the best score so far, so refuted moves cut quickly while
+// the best move's score stays exact within the window.
+func (s *session) searchRoot(depth int, w game.Window) (bestIdx int, best game.Value, err error) {
+	best, bestIdx = -game.Inf, -1
+	for _, idx := range s.order {
+		a := w.Alpha
+		if best > a {
+			a = best
+		}
+		if a >= w.Beta {
+			break // the window is closed: the iteration fails high
+		}
+		cw := game.Window{Alpha: -w.Beta, Beta: -a}
+		v, err := s.searchChild(s.kids[idx], depth-1, cw)
+		if err != nil {
+			return -1, 0, err
+		}
+		nv := -v
+		s.scores[idx] = nv
+		if nv > best || bestIdx < 0 {
+			best, bestIdx = nv, idx
+		}
+	}
+	return bestIdx, best, nil
+}
+
+// searchChild evaluates one root child to the given depth under a fail-soft
+// window: through the shared transposition table when it can answer, by
+// parallel ER otherwise, storing the resulting bound for the table's other
+// readers (the re-searches of this session, its later iterations, and every
+// concurrent session of the engine).
+func (s *session) searchChild(child game.Position, depth int, w game.Window) (game.Value, error) {
+	if depth == 0 {
+		s.nodes++
+		return child.Value(), nil
+	}
+	var key uint64
+	hashable := false
+	if s.e.table != nil {
+		if h, ok := child.(tt.Hashable); ok {
+			hashable = true
+			key = h.Hash()
+			probe := s.e.table.ProbeDeep
+			if !s.e.cfg.DeeperHits {
+				// Exact mode keeps one entry per (position, depth): salt the
+				// key with the depth so iterative deepening's per-depth
+				// results coexist instead of each iteration evicting the
+				// previous one. Deeper-hits mode wants one entry per
+				// position — the deepest — so it keys by position alone.
+				key ^= uint64(depth) * 0x9E3779B97F4A7C15
+				probe = s.e.table.Probe
+			}
+			if en, ok := probe(key, depth); ok {
+				switch en.Bound {
+				case tt.Exact:
+					return en.Value, nil
+				case tt.Lower:
+					if en.Value >= w.Beta {
+						return en.Value, nil
+					}
+					if en.Value > w.Alpha {
+						w.Alpha = en.Value
+					}
+				case tt.Upper:
+					if en.Value <= w.Alpha {
+						return en.Value, nil
+					}
+					if en.Value < w.Beta {
+						w.Beta = en.Value
+					}
+				}
+			}
+		}
+	}
+	cfg := s.e.cfg
+	res, err := core.Search(child, depth, core.Options{
+		Workers:            cfg.Workers,
+		SerialDepth:        cfg.SerialDepth,
+		Order:              cfg.Order,
+		ParallelRefutation: true,
+		MultipleENodes:     true,
+		EarlyChoice:        true,
+		RootWindow:         &w,
+		Cancel:             s.cancel,
+	})
+	s.nodes += res.Stats.Generated
+	if err != nil {
+		return 0, err
+	}
+	if hashable {
+		store := s.e.table.Store
+		if s.e.cfg.DeeperHits {
+			store = s.e.table.StoreDeep
+		}
+		switch {
+		case res.Value <= w.Alpha:
+			store(key, depth, res.Value, tt.Upper)
+		case res.Value >= w.Beta:
+			store(key, depth, res.Value, tt.Lower)
+		default:
+			store(key, depth, res.Value, tt.Exact)
+		}
+	}
+	return res.Value, nil
+}
+
+// reorder sorts the search order by the latest scores, best first, keeping
+// relative order stable for ties so the ordering is deterministic.
+func (s *session) reorder() {
+	sort.SliceStable(s.order, func(i, j int) bool {
+		return s.scores[s.order[i]] > s.scores[s.order[j]]
+	})
+}

@@ -101,7 +101,17 @@ func RunER(w Workload, workers int, cost core.CostModel) core.Result {
 	opt.Workers = workers
 	opt.SerialDepth = w.SerialDepth
 	opt.Order = w.Order
-	res := core.Simulate(w.Root, w.Depth, opt, cost)
+	return mustSim(w.Root, w.Depth, opt, cost)
+}
+
+// mustSim runs the simulator and panics on error: experiment workloads
+// search full windows without cancellation, so a failed run is an internal
+// invariant violation, not a recoverable condition.
+func mustSim(pos game.Position, depth int, opt core.Options, cost core.CostModel) core.Result {
+	res, err := core.Simulate(pos, depth, opt, cost)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
 	return res
 }
 

@@ -186,7 +186,7 @@ func A1Ablation(w Workload, workers int, cost core.CostModel) []metrics.Series {
 		opt.Workers = workers
 		opt.SerialDepth = w.SerialDepth
 		opt.Order = w.Order
-		res := core.Simulate(w.Root, w.Depth, opt, cost)
+		res := mustSim(w.Root, w.Depth, opt, cost)
 		if res.Value != base.Value {
 			panic("experiments: ablated ER disagrees with the serial value")
 		}
@@ -213,7 +213,7 @@ func A3SpecRank(w Workload, workers int, cost core.CostModel) []metrics.Series {
 		opt.SerialDepth = w.SerialDepth
 		opt.Order = w.Order
 		opt.SpecRank = rank
-		res := core.Simulate(w.Root, w.Depth, opt, cost)
+		res := mustSim(w.Root, w.Depth, opt, cost)
 		if res.Value != base.Value {
 			panic("experiments: spec-rank variant disagrees with the serial value")
 		}
@@ -281,7 +281,7 @@ func A6EagerSpec(w Workload, workers int, cost core.CostModel) []A6Point {
 		opt.SerialDepth = w.SerialDepth
 		opt.Order = w.Order
 		opt.EagerSpec = eager
-		res := core.Simulate(w.Root, w.Depth, opt, cost)
+		res := mustSim(w.Root, w.Depth, opt, cost)
 		if res.Value != base.Value {
 			panic("experiments: eager-spec variant disagrees with the serial value")
 		}
@@ -324,7 +324,7 @@ func A5SerialDepth(w Workload, workers int, cost core.CostModel, depths []int) [
 		opt.Workers = workers
 		opt.SerialDepth = sd
 		opt.Order = w.Order
-		res := core.Simulate(w.Root, w.Depth, opt, cost)
+		res := mustSim(w.Root, w.Depth, opt, cost)
 		if res.Value != base.Value {
 			panic("experiments: serial-depth variant disagrees with the serial value")
 		}

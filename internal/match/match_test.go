@@ -97,10 +97,13 @@ func TestParallelEREngineBeatsShallowAlphaBeta(t *testing.T) {
 	er := SearchEngine{
 		Label: "parallel-er",
 		Search: func(child game.Position) game.Value {
-			res := core.Search(child, 5, core.Options{
+			res, err := core.Search(child, 5, core.Options{
 				Workers: 4, SerialDepth: 3,
 				ParallelRefutation: true, MultipleENodes: true, EarlyChoice: true,
 			})
+			if err != nil {
+				t.Errorf("parallel-er engine: %v", err)
+			}
 			return res.Value
 		},
 	}
