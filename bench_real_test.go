@@ -1,0 +1,127 @@
+// BenchmarkRealSpeedup measures the real (goroutine) runtime the way the
+// paper measured its Sequent implementation: wall-clock time of the same
+// search at increasing processor counts. It complements the simulator
+// benchmarks above — the simulator reports the model's speedup, this reports
+// the hardware's — and writes its measurements to BENCH_core.json so runs on
+// real multicore hosts leave a comparable artifact. On a single-CPU host the
+// curve is flat (workers interleave); the artifact records the host's CPU
+// count so readers can tell.
+package ertree_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+
+	"ertree"
+	"ertree/internal/experiments"
+)
+
+// realSpeedupPoint is one (workload, worker-count) measurement.
+type realSpeedupPoint struct {
+	Workload  string  `json:"workload"`
+	Workers   int     `json:"workers"`
+	ElapsedNS int64   `json:"elapsed_ns"`
+	Speedup   float64 `json:"speedup"` // T(1) / T(P) for the same workload
+	Value     int     `json:"value"`
+	Nodes     int64   `json:"nodes"`
+	TTProbes  int64   `json:"tt_probes"`
+	TTHits    int64   `json:"tt_hits"`
+	TTStores  int64   `json:"tt_stores"`
+	TTCutoffs int64   `json:"tt_cutoffs"`
+	TTHitRate float64 `json:"tt_hit_rate"`
+}
+
+type realSpeedupArtifact struct {
+	GoVersion string             `json:"go_version"`
+	GOOS      string             `json:"goos"`
+	GOARCH    string             `json:"goarch"`
+	NumCPU    int                `json:"num_cpu"`
+	TableBits int                `json:"table_bits"`
+	Points    []realSpeedupPoint `json:"points"`
+}
+
+// realSpeedupWorkers returns the measured processor counts: the paper's
+// doubling ladder plus the host's CPU count, deduplicated and sorted.
+func realSpeedupWorkers() []int {
+	ps := []int{1, 2, 4, 8, runtime.NumCPU()}
+	sort.Ints(ps)
+	out := ps[:1]
+	for _, p := range ps[1:] {
+		if p != out[len(out)-1] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func BenchmarkRealSpeedup(b *testing.B) {
+	const tableBits = 18
+	workloads := experiments.Table3()
+	points := []realSpeedupPoint{}
+	var lastSpeedup float64
+	for i := 0; i < b.N; i++ {
+		points = points[:0]
+		for _, w := range workloads {
+			base := int64(0)
+			for _, p := range realSpeedupWorkers() {
+				// A fresh table per point: each measurement is a cold
+				// search, not a replay of the previous point's work.
+				cfg := ertree.Config{
+					Workers:     p,
+					SerialDepth: w.SerialDepth,
+					Order:       w.Order,
+					Table:       ertree.NewSharedTranspositionTable(tableBits, 0),
+				}
+				res, err := ertree.Search(w.Root, w.Depth, cfg)
+				if err != nil {
+					b.Fatalf("%s P=%d: %v", w.Name, p, err)
+				}
+				if p == 1 {
+					base = res.Elapsed.Nanoseconds()
+				}
+				pt := realSpeedupPoint{
+					Workload:  w.Name,
+					Workers:   p,
+					ElapsedNS: res.Elapsed.Nanoseconds(),
+					Value:     int(res.Value),
+					Nodes:     res.Stats.Generated,
+					TTProbes:  res.TTProbes,
+					TTHits:    res.TTHits,
+					TTStores:  res.TTStores,
+					TTCutoffs: res.TTCutoffs,
+				}
+				if res.Elapsed > 0 {
+					pt.Speedup = float64(base) / float64(res.Elapsed.Nanoseconds())
+				}
+				if res.TTProbes > 0 {
+					pt.TTHitRate = float64(res.TTHits) / float64(res.TTProbes)
+				}
+				if res.SerialTasks > 0 && res.TTProbes == 0 {
+					b.Fatalf("%s P=%d: table attached but never probed", w.Name, p)
+				}
+				points = append(points, pt)
+				lastSpeedup = pt.Speedup
+			}
+		}
+	}
+	b.ReportMetric(lastSpeedup, "speedup@maxP")
+
+	art := realSpeedupArtifact{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		TableBits: tableBits,
+		Points:    points,
+	}
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_core.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}

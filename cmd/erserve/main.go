@@ -19,7 +19,9 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"runtime"
 	"time"
 )
 
@@ -33,6 +35,7 @@ func main() {
 		queueTimeout  = flag.Duration("queue-timeout", time.Second, "how long an over-capacity request waits for a slot before 503")
 		maxDepth      = flag.Int("max-depth", 32, "cap on the requested search depth")
 		defaultBudget = flag.Duration("default-budget", 5*time.Second, "search budget when the request has no budget_ms")
+		pprofOn       = flag.Bool("pprof", false, "serve /debug/pprof/ profiling endpoints (enables mutex and block profiling)")
 	)
 	flag.Parse()
 
@@ -45,9 +48,25 @@ func main() {
 		MaxDepth:      *maxDepth,
 		DefaultBudget: *defaultBudget,
 	})
+	var h http.Handler = s.handler()
+	if *pprofOn {
+		// Contention on the engine lock is the quantity the paper measures;
+		// sample it so /debug/pprof/mutex and /debug/pprof/block show where
+		// the real runtime waits.
+		runtime.SetMutexProfileFraction(1)
+		runtime.SetBlockProfileRate(1)
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", h)
+		h = mux
+	}
 	fmt.Printf("erserve: listening on %s (%d workers/search, %d concurrent sessions)\n",
 		*addr, *workers, *maxConcurrent)
-	if err := http.ListenAndServe(*addr, s.handler()); err != nil {
+	if err := http.ListenAndServe(*addr, h); err != nil {
 		fmt.Fprintln(os.Stderr, "erserve:", err)
 		os.Exit(1)
 	}

@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"ertree"
 	"ertree/internal/metrics"
@@ -39,8 +41,19 @@ func main() {
 		show        = flag.Bool("show", false, "print the position before searching")
 		timeline    = flag.Bool("timeline", false, "with er-par: print the worker-utilization timeline")
 		bestLine    = flag.Bool("bestmove", false, "also print the best move and principal variation (parallel ER)")
+		tableBits   = flag.Int("table-bits", 0, "with er-real: back serial tasks with a shared transposition table of 2^bits slots (0 disables)")
+		mutexProf   = flag.String("mutexprofile", "", "write a mutex-contention profile to this file (er-real lock interference)")
+		blockProf   = flag.String("blockprofile", "", "write a blocking profile to this file")
 	)
 	flag.Parse()
+	if *mutexProf != "" {
+		runtime.SetMutexProfileFraction(1)
+		defer writeProfile("mutex", *mutexProf)
+	}
+	if *blockProf != "" {
+		runtime.SetBlockProfileRate(1)
+		defer writeProfile("block", *blockProf)
+	}
 
 	pos, defaultOrder, err := buildPosition(*gameName, *rootName, *seed, *degree, *treeDepth)
 	if err != nil {
@@ -107,6 +120,9 @@ func main() {
 			fmt.Print(metrics.Timeline("worker utilization", spans, res.VirtualTime, 64))
 		}
 	case "er-real":
+		if *tableBits > 0 {
+			cfg.Table = ertree.NewSharedTranspositionTable(*tableBits, 0)
+		}
 		res, err := ertree.Search(pos, *depth, cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ertree:", err)
@@ -114,6 +130,12 @@ func main() {
 		}
 		report(res.Value, &stats)
 		fmt.Printf("elapsed %v on %d workers\n", res.Elapsed, res.Workers)
+		if res.TTProbes > 0 {
+			fmt.Printf("table: %d probes, %d hits (%.1f%%), %d stores, %d tasks answered without searching\n",
+				res.TTProbes, res.TTHits,
+				100*float64(res.TTHits)/float64(res.TTProbes),
+				res.TTStores, res.TTCutoffs)
+		}
 	case "aspiration":
 		res := ertree.Aspiration(pos, *depth, ertree.AspirationOptions{Workers: *workers, Bound: 12000, Order: order}, cost)
 		report(res.Value, nil)
@@ -161,6 +183,21 @@ func main() {
 			fmt.Printf(" %d(%+d)", mv.Index, mv.Score)
 		}
 		fmt.Println()
+	}
+}
+
+// writeProfile dumps the named runtime profile to path. Profiles are
+// best-effort tooling: failures are reported, not fatal. (Error exits via
+// os.Exit skip the profile, which is fine — there is nothing to profile.)
+func writeProfile(name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ertree:", err)
+		return
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintln(os.Stderr, "ertree:", err)
 	}
 }
 

@@ -98,6 +98,19 @@ type Hashable = tt.Hashable
 // NewTranspositionTable creates a table with 2^bits slots.
 func NewTranspositionTable(bits int) *TranspositionTable { return tt.New(bits) }
 
+// SharedTranspositionTable is the concurrent, mutex-striped table used by
+// parallel searches: attach one via Config.Table and the serial subtree tasks
+// probe it before searching and store their fail-soft bounds after, so
+// concurrent workers — and successive searches sharing the table — reuse each
+// other's subtree work. Exactness is preserved (probes match exact depth).
+type SharedTranspositionTable = tt.Shared
+
+// NewSharedTranspositionTable creates a shared table with 2^bits slots split
+// across the given number of mutex stripes (zero picks a default).
+func NewSharedTranspositionTable(bits, shards int) *SharedTranspositionTable {
+	return tt.NewShared(bits, shards)
+}
+
 // Config configures a parallel ER search.
 type Config struct {
 	// Workers is the number of processors. Defaults to 1.
@@ -133,6 +146,10 @@ type Config struct {
 	RootWindow *Window
 	// Stats, if non-nil, receives node accounting.
 	Stats *Stats
+	// Table, if non-nil, backs the serial subtree tasks of Search with a
+	// concurrent transposition table (see SharedTranspositionTable). Ignored
+	// by Simulate, whose model of the paper's machine has no table.
+	Table *SharedTranspositionTable
 }
 
 // SpecRank is a speculative-queue ordering policy.
@@ -146,7 +163,7 @@ const (
 )
 
 func (c Config) options() core.Options {
-	return core.Options{
+	opt := core.Options{
 		Workers:            c.Workers,
 		SerialDepth:        c.SerialDepth,
 		Order:              c.Order,
@@ -159,6 +176,12 @@ func (c Config) options() core.Options {
 		Trace:              c.Trace,
 		Stats:              c.Stats,
 	}
+	if c.Table != nil {
+		// Assign only when non-nil: a nil *tt.Shared wrapped in the Prober
+		// interface would read as attached.
+		opt.Table = c.Table
+	}
+	return opt
 }
 
 // Result reports the outcome of a parallel ER search; see core.Result for

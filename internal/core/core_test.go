@@ -350,7 +350,7 @@ func TestAliveness(t *testing.T) {
 // fewest-e-children then shallowest.
 func TestHeapOrdering(t *testing.T) {
 	s := &state{opt: DefaultOptions(), stats: &game.Stats{}}
-	var h problemHeap
+	h := &s.heap
 	n1 := s.newNode(gtree.L(0), nil, undecided, 1)
 	n1.ply = 1
 	n2 := s.newNode(gtree.L(0), nil, undecided, 1)
@@ -369,18 +369,16 @@ func TestHeapOrdering(t *testing.T) {
 		t.Fatalf("primary order %v, want deepest first", order)
 	}
 
-	rt := newRealRuntime()
+	w := newWctx(newRealRuntime())
 	e1 := s.newNode(gtree.L(0), nil, eNode, 2)
 	e1.eKids, e1.ply = 2, 1
 	e2 := s.newNode(gtree.L(0), nil, eNode, 2)
 	e2.eKids, e2.ply = 1, 5
 	e3 := s.newNode(gtree.L(0), nil, eNode, 2)
 	e3.eKids, e3.ply = 1, 2
-	s.heap = h
-	s.pushSpeculative(e1, rt)
-	s.pushSpeculative(e2, rt)
-	s.pushSpeculative(e3, rt)
-	h = s.heap
+	s.pushSpeculative(e1, w)
+	s.pushSpeculative(e2, w)
+	s.pushSpeculative(e3, w)
 	got := []*node{}
 	for !h.empty() {
 		n, fromSpec := h.pop()

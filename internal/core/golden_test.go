@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"ertree/internal/randtree"
+)
+
+// TestSimulateGolden pins the simulated runtime's exact output — value, node
+// accounting, virtual-time makespan and the loss decomposition — on a fixed
+// random tree across a spread of configurations (serial cut-over on and off,
+// high worker counts, the bound spec-rank with eager admission). The
+// simulator is the repo's reproduction of the paper's measurements, so any
+// engine change that alters these numbers is by definition a model change
+// and must update this table deliberately, with the reason recorded in the
+// commit. In particular the real-runtime optimizations (per-worker stats
+// shards, batched heap pushes, node arenas, transposition tables) are
+// required to leave every row byte-identical.
+func TestSimulateGolden(t *testing.T) {
+	tr := &randtree.Tree{Seed: 0x60_0D, Degree: 4, Depth: 9, ValueRange: 10000}
+	type golden struct {
+		name                 string
+		workers, serialDepth int
+		rank                 SpecRank
+		eager                bool
+
+		value                           int
+		generated, evaluated, sortEvals int64
+		cutoffs                         int64
+		maxPly                          int
+		refutations, refuteFails        int64
+		virtualTime, busyTime           int64
+		starveTime, lockTime            int64
+		serialTasks, leafTasks          int64
+		specPops, dropped               int64
+		cutoffDrops, heapOps            int64
+	}
+	rows := []golden{
+		{
+			name: "P1-sd4", workers: 1, serialDepth: 4,
+			value: 4785, generated: 48336, evaluated: 20802, cutoffs: 7368,
+			maxPly: 9, refutations: 6176, refuteFails: 2609,
+			virtualTime: 113566, busyTime: 113566, starveTime: 0, lockTime: 0,
+			serialTasks: 459, leafTasks: 0, specPops: 0, dropped: 5,
+			cutoffDrops: 31, heapOps: 2141,
+		},
+		{
+			name: "P4-sd4", workers: 4, serialDepth: 4,
+			value: 4785, generated: 69779, evaluated: 29667, cutoffs: 10807,
+			maxPly: 9, refutations: 8798, refuteFails: 3644,
+			virtualTime: 41120, busyTime: 162874, starveTime: 188, lockTime: 965,
+			serialTasks: 653, leafTasks: 0, specPops: 99, dropped: 89,
+			cutoffDrops: 37, heapOps: 3118,
+		},
+		{
+			name: "P16-sd4", workers: 16, serialDepth: 4,
+			value: 4785, generated: 81949, evaluated: 34558, cutoffs: 12785,
+			maxPly: 9, refutations: 10103, refuteFails: 4133,
+			virtualTime: 17290, busyTime: 190407, starveTime: 75454, lockTime: 10779,
+			serialTasks: 758, leafTasks: 0, specPops: 219, dropped: 122,
+			cutoffDrops: 37, heapOps: 3658,
+		},
+		{
+			name: "P4-sd0", workers: 4, serialDepth: 0,
+			value: 4785, generated: 47988, evaluated: 31880, cutoffs: 9867,
+			maxPly: 9, refutations: 14099, refuteFails: 2411,
+			virtualTime: 223385, busyTime: 319025, starveTime: 30, lockTime: 574485,
+			serialTasks: 0, leafTasks: 31880, specPops: 1941, dropped: 6031,
+			cutoffDrops: 333, heapOps: 132620,
+		},
+		{
+			name: "P3-sd2-bound-eager", workers: 3, serialDepth: 2,
+			rank: SpecRankBound, eager: true,
+			value: 4785, generated: 62231, evaluated: 27296, cutoffs: 9598,
+			maxPly: 9, refutations: 8968, refuteFails: 2930,
+			virtualTime: 64721, busyTime: 176015, starveTime: 16, lockTime: 18108,
+			serialTasks: 5184, leafTasks: 0, specPops: 407, dropped: 459,
+			cutoffDrops: 152, heapOps: 24298,
+		},
+	}
+	for _, g := range rows {
+		t.Run(g.name, func(t *testing.T) {
+			opt := DefaultOptions()
+			opt.Workers = g.workers
+			opt.SerialDepth = g.serialDepth
+			opt.SpecRank = g.rank
+			opt.EagerSpec = g.eager
+			res, err := Simulate(tr.Root(), 9, opt, DefaultCostModel())
+			if err != nil {
+				t.Fatal(err)
+			}
+			check := func(field string, got, want int64) {
+				if got != want {
+					t.Errorf("%s = %d, want %d", field, got, want)
+				}
+			}
+			check("Value", int64(res.Value), int64(g.value))
+			check("Generated", res.Stats.Generated, g.generated)
+			check("Evaluated", res.Stats.Evaluated, g.evaluated)
+			check("SortEvals", res.Stats.SortEvals, g.sortEvals)
+			check("Cutoffs", res.Stats.Cutoffs, g.cutoffs)
+			check("MaxPlySeen", int64(res.Stats.MaxPlySeen), int64(g.maxPly))
+			check("Refutations", res.Stats.Refutations, g.refutations)
+			check("RefuteFails", res.Stats.RefuteFails, g.refuteFails)
+			check("VirtualTime", res.VirtualTime, g.virtualTime)
+			check("BusyTime", res.BusyTime, g.busyTime)
+			check("StarveTime", res.StarveTime, g.starveTime)
+			check("LockTime", res.LockTime, g.lockTime)
+			check("SerialTasks", res.SerialTasks, g.serialTasks)
+			check("LeafTasks", res.LeafTasks, g.leafTasks)
+			check("SpecPops", res.SpecPops, g.specPops)
+			check("Dropped", res.Dropped, g.dropped)
+			check("CutoffDrops", res.CutoffDrops, g.cutoffDrops)
+			check("HeapOps", res.HeapOps, g.heapOps)
+			// A transposition table must never perturb the model: Simulate
+			// ignores Options.Table.
+			if res.TTProbes != 0 || res.TTHits != 0 || res.TTStores != 0 {
+				t.Errorf("simulated run touched the transposition table: probes %d hits %d stores %d",
+					res.TTProbes, res.TTHits, res.TTStores)
+			}
+		})
+	}
+}

@@ -1,6 +1,9 @@
 package core
 
-import "container/heap"
+import (
+	"container/heap"
+	"sync/atomic"
+)
 
 // The problem heap (§6): a pair of priority queues.
 //
@@ -11,6 +14,9 @@ import "container/heap"
 // The speculative queue holds e-nodes that are eligible to receive
 // (additional) e-children, ranked by number of e-children (fewer first) with
 // ties broken in favor of shallower nodes.
+//
+// Queue mutation always happens under the engine lock; the operation
+// counters are atomics so workers may read (and bump) them without it.
 
 type primaryQueue []*node
 
@@ -30,6 +36,22 @@ func (q *primaryQueue) Pop() any {
 	old[n-1] = nil
 	*q = old[:n-1]
 	return it
+}
+
+// up restores the heap invariant after appending at index i — the sift-up
+// half of container/heap.Push, inlined so batch pushes skip one interface
+// conversion and two indirect calls per child. Because Less is a strict
+// total order (seq is a unique tiebreaker), the pop sequence is identical
+// whichever push path built the heap.
+func (q primaryQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.Less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
 }
 
 type specQueue []*node
@@ -57,9 +79,9 @@ type problemHeap struct {
 	primary primaryQueue
 	spec    specQueue
 
-	pushes, pops int64 // heap operations (interference accounting)
-	specPops     int64 // work taken from the speculative queue
-	dropped      int64 // dead nodes discarded at pop time
+	pushes, pops atomic.Int64 // heap operations (interference accounting)
+	specPops     atomic.Int64 // work taken from the speculative queue
+	dropped      atomic.Int64 // dead nodes discarded at pop time
 }
 
 func (h *problemHeap) pushPrimary(n *node) {
@@ -67,8 +89,22 @@ func (h *problemHeap) pushPrimary(n *node) {
 		return
 	}
 	n.inPrimary = true
-	h.pushes++
+	h.pushes.Add(1)
 	heap.Push(&h.primary, n)
+}
+
+// pushPrimaryBatch schedules a batch of freshly generated children (never
+// queued before, so the inPrimary dedup check is skipped) with one sift-up
+// pass over the new elements instead of one container/heap.Push per child —
+// the e-node expansion of Table 1 schedules all children at once, and on the
+// real runtime this entire pass runs under the engine lock.
+func (h *problemHeap) pushPrimaryBatch(ns []*node) {
+	for _, n := range ns {
+		n.inPrimary = true
+		h.primary = append(h.primary, n)
+		h.primary.up(len(h.primary) - 1)
+	}
+	h.pushes.Add(int64(len(ns)))
 }
 
 func (h *problemHeap) pushSpec(n *node) {
@@ -76,7 +112,7 @@ func (h *problemHeap) pushSpec(n *node) {
 		return
 	}
 	n.onSpec = true
-	h.pushes++
+	h.pushes.Add(1)
 	heap.Push(&h.spec, n)
 }
 
@@ -86,14 +122,14 @@ func (h *problemHeap) pushSpec(n *node) {
 // are empty. fromSpec reports which queue served the node.
 func (h *problemHeap) pop() (n *node, fromSpec bool) {
 	if len(h.primary) > 0 {
-		h.pops++
+		h.pops.Add(1)
 		n = heap.Pop(&h.primary).(*node)
 		n.inPrimary = false
 		return n, false
 	}
 	if len(h.spec) > 0 {
-		h.pops++
-		h.specPops++
+		h.pops.Add(1)
+		h.specPops.Add(1)
 		n = heap.Pop(&h.spec).(*node)
 		n.onSpec = false
 		return n, true

@@ -8,6 +8,7 @@ import (
 
 	"ertree/internal/game"
 	"ertree/internal/sim"
+	"ertree/internal/tt"
 )
 
 // ErrAborted is returned by Search when the Cancel channel fired before the
@@ -55,6 +56,18 @@ type Options struct {
 	EagerSpec bool
 	// Stats, if non-nil, receives node accounting.
 	Stats *game.Stats
+	// Table, if non-nil, is the transposition table consulted by the serial
+	// subtree tasks of the real runtime: each task probes its position at
+	// its exact remaining depth before searching (a stored bound narrows
+	// the task's window or answers it outright) and stores its fail-soft
+	// result after. Equal-depth matching keeps every cached value a sound
+	// bound on the depth-limited negamax value, so the search stays exact.
+	// Concurrent workers — and successive searches sharing the table, such
+	// as the deepening iterations of internal/engine — reuse each other's
+	// subtree work instead of only the root result. Ignored by Simulate:
+	// the simulated runtime models the paper's machine, which had no
+	// transposition table, and must stay bit-stable.
+	Table tt.Prober
 	// RootWindow, when non-nil, restricts the whole search to the given
 	// alpha-beta window instead of (-Inf, Inf). The result is fail-soft: a
 	// value inside the window is exact, a value at or below Alpha is an
@@ -146,6 +159,12 @@ type Result struct {
 	CutoffDrops int64 // nodes cut off at pop time (window closed while queued)
 	HeapOps     int64 // pushes + pops on the problem heap
 
+	// Transposition-table counters (all zero when Options.Table is nil).
+	TTProbes  int64 // serial-task probes of the table
+	TTHits    int64 // probes that found a usable entry
+	TTStores  int64 // task results stored
+	TTCutoffs int64 // serial tasks answered by the table without searching
+
 	// Real-runtime measurement.
 	Elapsed time.Duration
 
@@ -164,13 +183,31 @@ func (s *state) result(workers int) Result {
 		Value:       s.root.value,
 		Stats:       s.stats.Snapshot(),
 		Workers:     workers,
-		SerialTasks: s.serialTasks,
-		LeafTasks:   s.leafTasks,
-		SpecPops:    s.heap.specPops,
-		Dropped:     s.heap.dropped,
-		CutoffDrops: s.cutoffDrops,
-		HeapOps:     s.heap.pushes + s.heap.pops,
+		SerialTasks: s.serialTasks.Load(),
+		LeafTasks:   s.leafTasks.Load(),
+		SpecPops:    s.heap.specPops.Load(),
+		Dropped:     s.heap.dropped.Load(),
+		CutoffDrops: s.cutoffDrops.Load(),
+		HeapOps:     s.heap.pushes.Load() + s.heap.pops.Load(),
+		TTProbes:    s.ttProbes.Load(),
+		TTHits:      s.ttHits.Load(),
+		TTStores:    s.ttStores.Load(),
+		TTCutoffs:   s.ttCutoffs.Load(),
 	}
+}
+
+// testStateHook, when non-nil, observes the search state after the result
+// has been extracted and just before the node arena is released. Test
+// instrumentation only.
+var testStateHook func(*state)
+
+// finalize extracts the state's counters into res-independent form and then
+// severs the tree so no node outlives the search.
+func (s *state) finalize() {
+	if testStateHook != nil {
+		testStateHook(s)
+	}
+	s.release()
 }
 
 // Search runs parallel ER on real goroutines and returns the root value. It
@@ -208,7 +245,7 @@ func Search(pos game.Position, depth int, opt Options) (Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			s.worker(rt)
+			s.worker(newWctx(rt))
 		}()
 	}
 	wg.Wait()
@@ -217,7 +254,9 @@ func Search(pos game.Position, depth int, opt Options) (Result, error) {
 	rt.mu.Unlock()
 	res := s.result(workers)
 	res.Elapsed = time.Since(start)
-	if !s.root.done {
+	resolved := s.root.done
+	s.finalize()
+	if !resolved {
 		if aborted {
 			return res, ErrAborted
 		}
@@ -238,6 +277,7 @@ func Simulate(pos game.Position, depth int, opt Options, cost CostModel) (Result
 		workers = 1
 	}
 	opt.Cancel = nil
+	opt.Table = nil // the paper's machine had no transposition table
 	s := newState(pos, depth, opt, cost)
 	env := sim.NewEnv()
 	if opt.Trace {
@@ -247,24 +287,28 @@ func Simulate(pos game.Position, depth int, opt Options, cost CostModel) (Result
 	cond := env.NewCond(res)
 	for i := 0; i < workers; i++ {
 		env.Spawn(fmt.Sprintf("p%d", i), func(p *sim.Proc) {
-			s.worker(&simRuntime{p: p, res: res, cond: cond})
+			s.worker(newWctx(&simRuntime{p: p, res: res, cond: cond}))
 		})
 	}
 	if err := env.Run(); err != nil {
 		panic("core: " + err.Error())
 	}
-	if !s.root.done {
-		return s.result(workers), ErrUnresolved
-	}
 	out := s.result(workers)
-	out.VirtualTime = env.Now()
-	for _, p := range env.Procs() {
-		out.BusyTime += p.Busy()
-		out.StarveTime += p.StarveTime()
-		out.LockTime += p.LockTime()
-		if opt.Trace {
-			out.Timeline = append(out.Timeline, p.BusyIntervals())
+	resolved := s.root.done
+	if resolved {
+		out.VirtualTime = env.Now()
+		for _, p := range env.Procs() {
+			out.BusyTime += p.Busy()
+			out.StarveTime += p.StarveTime()
+			out.LockTime += p.LockTime()
+			if opt.Trace {
+				out.Timeline = append(out.Timeline, p.BusyIntervals())
+			}
 		}
+	}
+	s.finalize()
+	if !resolved {
+		return out, ErrUnresolved
 	}
 	return out, nil
 }

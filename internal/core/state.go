@@ -1,19 +1,25 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"ertree/internal/game"
 	"ertree/internal/serial"
+	"ertree/internal/tt"
 )
 
 // state is the shared search state: the game tree under construction and the
-// problem heap. Every field is guarded by the engine's single lock (acquired
-// through the Runtime); the paper's implementation likewise shares one tree
-// among all processors, and the resulting contention is one of its measured
-// loss sources.
+// problem heap. Tree and heap structure are guarded by the engine's single
+// lock (acquired through the Runtime); the paper's implementation likewise
+// shares one tree among all processors, and the resulting contention is one
+// of its measured loss sources. Counters, by contrast, are atomics (or
+// per-worker shards merged at exit) so the real runtime never takes the lock
+// just to account for work.
 type state struct {
 	opt      Options
 	cost     CostModel
 	heap     problemHeap
+	arena    nodeArena
 	root     *node
 	seq      uint64
 	finished bool
@@ -21,10 +27,27 @@ type state struct {
 	stats    *game.Stats
 
 	// engine counters (beyond game.Stats)
-	serialTasks int64
-	leafTasks   int64
-	cutoffDrops int64 // nodes cut off at pop time
+	serialTasks atomic.Int64
+	leafTasks   atomic.Int64
+	cutoffDrops atomic.Int64 // nodes cut off at pop time
+
+	// transposition-table counters (all zero when opt.Table is nil)
+	ttProbes  atomic.Int64
+	ttHits    atomic.Int64
+	ttStores  atomic.Int64
+	ttCutoffs atomic.Int64 // serial tasks answered by the table alone
 }
+
+// wctx is one worker's execution context: its runtime binding plus a private
+// statistics shard. Hot-path accounting goes to the shard so concurrent
+// workers never contend on the sink's cache lines; the shard is merged into
+// the run-wide sink exactly once, when the worker exits.
+type wctx struct {
+	rt    Runtime
+	stats *game.Stats
+}
+
+func newWctx(rt Runtime) *wctx { return &wctx{rt: rt, stats: &game.Stats{}} }
 
 func newState(pos game.Position, depth int, opt Options, cost CostModel) *state {
 	s := &state{opt: opt, cost: cost, stats: opt.Stats}
@@ -40,9 +63,19 @@ func newState(pos game.Position, depth int, opt Options, cost CostModel) *state 
 	return s
 }
 
+// release severs the search tree once a result has been extracted: the heap
+// slices are dropped and every arena node is zeroed, so no node — and no
+// position a node referenced — remains reachable through the state.
+func (s *state) release() {
+	s.heap.primary, s.heap.spec = nil, nil
+	s.root = nil
+	s.arena.release()
+}
+
 func (s *state) newNode(pos game.Position, parent *node, typ nodeType, depth int) *node {
 	s.seq++
-	n := &node{pos: pos, parent: parent, typ: typ, depth: depth, value: -game.Inf, seq: s.seq}
+	n := s.arena.alloc()
+	n.pos, n.parent, n.typ, n.depth, n.value, n.seq = pos, parent, typ, depth, -game.Inf, s.seq
 	if parent != nil {
 		n.ply = parent.ply + 1
 	} else {
@@ -72,7 +105,7 @@ func hasCandidate(E *node) bool {
 
 // pushSpeculative places e-node E on the speculative queue with the rank
 // prescribed by the configured policy. Lock held.
-func (s *state) pushSpeculative(E *node, rt Runtime) {
+func (s *state) pushSpeculative(E *node, w *wctx) {
 	switch s.opt.SpecRank {
 	case SpecRankDepth:
 		// The "naive" pure-depth ordering of §8: shallowest first.
@@ -93,32 +126,32 @@ func (s *state) pushSpeculative(E *node, rt Runtime) {
 		E.specKey = int64(E.eKids)<<32 | int64(E.ply)
 	}
 	s.heap.pushSpec(E)
-	rt.HoldWork(s.cost.HeapOp)
+	w.rt.HoldWork(s.cost.HeapOp)
 }
 
 // finish marks a node done with the given value and propagates the
 // completion. Lock held.
-func (s *state) finish(n *node, v game.Value, rt Runtime) {
+func (s *state) finish(n *node, v game.Value, w *wctx) {
 	if v > n.value {
 		n.value = v
 	}
 	n.done = true
-	s.combine(n, rt)
+	s.combine(n, w)
 }
 
 // cutoffAtPop abandons a node whose effective window closed while it was
 // queued. Its value is clamped to the window's beta so the contribution to
 // its parent cannot exceed what the bound already proves. Lock held.
-func (s *state) cutoffAtPop(n *node, w game.Window, rt Runtime) {
-	s.cutoffDrops++
-	s.stats.AddCutoffs(1)
+func (s *state) cutoffAtPop(n *node, win game.Window, w *wctx) {
+	s.cutoffDrops.Add(1)
+	w.stats.AddCutoffs(1)
 	n.cutoff = true
-	s.finish(n, game.Max(n.value, w.Beta), rt)
+	s.finish(n, game.Max(n.value, win.Beta), w)
 }
 
 // table1 applies the node-generation rules of Table 1 to a live, expanded,
 // non-terminal node popped from the primary queue. Lock held.
-func (s *state) table1(n *node, rt Runtime) {
+func (s *state) table1(n *node, w *wctx) {
 	switch n.typ {
 	case eNode:
 		// "Generate all children. Assign each child 'undecided' type.
@@ -133,15 +166,18 @@ func (s *state) table1(n *node, rt Runtime) {
 				n.elderDone++
 			}
 		}
-		for i := len(n.kids); i < len(n.moves); i++ {
-			k := s.newNode(n.moves[i], n, undecided, n.depth-1)
-			n.kids = append(n.kids, k)
-			n.activeKids++
-			s.stats.AddGenerated(1)
-			rt.HoldWork(s.cost.Node + s.cost.HeapOp)
-			s.heap.pushPrimary(k)
+		if start := len(n.kids); start < len(n.moves) {
+			for i := start; i < len(n.moves); i++ {
+				k := s.newNode(n.moves[i], n, undecided, n.depth-1)
+				n.kids = append(n.kids, k)
+				n.activeKids++
+			}
+			batch := n.kids[start:]
+			w.stats.AddGenerated(int64(len(batch)))
+			w.rt.HoldWork(int64(len(batch)) * (s.cost.Node + s.cost.HeapOp))
+			s.heap.pushPrimaryBatch(batch)
 		}
-		rt.WakeAll()
+		w.rt.WakeAll()
 	case undecided, rNode:
 		if len(n.kids) == 0 {
 			// "Generate first child (an 'e-node') and place on primary
@@ -150,10 +186,10 @@ func (s *state) table1(n *node, rt Runtime) {
 			k := s.newNode(n.moves[0], n, eNode, n.depth-1)
 			n.kids = append(n.kids, k)
 			n.activeKids++
-			s.stats.AddGenerated(1)
-			rt.HoldWork(s.cost.Node + s.cost.HeapOp)
+			w.stats.AddGenerated(1)
+			w.rt.HoldWork(s.cost.Node + s.cost.HeapOp)
 			s.heap.pushPrimary(k)
-			rt.WakeAll()
+			w.rt.WakeAll()
 			return
 		}
 		if n.typ == rNode && len(n.kids) < len(n.moves) {
@@ -166,11 +202,11 @@ func (s *state) table1(n *node, rt Runtime) {
 			k.examine = k.depth <= s.opt.SerialDepth
 			n.kids = append(n.kids, k)
 			n.activeKids++
-			s.stats.AddGenerated(1)
-			s.stats.AddRefutations(1)
-			rt.HoldWork(s.cost.Node + s.cost.HeapOp)
+			w.stats.AddGenerated(1)
+			w.stats.AddRefutations(1)
+			w.rt.HoldWork(s.cost.Node + s.cost.HeapOp)
 			s.heap.pushPrimary(k)
-			rt.WakeAll()
+			w.rt.WakeAll()
 		}
 	}
 }
@@ -178,14 +214,14 @@ func (s *state) table1(n *node, rt Runtime) {
 // combine backs the completed node's value up the tree (§6), performing the
 // Table 2 actions at the first ancestor that still has work in flight.
 // Lock held.
-func (s *state) combine(n *node, rt Runtime) {
+func (s *state) combine(n *node, w *wctx) {
 	cur := n
 	for {
-		rt.HoldWork(s.cost.Combine)
+		w.rt.HoldWork(s.cost.Combine)
 		p := cur.parent
 		if p == nil {
 			s.finished = true
-			rt.WakeAll()
+			w.rt.WakeAll()
 			return
 		}
 		if p.done {
@@ -199,13 +235,13 @@ func (s *state) combine(n *node, rt Runtime) {
 		p.activeKids--
 
 		// "...until node has active children AND node can't be cut off."
-		if w := p.window(); p.value >= w.Beta {
+		if win := p.window(); p.value >= win.Beta {
 			p.done, p.cutoff = true, true
-			s.stats.AddCutoffs(1)
+			w.stats.AddCutoffs(1)
 			cur = p
 			continue
 		}
-		if s.childDone(p, cur, rt) {
+		if s.childDone(p, cur, w) {
 			p.done = true
 			cur = p
 			continue
@@ -216,7 +252,7 @@ func (s *state) combine(n *node, rt Runtime) {
 
 // childDone applies the Table 2 bookkeeping at last_node p after its child c
 // completed, and reports whether p itself is now done. Lock held.
-func (s *state) childDone(p, c *node, rt Runtime) bool {
+func (s *state) childDone(p, c *node, w *wctx) bool {
 	switch p.typ {
 	case eNode:
 		if !c.elderCounted {
@@ -226,16 +262,16 @@ func (s *state) childDone(p, c *node, rt Runtime) bool {
 		switch {
 		case p.refuting:
 			if !s.opt.ParallelRefutation {
-				s.launchNextRefuter(p, rt)
+				s.launchNextRefuter(p, w)
 			}
 		case c.isEChild:
 			// Table 2 row 3: "The first e-child has been evaluated...
 			// Assign each active child type 'r-node' and place it on the
 			// primary queue. (All children may be refuted in parallel.)"
 			p.refuting = true
-			s.startRefutation(p, rt)
+			s.startRefutation(p, w)
 		default:
-			s.elderProgress(p, rt)
+			s.elderProgress(p, w)
 		}
 		return p.expanded && p.activeKids == 0 && len(p.kids) == len(p.moves)
 
@@ -252,7 +288,7 @@ func (s *state) childDone(p, c *node, rt Runtime) bool {
 				p.elderCounted = true
 				gp.elderDone++
 			}
-			s.elderProgress(gp, rt)
+			s.elderProgress(gp, w)
 		}
 		return false
 
@@ -261,12 +297,12 @@ func (s *state) childDone(p, c *node, rt Runtime) bool {
 			// Sequential refutation within an r-node: the next child is
 			// examined only now that the current one has finished.
 			s.heap.pushPrimary(p)
-			rt.HoldWork(s.cost.HeapOp)
-			rt.WakeAll()
+			w.rt.HoldWork(s.cost.HeapOp)
+			w.rt.WakeAll()
 			return false
 		}
 		if p.activeKids == 0 {
-			s.stats.AddRefuteFails(1) // all children examined; not refuted
+			w.stats.AddRefuteFails(1) // all children examined; not refuted
 			return true
 		}
 		return false
@@ -277,7 +313,7 @@ func (s *state) childDone(p, c *node, rt Runtime) bool {
 // one elder grandchild is evaluated E joins the speculative queue; once all
 // are evaluated and no e-child has been selected, the best child becomes the
 // e-child. Lock held.
-func (s *state) elderProgress(E *node, rt Runtime) {
+func (s *state) elderProgress(E *node, w *wctx) {
 	if E.refuting || !E.expanded || E.done {
 		return
 	}
@@ -292,25 +328,25 @@ func (s *state) elderProgress(E *node, rt Runtime) {
 	if !E.eSelected {
 		if E.elderDone >= d {
 			// Mandatory selection (Table 2 row 2/5).
-			s.selectEChild(E, rt)
+			s.selectEChild(E, w)
 		} else if E.elderDone >= threshold && s.opt.EarlyChoice && !E.onSpec && hasCandidate(E) {
 			// Table 2 row 1/4: eligible for early choice.
-			s.pushSpeculative(E, rt)
-			rt.WakeAll()
+			s.pushSpeculative(E, w)
+			w.rt.WakeAll()
 		}
 		return
 	}
 	// First e-child already selected: the speculative queue may add more.
 	if s.opt.MultipleENodes && !E.onSpec && hasCandidate(E) {
-		s.pushSpeculative(E, rt)
-		rt.WakeAll()
+		s.pushSpeculative(E, w)
+		w.rt.WakeAll()
 	}
 }
 
 // selectEChild promotes E's most promising undecided child (lowest tentative
 // value = most optimistic bound for E) to an e-node and schedules it.
 // Lock held.
-func (s *state) selectEChild(E *node, rt Runtime) bool {
+func (s *state) selectEChild(E *node, w *wctx) bool {
 	var best *node
 	bestV := game.Inf
 	for _, k := range E.kids {
@@ -326,37 +362,37 @@ func (s *state) selectEChild(E *node, rt Runtime) bool {
 	E.eSelected = true
 	E.eKids++
 	s.heap.pushPrimary(best)
-	rt.HoldWork(s.cost.HeapOp)
+	w.rt.HoldWork(s.cost.HeapOp)
 	// "Once the elder grandchildren of E have been evaluated, ensure that
 	// E always has at least one active e-child" (§5): keep E available on
 	// the speculative queue while candidates remain.
 	if s.opt.MultipleENodes && !E.onSpec && hasCandidate(E) {
-		s.pushSpeculative(E, rt)
+		s.pushSpeculative(E, w)
 	}
-	rt.WakeAll()
+	w.rt.WakeAll()
 	return true
 }
 
 // specAction handles a node taken from the speculative queue: select the
 // best remaining child as an (additional) e-child and requeue the node while
 // candidates remain (§6). Lock held.
-func (s *state) specAction(E *node, rt Runtime) {
+func (s *state) specAction(E *node, w *wctx) {
 	if E.done || E.refuting || !E.alive() {
-		s.heap.dropped++
+		s.heap.dropped.Add(1)
 		return
 	}
-	if !s.selectEChild(E, rt) {
+	if !s.selectEChild(E, w) {
 		return
 	}
 	if s.opt.MultipleENodes && hasCandidate(E) {
-		s.pushSpeculative(E, rt)
+		s.pushSpeculative(E, w)
 	}
 }
 
 // startRefutation retypes E's unfinished children as r-nodes and, with
 // parallel refutation enabled, schedules every one whose previous activity
 // has finished; otherwise only the most promising refuter runs. Lock held.
-func (s *state) startRefutation(E *node, rt Runtime) {
+func (s *state) startRefutation(E *node, w *wctx) {
 	for _, k := range E.kids {
 		if k.done || k.isEChild {
 			continue
@@ -364,20 +400,20 @@ func (s *state) startRefutation(E *node, rt Runtime) {
 		k.typ = rNode
 	}
 	if !s.opt.ParallelRefutation {
-		s.launchNextRefuter(E, rt)
+		s.launchNextRefuter(E, w)
 		return
 	}
 	for _, k := range E.kids {
 		if k.done || k.isEChild || k.typ != rNode {
 			continue
 		}
-		s.scheduleRefuter(k, rt)
+		s.scheduleRefuter(k, w)
 	}
 }
 
 // scheduleRefuter pushes r-node k unless it is still waiting for an active
 // child (an r-node examines one child at a time) or already queued.
-func (s *state) scheduleRefuter(k *node, rt Runtime) {
+func (s *state) scheduleRefuter(k *node, w *wctx) {
 	if k.activeKids > 0 || k.inPrimary {
 		return // combine will reschedule it when the child completes
 	}
@@ -385,13 +421,13 @@ func (s *state) scheduleRefuter(k *node, rt Runtime) {
 		return // nothing left to generate; completion is in flight
 	}
 	s.heap.pushPrimary(k)
-	rt.HoldWork(s.cost.HeapOp)
-	rt.WakeAll()
+	w.rt.HoldWork(s.cost.HeapOp)
+	w.rt.WakeAll()
 }
 
 // launchNextRefuter implements the sequential-refutation ablation: at most
 // one r-node child of E is examined at a time, in tentative-value order.
-func (s *state) launchNextRefuter(E *node, rt Runtime) {
+func (s *state) launchNextRefuter(E *node, w *wctx) {
 	var best *node
 	bestV := game.Inf
 	for _, k := range E.kids {
@@ -406,7 +442,7 @@ func (s *state) launchNextRefuter(E *node, rt Runtime) {
 		}
 	}
 	if best != nil {
-		s.scheduleRefuter(best, rt)
+		s.scheduleRefuter(best, w)
 	}
 }
 
@@ -419,4 +455,72 @@ func (s *state) serialSearcher(local *game.Stats, basePly int) serial.Searcher {
 // taskCost converts a serial task's statistics into virtual time.
 func (s *state) taskCost(snap game.StatsSnapshot) int64 {
 	return snap.Generated*s.cost.Node + snap.TotalEvals()*s.cost.Eval
+}
+
+// ttKey returns pos's transposition key, if the search has a table and the
+// position is hashable. Called without the lock (hashing is private work).
+func (s *state) ttKey(pos game.Position) (uint64, bool) {
+	if s.opt.Table == nil {
+		return 0, false
+	}
+	h, ok := pos.(tt.Hashable)
+	if !ok {
+		return 0, false
+	}
+	return h.Hash(), true
+}
+
+// ttProbe consults the transposition table for the position behind key at
+// the given remaining depth, before a serial task searches it. Entries match
+// at equal depth only, so every stored value is a fail-soft bound on the
+// depth-limited negamax value and exactness is preserved. A bound that
+// narrows the task's window adjusts win in place; a bound that answers the
+// task outright returns (value, true), and the returned value mimics what a
+// fail-soft search under win would have returned, which is exactly what
+// finish/combine expect. Called without the lock.
+func (s *state) ttProbe(key uint64, depth int, win *game.Window) (game.Value, bool) {
+	s.ttProbes.Add(1)
+	e, ok := s.opt.Table.Probe(key, depth)
+	if !ok {
+		return 0, false
+	}
+	s.ttHits.Add(1)
+	switch e.Bound {
+	case tt.Exact:
+		s.ttCutoffs.Add(1)
+		return e.Value, true
+	case tt.Lower:
+		if e.Value >= win.Beta {
+			s.ttCutoffs.Add(1)
+			return e.Value, true
+		}
+		if e.Value > win.Alpha {
+			win.Alpha = e.Value
+		}
+	default: // tt.Upper
+		if e.Value <= win.Alpha {
+			s.ttCutoffs.Add(1)
+			return e.Value, true
+		}
+		if e.Value < win.Beta {
+			win.Beta = e.Value
+		}
+	}
+	return 0, false
+}
+
+// ttStore records a serial task's fail-soft result, classified against the
+// window the task actually searched (including any table-driven narrowing:
+// the fail-soft contract is relative to the searched window, wherever its
+// bounds came from). Called without the lock.
+func (s *state) ttStore(key uint64, depth int, win game.Window, v game.Value) {
+	s.ttStores.Add(1)
+	switch {
+	case v <= win.Alpha:
+		s.opt.Table.Store(key, depth, v, tt.Upper)
+	case v >= win.Beta:
+		s.opt.Table.Store(key, depth, v, tt.Lower)
+	default:
+		s.opt.Table.Store(key, depth, v, tt.Exact)
+	}
 }

@@ -14,14 +14,14 @@ import (
 // harness builds a state around a small explicit tree and provides direct
 // access to the worker actions without running workers.
 type harness struct {
-	s  *state
-	rt Runtime
+	s *state
+	w *wctx
 }
 
 func newHarness(root *gtree.Node, depth int, opt Options) *harness {
 	return &harness{
-		s:  newState(root, depth, opt, DefaultCostModel()),
-		rt: newRealRuntime(),
+		s: newState(root, depth, opt, DefaultCostModel()),
+		w: newWctx(newRealRuntime()),
 	}
 }
 
@@ -29,14 +29,14 @@ func newHarness(root *gtree.Node, depth int, opt Options) *harness {
 // returning the node (or nil if the heap was empty).
 func (h *harness) step(t *testing.T) *node {
 	t.Helper()
-	h.rt.Lock()
-	defer h.rt.Unlock()
+	h.w.rt.Lock()
+	defer h.w.rt.Unlock()
 	n, fromSpec := h.s.heap.pop()
 	if n == nil {
 		return nil
 	}
 	if fromSpec {
-		h.s.specAction(n, h.rt)
+		h.s.specAction(n, h.w)
 		return n
 	}
 	if !n.alive() {
@@ -44,31 +44,31 @@ func (h *harness) step(t *testing.T) *node {
 	}
 	w := n.window()
 	if w.Empty() || n.value >= w.Beta {
-		h.s.cutoffAtPop(n, w, h.rt)
+		h.s.cutoffAtPop(n, w, h.w)
 		return n
 	}
 	switch {
 	case n.depth == 0:
-		h.rt.Unlock()
+		h.w.rt.Unlock()
 		v := n.pos.Value()
-		h.rt.Lock()
-		h.s.finish(n, v, h.rt)
+		h.w.rt.Lock()
+		h.s.finish(n, v, h.w)
 	case n.depth <= h.s.opt.SerialDepth && n.typ == eNode:
-		h.s.serialTask(n, w, h.rt)
+		h.s.serialTask(n, w, h.w)
 	case n.examine:
-		h.s.examineTask(n, w, h.rt)
+		h.s.examineTask(n, w, h.w)
 	default:
-		if !n.expanded && !h.s.expandTask(n, h.rt) {
+		if !n.expanded && !h.s.expandTask(n, h.w) {
 			return n
 		}
 		if len(n.moves) == 0 {
-			h.rt.Unlock()
+			h.w.rt.Unlock()
 			v := n.pos.Value()
-			h.rt.Lock()
-			h.s.finish(n, v, h.rt)
+			h.w.rt.Lock()
+			h.s.finish(n, v, h.w)
 			return n
 		}
-		h.s.table1(n, h.rt)
+		h.s.table1(n, h.w)
 	}
 	return n
 }
@@ -215,8 +215,8 @@ func TestTable2MandatorySelectionAtAllElders(t *testing.T) {
 	if h.s.root.elderDone < len(h.s.root.kids) {
 		t.Fatalf("elderDone %d of %d at completion", h.s.root.elderDone, len(h.s.root.kids))
 	}
-	if h.s.heap.specPops != 0 {
-		t.Fatalf("speculative queue served %d pops while disabled", h.s.heap.specPops)
+	if h.s.heap.specPops.Load() != 0 {
+		t.Fatalf("speculative queue served %d pops while disabled", h.s.heap.specPops.Load())
 	}
 }
 

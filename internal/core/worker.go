@@ -17,9 +17,12 @@ import "ertree/internal/game"
 // cancelled search winds down after at most one in-flight task per worker.
 //
 // Heavy computation (position expansion, static evaluation, serial subtree
-// search) happens outside the lock; all tree and heap mutation happens under
-// it.
-func (s *state) worker(rt Runtime) {
+// search, transposition-table traffic) happens outside the lock; all tree
+// and heap mutation happens under it. Statistics go to the worker's private
+// shard, merged into the run-wide sink when the worker exits.
+func (s *state) worker(w *wctx) {
+	defer func() { s.stats.Merge(w.stats.Snapshot()) }()
+	rt := w.rt
 	rt.Lock()
 	defer rt.Unlock()
 	for {
@@ -30,29 +33,32 @@ func (s *state) worker(rt Runtime) {
 			return
 		}
 		n, fromSpec := s.heap.pop()
-		rt.HoldWork(s.cost.HeapOp)
 		if n == nil {
+			// An empty pop touched no heap structure, so it charges no
+			// heap time (it would otherwise count as interference the
+			// paper's model never incurs).
 			continue
 		}
+		rt.HoldWork(s.cost.HeapOp)
 		if fromSpec {
-			s.specAction(n, rt)
+			s.specAction(n, w)
 			continue
 		}
 		if !n.alive() {
-			s.heap.dropped++
+			s.heap.dropped.Add(1)
 			continue
 		}
-		w := n.window()
-		if w.Empty() || n.value >= w.Beta {
+		win := n.window()
+		if win.Empty() || n.value >= win.Beta {
 			// The window closed while the node was queued: cut it off
 			// without searching (a cutoff the serial algorithm would have
 			// taken before recursing).
-			s.cutoffAtPop(n, w, rt)
+			s.cutoffAtPop(n, win, w)
 			continue
 		}
 		switch {
 		case n.depth == 0:
-			s.leafTask(n, rt)
+			s.leafTask(n, w)
 		case n.depth <= s.opt.SerialDepth && n.typ == eNode:
 			// The serial cut-over matches work units to node roles. An
 			// e-node's work is a complete evaluation — exactly one
@@ -60,94 +66,119 @@ func (s *state) worker(rt Runtime) {
 			// still follow Table 1 (their work is per-child), but the
 			// children they generate become single serial units: e-node
 			// children full ER calls, r-node children Examine calls.
-			s.serialTask(n, w, rt)
+			s.serialTask(n, win, w)
 		case n.examine:
-			s.examineTask(n, w, rt)
+			s.examineTask(n, win, w)
 		default:
-			if !n.expanded && !s.expandTask(n, rt) {
+			if !n.expanded && !s.expandTask(n, w) {
 				continue // node died during expansion
 			}
 			if len(n.moves) == 0 {
-				s.leafTask(n, rt) // terminal position above the horizon
+				s.leafTask(n, w) // terminal position above the horizon
 				continue
 			}
-			s.table1(n, rt)
+			s.table1(n, w)
 		}
 	}
 }
 
 // leafTask evaluates a frontier or terminal node. Lock held on entry and
 // exit; released around the evaluator call.
-func (s *state) leafTask(n *node, rt Runtime) {
-	s.leafTasks++
-	rt.Unlock()
+func (s *state) leafTask(n *node, w *wctx) {
+	s.leafTasks.Add(1)
+	w.rt.Unlock()
 	v := n.pos.Value()
-	rt.FreeWork(s.cost.Eval)
-	rt.Lock()
-	s.stats.AddEvaluated(1)
-	s.stats.NotePly(n.ply)
+	w.rt.FreeWork(s.cost.Eval)
+	w.stats.AddEvaluated(1)
+	w.stats.NotePly(n.ply)
+	w.rt.Lock()
 	if !n.alive() {
-		s.heap.dropped++
+		s.heap.dropped.Add(1)
 		return
 	}
-	s.finish(n, v, rt)
+	s.finish(n, v, w)
 }
 
 // serialTask searches the subtree under n with serial ER using a snapshot of
 // the node's window. Windows only narrow, so a snapshot is always a
 // superset of the live window and the result remains sound; searching with
 // the stale window is precisely the missed-cutoff speculative loss the paper
-// measures. Lock held on entry and exit.
-func (s *state) serialTask(n *node, w game.Window, rt Runtime) {
-	s.serialTasks++
+// measures. With a transposition table attached the task probes before
+// searching — a stored bound narrows the window or answers the task outright
+// — and stores its fail-soft result after, so concurrent workers and later
+// searches of the same position reuse the subtree work. Lock held on entry
+// and exit.
+func (s *state) serialTask(n *node, win game.Window, w *wctx) {
+	s.serialTasks.Add(1)
 	// A promoted e-child already carries a sound lower bound from its
 	// evaluated first child; raising alpha to it prunes the (partial)
 	// re-search of that subtree.
-	if n.value > w.Alpha {
-		w.Alpha = n.value
+	if n.value > win.Alpha {
+		win.Alpha = n.value
 	}
-	rt.Unlock()
-	local := &game.Stats{}
-	searcher := s.serialSearcher(local, n.ply)
-	v := searcher.ER(n.pos, n.depth, w)
-	snap := local.Snapshot()
-	rt.FreeWork(s.taskCost(snap))
-	rt.Lock()
-	s.stats.Merge(snap)
+	w.rt.Unlock()
+	v, answered := game.Value(0), false
+	key, hashed := s.ttKey(n.pos)
+	if hashed {
+		v, answered = s.ttProbe(key, n.depth, &win)
+	}
+	if !answered {
+		local := &game.Stats{}
+		searcher := s.serialSearcher(local, n.ply)
+		v = searcher.ER(n.pos, n.depth, win)
+		snap := local.Snapshot()
+		w.rt.FreeWork(s.taskCost(snap))
+		w.stats.Merge(snap)
+		if hashed {
+			s.ttStore(key, n.depth, win, v)
+		}
+	}
+	w.rt.Lock()
 	if !n.alive() {
-		s.heap.dropped++
+		s.heap.dropped.Add(1)
 		return
 	}
-	s.finish(n, v, rt)
+	s.finish(n, v, w)
 }
 
 // examineTask performs one refutation step in one serial unit: the r-node
 // child n is searched with the r-child protocol (Eval_first + Refute_rest)
 // under a window snapshot taken at pop time, so each step of a sequential
-// refutation sees the freshest bounds. Lock held on entry and exit.
-func (s *state) examineTask(n *node, w game.Window, rt Runtime) {
-	s.serialTasks++
-	rt.Unlock()
-	local := &game.Stats{}
-	searcher := s.serialSearcher(local, n.ply)
-	v := searcher.Examine(n.pos, n.depth, w)
-	snap := local.Snapshot()
-	rt.FreeWork(s.taskCost(snap))
-	rt.Lock()
-	s.stats.Merge(snap)
+// refutation sees the freshest bounds. Like serialTask it is backed by the
+// optional transposition table. Lock held on entry and exit.
+func (s *state) examineTask(n *node, win game.Window, w *wctx) {
+	s.serialTasks.Add(1)
+	w.rt.Unlock()
+	v, answered := game.Value(0), false
+	key, hashed := s.ttKey(n.pos)
+	if hashed {
+		v, answered = s.ttProbe(key, n.depth, &win)
+	}
+	if !answered {
+		local := &game.Stats{}
+		searcher := s.serialSearcher(local, n.ply)
+		v = searcher.Examine(n.pos, n.depth, win)
+		snap := local.Snapshot()
+		w.rt.FreeWork(s.taskCost(snap))
+		w.stats.Merge(snap)
+		if hashed {
+			s.ttStore(key, n.depth, win, v)
+		}
+	}
+	w.rt.Lock()
 	if !n.alive() {
-		s.heap.dropped++
+		s.heap.dropped.Add(1)
 		return
 	}
-	s.finish(n, v, rt)
+	s.finish(n, v, w)
 }
 
 // expandTask generates and orders n's child positions outside the lock.
 // Children of e-nodes are not statically sorted (§7): the elder-grandchild
 // protocol orders them by tentative value instead. Returns false if the node
 // died meanwhile. Lock held on entry and exit.
-func (s *state) expandTask(n *node, rt Runtime) bool {
-	rt.Unlock()
+func (s *state) expandTask(n *node, w *wctx) bool {
+	w.rt.Unlock()
 	moves := n.pos.Children()
 	var sortEvals int64
 	if len(moves) > 1 && n.typ != eNode {
@@ -155,11 +186,11 @@ func (s *state) expandTask(n *node, rt Runtime) bool {
 		sortEvals = int64(o.Cost(len(moves), n.ply))
 		moves = o.Order(moves, n.ply)
 	}
-	rt.FreeWork(sortEvals * s.cost.Eval)
-	rt.Lock()
-	s.stats.AddSortEvals(sortEvals)
+	w.rt.FreeWork(sortEvals * s.cost.Eval)
+	w.stats.AddSortEvals(sortEvals)
+	w.rt.Lock()
 	if !n.alive() {
-		s.heap.dropped++
+		s.heap.dropped.Add(1)
 		return false
 	}
 	n.moves = moves

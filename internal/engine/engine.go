@@ -192,3 +192,14 @@ func (e *Engine) Stats() Stats {
 // Table exposes the engine's shared transposition table (nil when disabled);
 // tests use it to assert cross-session reuse.
 func (e *Engine) Table() *tt.Shared { return e.table }
+
+// coreTable returns the shared table as the prober handed to core.Search, or
+// a nil interface when the engine runs without a table. The explicit nil
+// check matters: wrapping a nil *tt.Shared in a tt.Prober would yield a
+// non-nil interface and core would probe through a nil table.
+func (e *Engine) coreTable() tt.Prober {
+	if e.table == nil {
+		return nil
+	}
+	return e.table
+}

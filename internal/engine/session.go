@@ -71,6 +71,7 @@ func (e *Engine) Analyze(ctx context.Context, pos game.Position, maxDepth int) (
 	for i := range s.order {
 		s.order[i] = i
 	}
+	s.primeScores()
 
 	start := time.Now()
 	an := &Analysis{Move: -1}
@@ -241,6 +242,7 @@ func (s *session) searchChild(child game.Position, depth int, w game.Window) (ga
 		MultipleENodes:     true,
 		EarlyChoice:        true,
 		RootWindow:         &w,
+		Table:              s.e.coreTable(),
 		Cancel:             s.cancel,
 	})
 	s.nodes += res.Stats.Generated
@@ -262,6 +264,33 @@ func (s *session) searchChild(child game.Position, depth int, w game.Window) (ga
 		}
 	}
 	return res.Value, nil
+}
+
+// primeScores seeds the root move ordering from the shared table before the
+// first iteration: each child position is probed under its bare hash at any
+// depth — the keying the core workers store under while searching subtrees —
+// so a warm table (an earlier session on the same line, or the core's own
+// in-search stores) orders the root moves before a single node is searched.
+// The cached values are bounds of mixed depths, which is fine: they steer
+// ordering only; exactness comes from the searches themselves.
+func (s *session) primeScores() {
+	if s.e.table == nil {
+		return
+	}
+	primed := false
+	for i, k := range s.kids {
+		h, ok := k.(tt.Hashable)
+		if !ok {
+			return
+		}
+		if en, ok := s.e.table.ProbeDeep(h.Hash(), 0); ok {
+			s.scores[i] = -en.Value
+			primed = true
+		}
+	}
+	if primed {
+		s.reorder()
+	}
 }
 
 // reorder sorts the search order by the latest scores, best first, keeping

@@ -70,6 +70,12 @@ func (p pos) Value() game.Value {
 	return uniform(h, p.t.ValueRange)
 }
 
+// Hash returns the node's identity hash, making random trees usable with
+// transposition tables (tt.Hashable). A synthetic tree has no transpositions
+// — every node's path hash is distinct — so the table serves cross-task and
+// cross-search reuse rather than in-tree sharing.
+func (p pos) Hash() uint64 { return p.hash }
+
 // childHash derives the hash of the i-th child of a node with hash h.
 func childHash(h uint64, i int) uint64 {
 	return splitmix64(h ^ (uint64(i+1) * 0x9E3779B97F4A7C15))

@@ -85,6 +85,11 @@ func (p spos) Children() []game.Position {
 
 // Value returns the exact alternating sum at leaves and the greedy-completion
 // estimate at interior nodes.
+// Hash returns the node's identity hash (tt.Hashable). Path hashes are
+// unique per node, and the accumulated edge weights are a function of the
+// path, so the hash fully identifies the position.
+func (p spos) Hash() uint64 { return p.hash }
+
 func (p spos) Value() game.Value {
 	acc, hash := p.acc, p.hash
 	for ply := p.ply; ply < p.t.Depth; ply++ {

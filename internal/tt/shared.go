@@ -14,6 +14,10 @@ type Prober interface {
 	Store(key uint64, depth int, value game.Value, bound Bound)
 }
 
+// Shared is the canonical Prober: core workers probe and store through this
+// interface so tests can substitute counting or failing tables.
+var _ Prober = (*Shared)(nil)
+
 // Shared is a concurrent transposition table: one direct-mapped slot array
 // divided into power-of-two shards, each guarded by its own mutex, so many
 // searches on the same game can share one table with low lock contention
