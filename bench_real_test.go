@@ -10,6 +10,7 @@ package ertree_test
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"runtime"
 	"sort"
@@ -17,6 +18,7 @@ import (
 
 	"ertree"
 	"ertree/internal/experiments"
+	"ertree/internal/telemetry"
 )
 
 // realSpeedupPoint is one (workload, worker-count) measurement.
@@ -34,13 +36,24 @@ type realSpeedupPoint struct {
 	TTHitRate float64 `json:"tt_hit_rate"`
 }
 
+// taskLatencySummary condenses the per-worker-count task-latency histogram:
+// every task span observed at that processor count, across all workloads.
+type taskLatencySummary struct {
+	Workers int     `json:"workers"`
+	Tasks   int64   `json:"tasks"`
+	P50US   float64 `json:"p50_us"` // median task latency, microseconds
+	P95US   float64 `json:"p95_us"`
+	MeanUS  float64 `json:"mean_us"`
+}
+
 type realSpeedupArtifact struct {
-	GoVersion string             `json:"go_version"`
-	GOOS      string             `json:"goos"`
-	GOARCH    string             `json:"goarch"`
-	NumCPU    int                `json:"num_cpu"`
-	TableBits int                `json:"table_bits"`
-	Points    []realSpeedupPoint `json:"points"`
+	GoVersion   string               `json:"go_version"`
+	GOOS        string               `json:"goos"`
+	GOARCH      string               `json:"goarch"`
+	NumCPU      int                  `json:"num_cpu"`
+	TableBits   int                  `json:"table_bits"`
+	Points      []realSpeedupPoint   `json:"points"`
+	TaskLatency []taskLatencySummary `json:"task_latency"`
 }
 
 // realSpeedupWorkers returns the measured processor counts: the paper's
@@ -62,11 +75,26 @@ func BenchmarkRealSpeedup(b *testing.B) {
 	workloads := experiments.Table3()
 	points := []realSpeedupPoint{}
 	var lastSpeedup float64
+	// One task-latency histogram per processor count, fed by search hooks:
+	// the artifact summarizes how the work grain shifts as P grows.
+	reg := telemetry.NewRegistry()
+	taskHist := map[int]*telemetry.Histogram{}
+	histFor := func(p int) *telemetry.Histogram {
+		h, ok := taskHist[p]
+		if !ok {
+			h = reg.Histogram(fmt.Sprintf("bench_task_seconds_p%d", p),
+				"Task latency at this worker count.",
+				telemetry.ExponentialBuckets(1e-6, 2, 22))
+			taskHist[p] = h
+		}
+		return h
+	}
 	for i := 0; i < b.N; i++ {
 		points = points[:0]
 		for _, w := range workloads {
 			base := int64(0)
 			for _, p := range realSpeedupWorkers() {
+				hist := histFor(p)
 				// A fresh table per point: each measurement is a cold
 				// search, not a replay of the previous point's work.
 				cfg := ertree.Config{
@@ -74,6 +102,14 @@ func BenchmarkRealSpeedup(b *testing.B) {
 					SerialDepth: w.SerialDepth,
 					Order:       w.Order,
 					Table:       ertree.NewSharedTranspositionTable(tableBits, 0),
+					Hooks: &ertree.SearchHooks{
+						Spans: true,
+						OnWorkerDone: func(wt ertree.WorkerTelemetry) {
+							for _, sp := range wt.Spans {
+								hist.Observe((sp.End - sp.Start).Seconds())
+							}
+						},
+					},
 				}
 				res, err := ertree.Search(w.Root, w.Depth, cfg)
 				if err != nil {
@@ -116,6 +152,20 @@ func BenchmarkRealSpeedup(b *testing.B) {
 		NumCPU:    runtime.NumCPU(),
 		TableBits: tableBits,
 		Points:    points,
+	}
+	for _, p := range realSpeedupWorkers() {
+		h := histFor(p)
+		n := h.Count()
+		if n == 0 {
+			continue
+		}
+		art.TaskLatency = append(art.TaskLatency, taskLatencySummary{
+			Workers: p,
+			Tasks:   n,
+			P50US:   h.Quantile(0.5) * 1e6,
+			P95US:   h.Quantile(0.95) * 1e6,
+			MeanUS:  h.Sum() / float64(n) * 1e6,
+		})
 	}
 	data, err := json.MarshalIndent(art, "", "  ")
 	if err != nil {

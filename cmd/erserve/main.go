@@ -6,8 +6,10 @@
 //
 //	GET /bestmove?game=connect4&moves=3,3&depth=8&budget_ms=500
 //	GET /analyze?game=othello&depth=6        (adds per-iteration history)
+//	GET /analyze?game=othello&depth=6&trace=1  (Perfetto-loadable worker trace)
 //	GET /healthz
 //	GET /stats
+//	GET /metrics                             (Prometheus text; ?format=json)
 //
 // A position is the list of child indices (natural move order) from the
 // game's initial position. The search runs iterative deepening under the

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"encoding/hex"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"ertree/internal/telemetry"
+)
+
+// httpMetrics is the server's request-level instrumentation, registered on
+// the same registry as the engine families so /metrics exposes one coherent
+// page.
+type httpMetrics struct {
+	requests *telemetry.CounterVec   // http_requests_total{path,code}
+	latency  *telemetry.HistogramVec // http_request_duration_seconds{path}
+	inFlight *telemetry.Gauge        // http_requests_in_flight
+	shed     *telemetry.Counter      // http_requests_shed_total
+}
+
+func newHTTPMetrics(reg *telemetry.Registry) *httpMetrics {
+	return &httpMetrics{
+		requests: reg.CounterVec("http_requests_total",
+			"HTTP requests served, by path and status code.", "path", "code"),
+		latency: reg.HistogramVec("http_request_duration_seconds",
+			"HTTP request latency.", telemetry.LatencyBuckets(), "path"),
+		inFlight: reg.Gauge("http_requests_in_flight",
+			"Requests currently being served."),
+		shed: reg.Counter("http_requests_shed_total",
+			"Requests refused with 503 (admission pool full)."),
+	}
+}
+
+// knownPaths bounds the path label's cardinality: anything outside the
+// served surface (scanners, typos) collapses into "other".
+var knownPaths = map[string]bool{
+	"/bestmove": true, "/analyze": true, "/healthz": true,
+	"/stats": true, "/metrics": true,
+}
+
+func pathLabel(p string) string {
+	if knownPaths[p] {
+		return p
+	}
+	return "other"
+}
+
+// statusWriter records the status code and body size a handler produced.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// requestIDs hands out unique request ids: a random per-process prefix plus
+// a counter, cheap and collision-free without consuming entropy per request.
+type requestIDs struct {
+	mu     sync.Mutex
+	prefix string
+	n      uint64
+}
+
+func newRequestIDs() *requestIDs {
+	var b [4]byte
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	for i := range b {
+		b[i] = byte(rng.Intn(256))
+	}
+	return &requestIDs{prefix: hex.EncodeToString(b[:])}
+}
+
+func (g *requestIDs) next() string {
+	g.mu.Lock()
+	g.n++
+	n := g.n
+	g.mu.Unlock()
+	return g.prefix + "-" + formatUint(n)
+}
+
+func formatUint(n uint64) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// instrument wraps the service mux with the observability envelope: request
+// ids (honoring a client-sent X-Request-ID, minting one otherwise), in-flight
+// and per-path counters, latency histograms, a shed counter for 503s, and one
+// structured access-log line per request.
+func (s *server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = s.ids.next()
+		}
+		w.Header().Set("X-Request-ID", id)
+		path := pathLabel(r.URL.Path)
+		s.metrics.inFlight.Add(1)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		s.metrics.inFlight.Add(-1)
+		if sw.code == 0 {
+			sw.code = http.StatusOK // handler wrote nothing at all
+		}
+		s.metrics.requests.With(path, formatUint(uint64(sw.code))).Inc()
+		s.metrics.latency.With(path).Observe(elapsed.Seconds())
+		if sw.code == http.StatusServiceUnavailable {
+			s.metrics.shed.Inc()
+		}
+		s.log.Info("request",
+			"id", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"query", r.URL.RawQuery,
+			"code", sw.code,
+			"bytes", sw.bytes,
+			"elapsed_ms", elapsed.Milliseconds(),
+			"remote", r.RemoteAddr,
+		)
+	})
+}

@@ -1,0 +1,236 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMetricsEndpoint is the exposition acceptance check: after real traffic,
+// /metrics answers Prometheus text covering the request, session, core-search,
+// and transposition-table families.
+func TestMetricsEndpoint(t *testing.T) {
+	ts := testServer(t, serverConfig{Workers: 2, SerialDepth: 3, TableBits: 14, MaxConcurrent: 2})
+	client := &http.Client{Timeout: 20 * time.Second}
+
+	var an analysisJSON
+	getJSON(t, client, ts.URL+"/bestmove?game=ttt&depth=5&budget_ms=15000", http.StatusOK, &an)
+	getJSON(t, client, ts.URL+"/bestmove?game=nosuch&depth=3", http.StatusBadRequest, nil)
+
+	resp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		// Request family, including the instrumented error response.
+		`http_requests_total{path="/bestmove",code="200"} 1`,
+		`http_requests_total{path="/bestmove",code="400"} 1`,
+		`http_request_duration_seconds_count{path="/bestmove"} 2`,
+		"http_requests_in_flight",
+		// Session family.
+		`engine_sessions_total{game="ttt",outcome="completed"} 1`,
+		`engine_session_depth_count{game="ttt"} 1`,
+		// Core-search and TT families.
+		`core_tasks_total{game="ttt"`,
+		`core_tt_ops_total{game="ttt",op="probe"}`,
+		`core_tt_ops_total{game="ttt",op="store"}`,
+		// Pool gauges.
+		"engine_pool_capacity 2",
+		"engine_pool_active 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Log(text)
+	}
+
+	// The JSON form of the same registry.
+	resp2, err := client.Get(ts.URL + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var fams []map[string]any
+	if err := json.NewDecoder(resp2.Body).Decode(&fams); err != nil {
+		t.Fatalf("/metrics?format=json: %v", err)
+	}
+	if len(fams) == 0 {
+		t.Fatal("JSON snapshot is empty")
+	}
+}
+
+// TestRequestIDs: every response carries an X-Request-ID; a client-supplied
+// one is preserved.
+func TestRequestIDs(t *testing.T) {
+	ts := testServer(t, serverConfig{Workers: 1, MaxConcurrent: 1})
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	resp, err := client.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("X-Request-ID") == "" {
+		t.Fatal("response missing a generated X-Request-ID")
+	}
+
+	req, _ := http.NewRequest("GET", ts.URL+"/healthz", nil)
+	req.Header.Set("X-Request-ID", "client-supplied-42")
+	resp2, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if got := resp2.Header.Get("X-Request-ID"); got != "client-supplied-42" {
+		t.Fatalf("client request id not preserved: %q", got)
+	}
+}
+
+// TestAccessLogLines: the structured access log emits one record per request
+// with the request id and status code.
+func TestAccessLogLines(t *testing.T) {
+	var logBuf bytes.Buffer
+	srv := newServer(serverConfig{
+		Workers: 1, MaxConcurrent: 1,
+		Logger: slog.New(slog.NewJSONHandler(&logBuf, nil)),
+	})
+	h := srv.handler()
+
+	rec := newRecorder()
+	req, _ := http.NewRequest("GET", "/healthz", nil)
+	req.Header.Set("X-Request-ID", "log-test-1")
+	h.ServeHTTP(rec, req)
+
+	var line map[string]any
+	if err := json.Unmarshal(logBuf.Bytes(), &line); err != nil {
+		t.Fatalf("access log is not one JSON record: %v (%q)", err, logBuf.String())
+	}
+	if line["msg"] != "request" || line["id"] != "log-test-1" ||
+		line["path"] != "/healthz" || line["code"] != float64(200) {
+		t.Fatalf("access log record: %v", line)
+	}
+}
+
+// failingWriter is a ResponseWriter whose body writes always fail, the way a
+// hung-up client looks to the handler.
+type failingWriter struct {
+	h http.Header
+}
+
+func (w *failingWriter) Header() http.Header       { return w.h }
+func (w *failingWriter) WriteHeader(int)           {}
+func (w *failingWriter) Write([]byte) (int, error) { return 0, errors.New("client went away") }
+
+// TestWriteJSONLogsEncodeErrors is the regression test for the silently
+// discarded Encode error: a failing writer must surface in the server log.
+func TestWriteJSONLogsEncodeErrors(t *testing.T) {
+	var logBuf bytes.Buffer
+	srv := newServer(serverConfig{
+		Workers: 1, MaxConcurrent: 1,
+		Logger: slog.New(slog.NewJSONHandler(&logBuf, nil)),
+	})
+	fw := &failingWriter{h: make(http.Header)}
+	fw.h.Set("X-Request-ID", "fail-1")
+	srv.writeJSON(fw, http.StatusOK, map[string]string{"hello": "world"})
+
+	var line map[string]any
+	if err := json.Unmarshal(logBuf.Bytes(), &line); err != nil {
+		t.Fatalf("expected one log record, got %q: %v", logBuf.String(), err)
+	}
+	if line["msg"] != "response encode failed" || line["id"] != "fail-1" {
+		t.Fatalf("encode failure not logged usefully: %v", line)
+	}
+	if !strings.Contains(line["err"].(string), "client went away") {
+		t.Fatalf("log lost the underlying error: %v", line)
+	}
+}
+
+// recorder is a minimal in-process ResponseWriter for handler-level tests.
+type recorder struct {
+	h    http.Header
+	code int
+	body bytes.Buffer
+}
+
+func newRecorder() *recorder { return &recorder{h: make(http.Header)} }
+
+func (r *recorder) Header() http.Header { return r.h }
+func (r *recorder) WriteHeader(c int) {
+	if r.code == 0 {
+		r.code = c
+	}
+}
+func (r *recorder) Write(b []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	return r.body.Write(b)
+}
+
+// TestAnalyzeTraceEndpoint: /analyze?trace=1 answers a Chrome trace object —
+// traceEvents a valid event array with per-worker thread names — with the
+// analysis embedded, and /bestmove ignores the flag.
+func TestAnalyzeTraceEndpoint(t *testing.T) {
+	ts := testServer(t, serverConfig{Workers: 2, SerialDepth: 2, TableBits: 12, MaxConcurrent: 2})
+	client := &http.Client{Timeout: 20 * time.Second}
+
+	var out struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Analysis    analysisJSON     `json:"analysis"`
+	}
+	getJSON(t, client, ts.URL+"/analyze?game=ttt&depth=5&budget_ms=15000&trace=1", http.StatusOK, &out)
+	if !out.Analysis.Completed || out.Analysis.Game != "ttt" {
+		t.Fatalf("embedded analysis: %+v", out.Analysis)
+	}
+	if len(out.TraceEvents) == 0 {
+		t.Fatal("trace=1 returned no trace events")
+	}
+	threads := map[float64]bool{}
+	spans := 0
+	for _, ev := range out.TraceEvents {
+		switch ev["ph"] {
+		case "M":
+			if ev["name"] == "thread_name" {
+				threads[ev["tid"].(float64)] = true
+			}
+		case "X":
+			spans++
+			if ev["dur"].(float64) < 1 {
+				t.Fatalf("zero-width span: %v", ev)
+			}
+		}
+	}
+	if len(threads) == 0 || len(threads) > 2 {
+		t.Fatalf("%d worker tracks for 2 workers", len(threads))
+	}
+	if spans == 0 {
+		t.Fatal("no complete-events in the trace")
+	}
+
+	// /bestmove has no iteration history and no trace support.
+	var an analysisJSON
+	getJSON(t, client, ts.URL+"/bestmove?game=ttt&depth=3&trace=1&budget_ms=15000", http.StatusOK, &an)
+	if an.Move < 0 {
+		t.Fatalf("bestmove with trace param: %+v", an)
+	}
+}

@@ -1,11 +1,14 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
 	"time"
@@ -15,6 +18,7 @@ import (
 	"ertree/internal/engine"
 	"ertree/internal/game"
 	"ertree/internal/othello"
+	"ertree/internal/telemetry"
 	"ertree/internal/ttt"
 )
 
@@ -43,15 +47,22 @@ type serverConfig struct {
 	QueueTimeout  time.Duration // admission-queue wait before 503
 	MaxDepth      int           // cap on requested depth
 	DefaultBudget time.Duration // search budget when the client sends none
+	Logger        *slog.Logger  // structured logs; nil logs JSON to stderr
 }
 
 // server is the HTTP analysis service: one engine per game, all sharing one
 // session-slot pool, so the whole server runs at most MaxConcurrent searches
-// with queued admission.
+// with queued admission. All engines record into one telemetry registry,
+// exposed at /metrics alongside the server's own request instrumentation.
 type server struct {
 	cfg     serverConfig
 	engines map[string]*engine.Engine
+	pool    engine.Pool
 	start   time.Time
+	reg     *telemetry.Registry
+	metrics *httpMetrics
+	log     *slog.Logger
+	ids     *requestIDs
 }
 
 func newServer(cfg serverConfig) *server {
@@ -61,10 +72,26 @@ func newServer(cfg serverConfig) *server {
 	if cfg.DefaultBudget <= 0 {
 		cfg.DefaultBudget = 5 * time.Second
 	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
 	pool := engine.NewPool(cfg.MaxConcurrent)
-	s := &server{cfg: cfg, engines: make(map[string]*engine.Engine), start: time.Now()}
+	reg := telemetry.NewRegistry()
+	s := &server{
+		cfg:     cfg,
+		engines: make(map[string]*engine.Engine),
+		pool:    pool,
+		start:   time.Now(),
+		reg:     reg,
+		metrics: newHTTPMetrics(reg),
+		log:     log,
+		ids:     newRequestIDs(),
+	}
+	tel := engine.NewTelemetry(reg)
 	for name, spec := range games {
 		s.engines[name] = engine.New(engine.Config{
+			Name:         name,
 			Workers:      cfg.Workers,
 			SerialDepth:  cfg.SerialDepth,
 			Order:        spec.order,
@@ -72,8 +99,18 @@ func newServer(cfg serverConfig) *server {
 			Delta:        32,
 			Pool:         pool,
 			QueueTimeout: cfg.QueueTimeout,
+			Telemetry:    tel,
 		})
 	}
+	reg.GaugeFunc("engine_pool_capacity",
+		"Session slots shared by every game engine.",
+		func() float64 { return float64(cap(pool)) })
+	reg.GaugeFunc("engine_pool_active",
+		"Sessions currently holding a slot.",
+		func() float64 { return float64(len(pool)) })
+	reg.GaugeFunc("process_uptime_seconds",
+		"Seconds since the server started.",
+		func() float64 { return time.Since(s.start).Seconds() })
 	return s
 }
 
@@ -83,7 +120,8 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/analyze", s.handleAnalyze(true))
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
-	return mux
+	mux.Handle("/metrics", s.reg.Handler())
+	return s.instrument(mux)
 }
 
 // httpError is the JSON error envelope.
@@ -91,16 +129,26 @@ type httpError struct {
 	Error string `json:"error"`
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// writeJSON writes v as the indented JSON response body. Encoding errors are
+// logged, not swallowed: after WriteHeader the status is already on the wire,
+// so the log line (keyed by the response's request id) is the only place a
+// half-written body becomes visible.
+func (s *server) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		s.log.Error("response encode failed",
+			"id", w.Header().Get("X-Request-ID"),
+			"code", code,
+			"err", err.Error(),
+		)
+	}
 }
 
-func fail(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, httpError{Error: fmt.Sprintf(format, args...)})
+func (s *server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	s.writeJSON(w, code, httpError{Error: fmt.Sprintf(format, args...)})
 }
 
 // iterationJSON is one completed deepening iteration on the wire.
@@ -164,60 +212,68 @@ func firstValue(q map[string][]string, key string) string {
 }
 
 // handleAnalyze serves /bestmove and /analyze: the same session, with the
-// per-iteration history included only on /analyze.
+// per-iteration history included only on /analyze. On /analyze, trace=1 runs
+// the session with worker-span telemetry and answers with a Chrome
+// trace-object envelope ({"traceEvents": [...], "analysis": {...}}) that
+// loads directly in Perfetto.
 func (s *server) handleAnalyze(includeIterations bool) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query()
 		name, pos, err := parsePosition(q)
 		if err != nil {
-			fail(w, http.StatusBadRequest, "%v", err)
+			s.fail(w, http.StatusBadRequest, "%v", err)
 			return
 		}
 		depth := 8
 		if d := firstValue(q, "depth"); d != "" {
 			depth, err = strconv.Atoi(d)
 			if err != nil || depth < 1 {
-				fail(w, http.StatusBadRequest, "bad depth %q", d)
+				s.fail(w, http.StatusBadRequest, "bad depth %q", d)
 				return
 			}
 		}
 		if depth > s.cfg.MaxDepth {
-			fail(w, http.StatusBadRequest, "depth %d exceeds the server cap %d", depth, s.cfg.MaxDepth)
+			s.fail(w, http.StatusBadRequest, "depth %d exceeds the server cap %d", depth, s.cfg.MaxDepth)
 			return
 		}
 		budget := s.cfg.DefaultBudget
 		if b := firstValue(q, "budget_ms"); b != "" {
 			ms, err := strconv.Atoi(b)
 			if err != nil || ms < 1 {
-				fail(w, http.StatusBadRequest, "bad budget_ms %q", b)
+				s.fail(w, http.StatusBadRequest, "bad budget_ms %q", b)
 				return
 			}
 			budget = time.Duration(ms) * time.Millisecond
 		}
+		trace := includeIterations && firstValue(q, "trace") == "1"
 		// The session stops at the budget or when the client disconnects,
 		// whichever comes first, and still answers with the deepest
 		// completed iteration.
 		ctx, cancel := context.WithTimeout(r.Context(), budget)
 		defer cancel()
 
-		an, err := s.engines[name].Analyze(ctx, pos, depth)
+		analyze := s.engines[name].Analyze
+		if trace {
+			analyze = s.engines[name].AnalyzeTrace
+		}
+		an, err := analyze(ctx, pos, depth)
 		switch {
 		case err == nil:
 		case errors.Is(err, engine.ErrBusy):
 			w.Header().Set("Retry-After", "1")
-			fail(w, http.StatusServiceUnavailable, "%v", err)
+			s.fail(w, http.StatusServiceUnavailable, "%v", err)
 			return
 		case errors.Is(err, engine.ErrNoMoves):
-			fail(w, http.StatusUnprocessableEntity, "position is terminal: no moves to search")
+			s.fail(w, http.StatusUnprocessableEntity, "position is terminal: no moves to search")
 			return
 		case errors.Is(err, engine.ErrNoResult):
-			fail(w, http.StatusGatewayTimeout, "budget %v expired before the first iteration completed", budget)
+			s.fail(w, http.StatusGatewayTimeout, "budget %v expired before the first iteration completed", budget)
 			return
 		case errors.Is(err, context.Canceled):
-			fail(w, http.StatusServiceUnavailable, "request cancelled while queued")
+			s.fail(w, http.StatusServiceUnavailable, "request cancelled while queued")
 			return
 		default:
-			fail(w, http.StatusInternalServerError, "%v", err)
+			s.fail(w, http.StatusInternalServerError, "%v", err)
 			return
 		}
 
@@ -243,12 +299,31 @@ func (s *server) handleAnalyze(includeIterations bool) http.HandlerFunc {
 				})
 			}
 		}
-		writeJSON(w, http.StatusOK, out)
+		if trace {
+			var buf bytes.Buffer
+			if err := engine.WriteWorkerTrace(&buf, "erserve "+name, an.Trace); err != nil {
+				s.fail(w, http.StatusInternalServerError, "trace encode: %v", err)
+				return
+			}
+			s.writeJSON(w, http.StatusOK, tracedAnalysisJSON{
+				TraceEvents: json.RawMessage(buf.Bytes()),
+				Analysis:    out,
+			})
+			return
+		}
+		s.writeJSON(w, http.StatusOK, out)
 	}
 }
 
+// tracedAnalysisJSON is the trace=1 response: a Chrome trace object with the
+// analysis riding along (Perfetto ignores unknown top-level keys).
+type tracedAnalysisJSON struct {
+	TraceEvents json.RawMessage `json:"traceEvents"`
+	Analysis    analysisJSON    `json:"analysis"`
+}
+
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"status":    "ok",
 		"uptime_ms": time.Since(s.start).Milliseconds(),
 		"games":     len(s.engines),
@@ -275,5 +350,5 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		out.Active = st.Active
 		out.Games[name] = st
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }

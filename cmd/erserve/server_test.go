@@ -3,6 +3,8 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -11,6 +13,11 @@ import (
 
 func testServer(t *testing.T, cfg serverConfig) *httptest.Server {
 	t.Helper()
+	if cfg.Logger == nil {
+		// Keep access logs out of the test output; log-asserting tests
+		// inject their own buffer-backed logger.
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	ts := httptest.NewServer(newServer(cfg).handler())
 	t.Cleanup(ts.Close)
 	return ts

@@ -40,6 +40,7 @@ func main() {
 		sortPly     = flag.Int("sort-ply", 5, "statically sort children above this ply (0 disables)")
 		show        = flag.Bool("show", false, "print the position before searching")
 		timeline    = flag.Bool("timeline", false, "with er-par: print the worker-utilization timeline")
+		traceOut    = flag.String("trace", "", "with er-par/er-real: write a Chrome trace_event JSON (open in Perfetto) to this file")
 		bestLine    = flag.Bool("bestmove", false, "also print the best move and principal variation (parallel ER)")
 		tableBits   = flag.Int("table-bits", 0, "with er-real: back serial tasks with a shared transposition table of 2^bits slots (0 disables)")
 		mutexProf   = flag.String("mutexprofile", "", "write a mutex-contention profile to this file (er-real lock interference)")
@@ -99,7 +100,7 @@ func main() {
 		report(s.ER(pos, *depth, ertree.FullWindow()), &stats)
 	case "er-par":
 		cfg2 := cfg
-		cfg2.Trace = *timeline
+		cfg2.Trace = *timeline || *traceOut != ""
 		res, err := ertree.Simulate(pos, *depth, cfg2, cost)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ertree:", err)
@@ -119,9 +120,21 @@ func main() {
 			}
 			fmt.Print(metrics.Timeline("worker utilization", spans, res.VirtualTime, 64))
 		}
+		if *traceOut != "" {
+			if err := writeSimTrace(*traceOut, "ertree er-par (virtual time)", res.Timeline); err != nil {
+				fmt.Fprintln(os.Stderr, "ertree:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("trace written to %s (open in https://ui.perfetto.dev)\n", *traceOut)
+		}
 	case "er-real":
 		if *tableBits > 0 {
 			cfg.Table = ertree.NewSharedTranspositionTable(*tableBits, 0)
+		}
+		var sink *traceSink
+		if *traceOut != "" {
+			sink = newTraceSink()
+			cfg.Hooks = &ertree.SearchHooks{Spans: true, HeapEvery: 8, OnWorkerDone: sink.add}
 		}
 		res, err := ertree.Search(pos, *depth, cfg)
 		if err != nil {
@@ -130,6 +143,13 @@ func main() {
 		}
 		report(res.Value, &stats)
 		fmt.Printf("elapsed %v on %d workers\n", res.Elapsed, res.Workers)
+		if sink != nil {
+			if err := writeRealTrace(*traceOut, "ertree er-real", sink.workers()); err != nil {
+				fmt.Fprintln(os.Stderr, "ertree:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("trace written to %s (open in https://ui.perfetto.dev)\n", *traceOut)
+		}
 		if res.TTProbes > 0 {
 			fmt.Printf("table: %d probes, %d hits (%.1f%%), %d stores, %d tasks answered without searching\n",
 				res.TTProbes, res.TTHits,

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"ertree"
+	"ertree/internal/engine"
+	"ertree/internal/sim"
+	"ertree/internal/telemetry"
+)
+
+// traceSink collects and merges the per-worker telemetry a hooked er-real
+// search delivers at worker exit.
+type traceSink struct {
+	mu       sync.Mutex
+	byWorker map[int]*ertree.WorkerTelemetry
+}
+
+func newTraceSink() *traceSink {
+	return &traceSink{byWorker: make(map[int]*ertree.WorkerTelemetry)}
+}
+
+func (s *traceSink) add(wt ertree.WorkerTelemetry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m, ok := s.byWorker[wt.Worker]; ok {
+		m.Merge(wt)
+	} else {
+		cp := wt
+		s.byWorker[wt.Worker] = &cp
+	}
+}
+
+func (s *traceSink) workers() []ertree.WorkerTelemetry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]int, 0, len(s.byWorker))
+	for id := range s.byWorker {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]ertree.WorkerTelemetry, len(ids))
+	for i, id := range ids {
+		out[i] = *s.byWorker[id]
+	}
+	return out
+}
+
+// writeRealTrace renders an er-real search's worker telemetry as a Chrome
+// trace_event JSON file (open it at https://ui.perfetto.dev).
+func writeRealTrace(path, process string, tels []ertree.WorkerTelemetry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := engine.WriteWorkerTrace(f, process, tels)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// writeSimTrace renders an er-par run's deterministic timeline through the
+// same trace writer: one track per virtual processor, one span per busy
+// interval, timestamps in virtual time units.
+func writeSimTrace(path, process string, timeline [][]sim.Interval) error {
+	var spans []telemetry.TraceSpan
+	for p, ivs := range timeline {
+		for _, iv := range ivs {
+			spans = append(spans, telemetry.TraceSpan{
+				Track:     p,
+				TrackName: fmt.Sprintf("processor %d", p),
+				Name:      "busy",
+				Cat:       "simulated",
+				StartUS:   iv.Start,
+				DurUS:     iv.End - iv.Start,
+			})
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := telemetry.WriteTrace(f, process, spans)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}

@@ -150,7 +150,33 @@ type Config struct {
 	// concurrent transposition table (see SharedTranspositionTable). Ignored
 	// by Simulate, whose model of the paper's machine has no table.
 	Table *SharedTranspositionTable
+	// Hooks, if non-nil, arms per-worker telemetry on Search: busy spans by
+	// task kind, the speculative-vs-primary work split, and heap samples,
+	// delivered per worker at exit. Nil costs one pointer test per task.
+	// Ignored by Simulate, which records Timeline via Trace instead.
+	Hooks *SearchHooks
 }
+
+// SearchHooks configures real-runtime search telemetry; see core.Hooks.
+type SearchHooks = core.Hooks
+
+// WorkerTelemetry is one worker's accumulated telemetry shard, delivered via
+// SearchHooks.OnWorkerDone.
+type WorkerTelemetry = core.WorkerTelemetry
+
+// TaskKind classifies the work units reported in WorkerTelemetry.
+type TaskKind = core.TaskKind
+
+// Task kinds reported by search telemetry (see core.TaskKind).
+const (
+	TaskLeaf    = core.TaskLeaf
+	TaskSerial  = core.TaskSerial
+	TaskExamine = core.TaskExamine
+	TaskExpand  = core.TaskExpand
+	TaskSpec    = core.TaskSpec
+	TaskCutoff  = core.TaskCutoff
+	TaskDrop    = core.TaskDrop
+)
 
 // SpecRank is a speculative-queue ordering policy.
 type SpecRank = core.SpecRank
@@ -175,6 +201,7 @@ func (c Config) options() core.Options {
 		RootWindow:         c.RootWindow,
 		Trace:              c.Trace,
 		Stats:              c.Stats,
+		Hooks:              c.Hooks,
 	}
 	if c.Table != nil {
 		// Assign only when non-nil: a nil *tt.Shared wrapped in the Prober

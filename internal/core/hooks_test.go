@@ -1,0 +1,168 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"ertree/internal/gtree"
+	"ertree/internal/randtree"
+)
+
+// hookSink collects worker telemetry concurrently, the way engine and
+// command consumers do.
+type hookSink struct {
+	mu   sync.Mutex
+	tels []WorkerTelemetry
+}
+
+func (s *hookSink) add(wt WorkerTelemetry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tels = append(s.tels, wt)
+}
+
+func TestHooksObserveSearch(t *testing.T) {
+	tree := &randtree.Tree{Seed: 11, Degree: 4, Depth: 7, ValueRange: 1000}
+	sink := &hookSink{}
+	opt := DefaultOptions()
+	opt.Workers = 4
+	opt.SerialDepth = 3
+	opt.Hooks = &Hooks{Spans: true, HeapEvery: 1, OnWorkerDone: sink.add}
+	res, err := Search(tree.Root(), 7, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := oracle(tree.Root(), 7); res.Value != want {
+		t.Fatalf("hooked search value %d, want %d", res.Value, want)
+	}
+	if len(sink.tels) != 4 {
+		t.Fatalf("got %d worker telemetry shards, want 4", len(sink.tels))
+	}
+	seen := map[int]bool{}
+	var tasks, serial, spans int64
+	var heapSamples int
+	for _, wt := range sink.tels {
+		if seen[wt.Worker] {
+			t.Fatalf("worker %d delivered telemetry twice", wt.Worker)
+		}
+		seen[wt.Worker] = true
+		tasks += wt.Tasks()
+		// Result.SerialTasks counts both serial-ER and examine units.
+		serial += wt.TaskCounts[TaskSerial] + wt.TaskCounts[TaskExamine]
+		spans += int64(len(wt.Spans))
+		heapSamples += len(wt.HeapSamples)
+		if wt.Busy() < 0 {
+			t.Fatalf("worker %d negative busy time", wt.Worker)
+		}
+		for _, sp := range wt.Spans {
+			if sp.End < sp.Start || sp.Start < 0 {
+				t.Fatalf("worker %d span out of order: %+v", wt.Worker, sp)
+			}
+		}
+		if wt.SpecTasks > wt.Tasks() {
+			t.Fatalf("worker %d: spec tasks %d exceed total %d", wt.Worker, wt.SpecTasks, wt.Tasks())
+		}
+	}
+	if tasks == 0 || spans != tasks {
+		t.Fatalf("tasks %d, spans %d: want equal and positive", tasks, spans)
+	}
+	if serial != res.SerialTasks {
+		t.Fatalf("telemetry serial tasks %d, result says %d", serial, res.SerialTasks)
+	}
+	if heapSamples == 0 {
+		t.Fatal("HeapEvery=1 recorded no heap samples")
+	}
+}
+
+// TestHooksSharedEpoch: successive searches handed the same epoch produce
+// spans on one common time axis (the engine merges deepening iterations
+// into one session timeline this way).
+func TestHooksSharedEpoch(t *testing.T) {
+	tree := gtree.Figure6Tree()
+	sink := &hookSink{}
+	epoch := time.Now()
+	opt := DefaultOptions()
+	opt.Workers = 2
+	opt.Hooks = &Hooks{Epoch: epoch, Spans: true, OnWorkerDone: sink.add}
+	for i := 0; i < 2; i++ {
+		if _, err := Search(tree, tree.Height(), opt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged := map[int]*WorkerTelemetry{}
+	for _, wt := range sink.tels {
+		if m, ok := merged[wt.Worker]; ok {
+			m.Merge(wt)
+		} else {
+			cp := wt
+			merged[wt.Worker] = &cp
+		}
+	}
+	if len(merged) != 2 {
+		t.Fatalf("merged tracks: %d, want 2", len(merged))
+	}
+	for id, wt := range merged {
+		if wt.Tasks() == 0 {
+			continue // a worker can exit without ever winning a task
+		}
+		if int64(len(wt.Spans)) != wt.Tasks() {
+			t.Fatalf("worker %d: %d spans for %d tasks", id, len(wt.Spans), wt.Tasks())
+		}
+	}
+}
+
+// TestHooksDisabledInstrumentationAllocFree pins the nil-hook fast path: with
+// telemetry disabled the per-task instrumentation performs zero allocations
+// (and, by construction, no clock reads).
+func TestHooksDisabledInstrumentationAllocFree(t *testing.T) {
+	w := newWctx(newRealRuntime())
+	allocs := testing.AllocsPerRun(1000, func() {
+		start := w.taskStart()
+		w.sampleHeap(3, 1)
+		w.taskEnd(start, TaskSerial, false, 2)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled instrumentation allocates %.1f per task, want 0", allocs)
+	}
+}
+
+// TestSimulateIgnoresHooks: the simulator must stay bit-stable, so hooks are
+// stripped before the virtual run.
+func TestSimulateIgnoresHooks(t *testing.T) {
+	tree := gtree.Figure6Tree()
+	sink := &hookSink{}
+	opt := DefaultOptions()
+	opt.Workers = 2
+	opt.Hooks = &Hooks{Spans: true, OnWorkerDone: sink.add}
+	if _, err := Simulate(tree, tree.Height(), opt, DefaultCostModel()); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.tels) != 0 {
+		t.Fatalf("Simulate delivered %d telemetry shards, want 0", len(sink.tels))
+	}
+}
+
+// BenchmarkSearchHooksOverhead compares the same real-runtime search with
+// hooks disabled and fully enabled; the guard for "enabling observability
+// does not tax the disabled hot path" is the alloc-free test above, this
+// benchmark measures what enabling costs.
+func BenchmarkSearchHooksOverhead(b *testing.B) {
+	tree := &randtree.Tree{Seed: 5, Degree: 4, Depth: 8, ValueRange: 1000}
+	run := func(b *testing.B, hooks *Hooks) {
+		b.ReportAllocs()
+		opt := DefaultOptions()
+		opt.Workers = 4
+		opt.SerialDepth = 3
+		opt.Hooks = hooks
+		for i := 0; i < b.N; i++ {
+			if _, err := Search(tree.Root(), 8, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, nil) })
+	b.Run("enabled", func(b *testing.B) {
+		run(b, &Hooks{Spans: true, HeapEvery: 16, OnWorkerDone: func(WorkerTelemetry) {}})
+	})
+}

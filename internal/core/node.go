@@ -77,6 +77,7 @@ type node struct {
 	specKey   int64 // speculative-queue rank, computed at push time
 
 	// child-side flags (about this node's role under its parent).
+	specBorn     bool // born of a speculative-queue e-child selection (telemetry tag only)
 	isEChild     bool // this node was selected as an e-child of its parent
 	elderCounted bool // parent's elderDone already includes this node
 	inPrimary    bool // guards duplicate primary-queue entries

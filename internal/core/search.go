@@ -80,6 +80,12 @@ type Options struct {
 	// pop-loop check and Search returns ErrAborted together with the
 	// partial result. Ignored by Simulate, which is deterministic.
 	Cancel <-chan struct{}
+	// Hooks, when non-nil, arms low-overhead real-runtime telemetry: worker
+	// busy spans by task kind, the speculative-vs-primary work split, and
+	// heap size samples, accumulated in per-worker shards and delivered at
+	// worker exit (see hooks.go). Nil costs one pointer test per task.
+	// Ignored by Simulate, which has its own deterministic tracing (Trace).
+	Hooks *Hooks
 }
 
 // SpecRank is a speculative-queue ordering policy.
@@ -240,13 +246,21 @@ func Search(pos game.Position, depth int, opt Options) (Result, error) {
 		}()
 	}
 	start := time.Now()
+	epoch := start
+	if opt.Hooks != nil && !opt.Hooks.Epoch.IsZero() {
+		epoch = opt.Hooks.Epoch
+	}
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
-		go func() {
+		go func(id int) {
 			defer wg.Done()
-			s.worker(newWctx(rt))
-		}()
+			w := newWctx(rt)
+			if opt.Hooks != nil {
+				w.attachHooks(id, opt.Hooks, epoch)
+			}
+			s.worker(w)
+		}(i)
 	}
 	wg.Wait()
 	rt.mu.Lock()
@@ -278,6 +292,7 @@ func Simulate(pos game.Position, depth int, opt Options, cost CostModel) (Result
 	}
 	opt.Cancel = nil
 	opt.Table = nil // the paper's machine had no transposition table
+	opt.Hooks = nil // wall-clock hooks would perturb the bit-stable virtual run
 	s := newState(pos, depth, opt, cost)
 	env := sim.NewEnv()
 	if opt.Trace {

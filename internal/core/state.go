@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync/atomic"
+	"time"
 
 	"ertree/internal/game"
 	"ertree/internal/serial"
@@ -38,13 +39,21 @@ type state struct {
 	ttCutoffs atomic.Int64 // serial tasks answered by the table alone
 }
 
-// wctx is one worker's execution context: its runtime binding plus a private
-// statistics shard. Hot-path accounting goes to the shard so concurrent
-// workers never contend on the sink's cache lines; the shard is merged into
-// the run-wide sink exactly once, when the worker exits.
+// wctx is one worker's execution context: its runtime binding plus private
+// shards for statistics and (when hooks are armed) telemetry. Hot-path
+// accounting goes to the shards so concurrent workers never contend on the
+// sink's cache lines; each shard is merged into its run-wide sink exactly
+// once, when the worker exits.
 type wctx struct {
 	rt    Runtime
 	stats *game.Stats
+
+	// Telemetry shard (hooks.go); tel is nil when hooks are disabled and
+	// every instrumentation call reduces to one pointer test.
+	hooks *Hooks
+	tel   *WorkerTelemetry
+	epoch time.Time
+	pops  int // pop counter for heap sampling
 }
 
 func newWctx(rt Runtime) *wctx { return &wctx{rt: rt, stats: &game.Stats{}} }
@@ -78,6 +87,7 @@ func (s *state) newNode(pos game.Position, parent *node, typ nodeType, depth int
 	n.pos, n.parent, n.typ, n.depth, n.value, n.seq = pos, parent, typ, depth, -game.Inf, s.seq
 	if parent != nil {
 		n.ply = parent.ply + 1
+		n.specBorn = parent.specBorn
 	} else {
 		n.rootWin = game.FullWindow()
 	}
@@ -328,7 +338,7 @@ func (s *state) elderProgress(E *node, w *wctx) {
 	if !E.eSelected {
 		if E.elderDone >= d {
 			// Mandatory selection (Table 2 row 2/5).
-			s.selectEChild(E, w)
+			s.selectEChild(E, w, false)
 		} else if E.elderDone >= threshold && s.opt.EarlyChoice && !E.onSpec && hasCandidate(E) {
 			// Table 2 row 1/4: eligible for early choice.
 			s.pushSpeculative(E, w)
@@ -345,8 +355,11 @@ func (s *state) elderProgress(E *node, w *wctx) {
 
 // selectEChild promotes E's most promising undecided child (lowest tentative
 // value = most optimistic bound for E) to an e-node and schedules it.
-// Lock held.
-func (s *state) selectEChild(E *node, w *wctx) bool {
+// speculative marks promotions driven by the speculative queue: the promoted
+// child and every node generated under it are tagged speculative-born, the
+// wall-clock analogue of the paper's primary/speculative work split (the
+// tag feeds telemetry only and never steers the search). Lock held.
+func (s *state) selectEChild(E *node, w *wctx, speculative bool) bool {
 	var best *node
 	bestV := game.Inf
 	for _, k := range E.kids {
@@ -359,6 +372,9 @@ func (s *state) selectEChild(E *node, w *wctx) bool {
 	}
 	best.typ = eNode
 	best.isEChild = true
+	if speculative {
+		best.specBorn = true
+	}
 	E.eSelected = true
 	E.eKids++
 	s.heap.pushPrimary(best)
@@ -381,7 +397,7 @@ func (s *state) specAction(E *node, w *wctx) {
 		s.heap.dropped.Add(1)
 		return
 	}
-	if !s.selectEChild(E, w) {
+	if !s.selectEChild(E, w, true) {
 		return
 	}
 	if s.opt.MultipleENodes && hasCandidate(E) {

@@ -18,10 +18,14 @@ import "ertree/internal/game"
 //
 // Heavy computation (position expansion, static evaluation, serial subtree
 // search, transposition-table traffic) happens outside the lock; all tree
-// and heap mutation happens under it. Statistics go to the worker's private
-// shard, merged into the run-wide sink when the worker exits.
+// and heap mutation happens under it. Statistics — and, when Options.Hooks
+// is set, telemetry spans — go to the worker's private shard, merged into
+// the run-wide sink (or delivered to the hooks) when the worker exits.
 func (s *state) worker(w *wctx) {
-	defer func() { s.stats.Merge(w.stats.Snapshot()) }()
+	defer func() {
+		s.stats.Merge(w.stats.Snapshot())
+		w.flush()
+	}()
 	rt := w.rt
 	rt.Lock()
 	defer rt.Unlock()
@@ -40,12 +44,16 @@ func (s *state) worker(w *wctx) {
 			continue
 		}
 		rt.HoldWork(s.cost.HeapOp)
+		w.sampleHeap(len(s.heap.primary), len(s.heap.spec))
+		start := w.taskStart()
 		if fromSpec {
 			s.specAction(n, w)
+			w.taskEnd(start, TaskSpec, true, n.ply)
 			continue
 		}
 		if !n.alive() {
 			s.heap.dropped.Add(1)
+			w.taskEnd(start, TaskDrop, n.specBorn, n.ply)
 			continue
 		}
 		win := n.window()
@@ -54,11 +62,13 @@ func (s *state) worker(w *wctx) {
 			// without searching (a cutoff the serial algorithm would have
 			// taken before recursing).
 			s.cutoffAtPop(n, win, w)
+			w.taskEnd(start, TaskCutoff, n.specBorn, n.ply)
 			continue
 		}
 		switch {
 		case n.depth == 0:
 			s.leafTask(n, w)
+			w.taskEnd(start, TaskLeaf, n.specBorn, n.ply)
 		case n.depth <= s.opt.SerialDepth && n.typ == eNode:
 			// The serial cut-over matches work units to node roles. An
 			// e-node's work is a complete evaluation — exactly one
@@ -67,17 +77,22 @@ func (s *state) worker(w *wctx) {
 			// children they generate become single serial units: e-node
 			// children full ER calls, r-node children Examine calls.
 			s.serialTask(n, win, w)
+			w.taskEnd(start, TaskSerial, n.specBorn, n.ply)
 		case n.examine:
 			s.examineTask(n, win, w)
+			w.taskEnd(start, TaskExamine, n.specBorn, n.ply)
 		default:
 			if !n.expanded && !s.expandTask(n, w) {
+				w.taskEnd(start, TaskExpand, n.specBorn, n.ply)
 				continue // node died during expansion
 			}
 			if len(n.moves) == 0 {
 				s.leafTask(n, w) // terminal position above the horizon
+				w.taskEnd(start, TaskLeaf, n.specBorn, n.ply)
 				continue
 			}
 			s.table1(n, w)
+			w.taskEnd(start, TaskExpand, n.specBorn, n.ply)
 		}
 	}
 }

@@ -30,6 +30,9 @@ var (
 
 // Config configures an Engine.
 type Config struct {
+	// Name labels this engine's samples in the shared Telemetry — the game
+	// key of a multi-game server (e.g. "othello"). Empty means "default".
+	Name string
 	// Workers is the parallel-ER worker count used by each search.
 	// Defaults to 1.
 	Workers int
@@ -66,6 +69,11 @@ type Config struct {
 	// all of them together run at most cap(Pool) concurrent sessions. A
 	// multi-game server uses one Pool across its per-game engines.
 	Pool Pool
+	// Telemetry, if non-nil, receives per-session metric samples (outcome
+	// counts, latency and depth histograms, core task/TT traffic) labeled
+	// with Name. Engines sharing a registry share one Telemetry. Nil
+	// disables recording; the engine's own Stats counters always run.
+	Telemetry *Telemetry
 }
 
 // Pool is a shared set of session slots (a counting semaphore). Engines
@@ -95,6 +103,42 @@ type Engine struct {
 	rejected    atomic.Int64
 	failed      atomic.Int64
 	nodes       atomic.Int64
+	researches  atomic.Int64
+
+	// Core-search aggregates, folded in once per session (see coreTotals).
+	serialTasks atomic.Int64
+	leafTasks   atomic.Int64
+	specPops    atomic.Int64
+	dropped     atomic.Int64
+	cutoffDrops atomic.Int64
+	heapOps     atomic.Int64
+	ttProbes    atomic.Int64
+	ttHits      atomic.Int64
+	ttStores    atomic.Int64
+	ttCutoffs   atomic.Int64
+}
+
+// name returns the engine's telemetry label.
+func (e *Engine) name() string {
+	if e.cfg.Name != "" {
+		return e.cfg.Name
+	}
+	return "default"
+}
+
+// addCore folds a finished session's core-search counters into the engine's
+// aggregates.
+func (e *Engine) addCore(c *coreTotals) {
+	e.serialTasks.Add(c.serialTasks)
+	e.leafTasks.Add(c.leafTasks)
+	e.specPops.Add(c.specPops)
+	e.dropped.Add(c.dropped)
+	e.cutoffDrops.Add(c.cutoffDrops)
+	e.heapOps.Add(c.heapOps)
+	e.ttProbes.Add(c.ttProbes)
+	e.ttHits.Add(c.ttHits)
+	e.ttStores.Add(c.ttStores)
+	e.ttCutoffs.Add(c.ttCutoffs)
 }
 
 // New creates an engine. The zero Config is usable: one worker, one
@@ -157,6 +201,22 @@ type Stats struct {
 	Rejected    int64 // admissions refused (queue timeout or caller gave up)
 	Failed      int64 // sessions that errored
 	Nodes       int64 // total tree nodes generated across all sessions
+	Researches  int64 // aspiration-window re-searches across all sessions
+
+	// Core-search aggregates across all sessions.
+	SerialTasks int64 // serial-ER subtree work units
+	LeafTasks   int64 // frontier/terminal static evaluations
+	SpecPops    int64 // speculative-queue pops
+	Dropped     int64 // dead nodes discarded at pop time
+	CutoffDrops int64 // nodes cut off at pop time
+	HeapOps     int64 // problem-heap pushes + pops
+
+	// Transposition traffic as the searches saw it: session-level root-child
+	// probes plus the core serial tasks' probes.
+	TTProbes  int64
+	TTHits    int64
+	TTStores  int64
+	TTCutoffs int64 // searches answered by the table without searching
 
 	HasTable     bool
 	Table        tt.SharedStats
@@ -178,6 +238,17 @@ func (e *Engine) Stats() Stats {
 		Rejected:    e.rejected.Load(),
 		Failed:      e.failed.Load(),
 		Nodes:       e.nodes.Load(),
+		Researches:  e.researches.Load(),
+		SerialTasks: e.serialTasks.Load(),
+		LeafTasks:   e.leafTasks.Load(),
+		SpecPops:    e.specPops.Load(),
+		Dropped:     e.dropped.Load(),
+		CutoffDrops: e.cutoffDrops.Load(),
+		HeapOps:     e.heapOps.Load(),
+		TTProbes:    e.ttProbes.Load(),
+		TTHits:      e.ttHits.Load(),
+		TTStores:    e.ttStores.Load(),
+		TTCutoffs:   e.ttCutoffs.Load(),
 	}
 	if e.table != nil {
 		s.HasTable = true

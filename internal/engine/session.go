@@ -32,6 +32,10 @@ type Analysis struct {
 	Nodes      int64
 	Elapsed    time.Duration
 	Iterations []Iteration
+	// Trace holds the merged per-worker telemetry of every core search the
+	// session ran, on one common time axis anchored at session start. Only
+	// populated by AnalyzeTrace; render it with WriteWorkerTrace.
+	Trace []core.WorkerTelemetry
 }
 
 // Analyze runs one analysis session: iterative deepening from depth 1 to
@@ -47,6 +51,19 @@ type Analysis struct {
 // answer for a time-managed engine. Only when not even depth 1 finished does
 // it return ErrNoResult.
 func (e *Engine) Analyze(ctx context.Context, pos game.Position, maxDepth int) (*Analysis, error) {
+	return e.analyze(ctx, pos, maxDepth, false)
+}
+
+// AnalyzeTrace is Analyze with worker-span tracing armed: every core search
+// of the session runs with telemetry hooks on a shared epoch, and the
+// returned Analysis carries the merged per-worker timeline in Trace. Costs a
+// clock read and a span record per core task; use for on-demand diagnosis,
+// not as the default serving path.
+func (e *Engine) AnalyzeTrace(ctx context.Context, pos game.Position, maxDepth int) (*Analysis, error) {
+	return e.analyze(ctx, pos, maxDepth, true)
+}
+
+func (e *Engine) analyze(ctx context.Context, pos game.Position, maxDepth int, trace bool) (*Analysis, error) {
 	if maxDepth < 1 {
 		return nil, fmt.Errorf("engine: maxDepth %d, must be at least 1", maxDepth)
 	}
@@ -55,11 +72,13 @@ func (e *Engine) Analyze(ctx context.Context, pos game.Position, maxDepth int) (
 		return nil, ErrNoMoves
 	}
 	if err := e.acquire(ctx); err != nil {
+		e.cfg.Telemetry.recordRejection(e.name())
 		return nil, err
 	}
 	defer e.release()
 	e.started.Add(1)
 
+	start := time.Now()
 	s := &session{
 		e:      e,
 		cancel: ctx.Done(),
@@ -68,24 +87,30 @@ func (e *Engine) Analyze(ctx context.Context, pos game.Position, maxDepth int) (
 		scores: make([]game.Value, len(kids)),
 		prev:   game.NoValue,
 	}
+	if trace {
+		s.trace = newTraceCollector()
+		// All of the session's searches share the session-start epoch, so
+		// their spans land on one time axis and merge into per-worker tracks.
+		s.hooks = &core.Hooks{Epoch: start, Spans: true, HeapEvery: 8, OnWorkerDone: s.trace.add}
+	}
 	for i := range s.order {
 		s.order[i] = i
 	}
 	s.primeScores()
 
-	start := time.Now()
 	an := &Analysis{Move: -1}
+	researches := 0
 	for depth := 1; depth <= maxDepth; depth++ {
 		if ctx.Err() != nil {
 			break
 		}
 		it, err := s.iterate(depth)
+		researches += it.Researches
 		if err != nil {
 			if errors.Is(err, core.ErrAborted) {
 				break // deadline hit mid-iteration; keep what we have
 			}
-			e.failed.Add(1)
-			e.nodes.Add(s.nodes)
+			s.finish(outcomeFailed, time.Since(start), an.Depth, researches)
 			return nil, err
 		}
 		an.Iterations = append(an.Iterations, it)
@@ -97,18 +122,42 @@ func (e *Engine) Analyze(ctx context.Context, pos game.Position, maxDepth int) (
 	}
 	an.Elapsed = time.Since(start)
 	an.Nodes = s.nodes
-	e.nodes.Add(s.nodes)
+	if s.trace != nil {
+		an.Trace = s.trace.workers()
+	}
 	if len(an.Iterations) == 0 {
 		e.deadlineCut.Add(1)
+		s.finish(outcomeNoResult, an.Elapsed, 0, researches)
 		return nil, ErrNoResult
 	}
 	an.Completed = an.Depth == maxDepth
+	outcome := outcomeDeadlineCut
 	if an.Completed {
 		e.completed.Add(1)
+		outcome = outcomeCompleted
 	} else {
 		e.deadlineCut.Add(1)
 	}
+	s.finish(outcome, an.Elapsed, an.Depth, researches)
 	return an, nil
+}
+
+// finish folds the session's accumulated counters into the engine and its
+// Telemetry. Called exactly once per admitted session, on every exit path.
+func (s *session) finish(outcome string, elapsed time.Duration, depth, researches int) {
+	e := s.e
+	if outcome == outcomeFailed {
+		e.failed.Add(1)
+	}
+	e.nodes.Add(s.nodes)
+	e.researches.Add(int64(researches))
+	e.addCore(&s.core)
+	tel := e.cfg.Telemetry
+	tel.recordSession(e.name(), outcome, elapsed, depth, researches, s.nodes)
+	tel.recordCore(e.name(), &s.core)
+	if e.table != nil {
+		tel.recordTableFill(e.name(), e.table.Fill())
+	}
 }
 
 // session is the per-request state of one deepening run.
@@ -120,6 +169,9 @@ type session struct {
 	scores []game.Value    // latest root-view score per child (bounds for non-best)
 	prev   game.Value      // previous iteration's value (aspiration center)
 	nodes  int64
+	core   coreTotals      // core-search counters, flushed once at finish
+	hooks  *core.Hooks     // non-nil when the session is traced
+	trace  *traceCollector // collects worker telemetry for Analysis.Trace
 }
 
 // iterate completes one depth: an aspiration loop around the previous value
@@ -211,12 +263,16 @@ func (s *session) searchChild(child game.Position, depth int, w game.Window) (ga
 				key ^= uint64(depth) * 0x9E3779B97F4A7C15
 				probe = s.e.table.Probe
 			}
+			s.core.ttProbes++
 			if en, ok := probe(key, depth); ok {
+				s.core.ttHits++
 				switch en.Bound {
 				case tt.Exact:
+					s.core.ttCutoffs++
 					return en.Value, nil
 				case tt.Lower:
 					if en.Value >= w.Beta {
+						s.core.ttCutoffs++
 						return en.Value, nil
 					}
 					if en.Value > w.Alpha {
@@ -224,6 +280,7 @@ func (s *session) searchChild(child game.Position, depth int, w game.Window) (ga
 					}
 				case tt.Upper:
 					if en.Value <= w.Alpha {
+						s.core.ttCutoffs++
 						return en.Value, nil
 					}
 					if en.Value < w.Beta {
@@ -244,12 +301,15 @@ func (s *session) searchChild(child game.Position, depth int, w game.Window) (ga
 		RootWindow:         &w,
 		Table:              s.e.coreTable(),
 		Cancel:             s.cancel,
+		Hooks:              s.hooks,
 	})
 	s.nodes += res.Stats.Generated
+	s.core.addResult(res)
 	if err != nil {
 		return 0, err
 	}
 	if hashable {
+		s.core.ttStores++
 		store := s.e.table.Store
 		if s.e.cfg.DeeperHits {
 			store = s.e.table.StoreDeep

@@ -7,6 +7,7 @@ package metrics
 import (
 	"fmt"
 	"strings"
+	"unicode/utf8"
 )
 
 // Speedup is best-serial time divided by parallel time.
@@ -106,9 +107,15 @@ func find(s Series, workers int) (Point, bool) {
 	return Point{}, false
 }
 
+// truncate shortens s to at most n bytes without slicing through a UTF-8
+// sequence: the cut backs up to the nearest rune boundary, so a multi-byte
+// series name never turns into mojibake in the table header.
 func truncate(s string, n int) string {
 	if len(s) <= n {
 		return s
+	}
+	for n > 0 && !utf8.RuneStart(s[n]) {
+		n--
 	}
 	return s[:n]
 }

@@ -3,6 +3,7 @@ package metrics
 import (
 	"strings"
 	"testing"
+	"unicode/utf8"
 )
 
 func TestSpeedupEfficiency(t *testing.T) {
@@ -61,5 +62,35 @@ func TestTableSortsWorkers(t *testing.T) {
 	i16 := strings.Index(out, "\n    16")
 	if !(i1 < i4 && i4 < i16) {
 		t.Fatalf("worker rows not ascending:\n%s", out)
+	}
+}
+
+// TestTruncateRuneBoundary: truncation must not slice through a multi-byte
+// UTF-8 sequence (the old byte slicing produced invalid strings for non-ASCII
+// series names).
+func TestTruncateRuneBoundary(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		n    int
+		want string
+	}{
+		{"ascii", 12, "ascii"},
+		{"ascii-name-too-long", 12, "ascii-name-t"},
+		{"αβγδεζηθικλμ", 7, "αβγ"},  // 2-byte runes: 7 backs up to 6
+		{"er-par αβ", 8, "er-par "}, // cut would land mid-α
+		{"日本語の名前", 8, "日本"},         // 3-byte runes: 8 backs up to 6
+		{"", 4, ""},
+		{"αβ", 1, ""}, // no room for even one rune
+	} {
+		got := truncate(tc.in, tc.n)
+		if got != tc.want {
+			t.Errorf("truncate(%q, %d) = %q, want %q", tc.in, tc.n, got, tc.want)
+		}
+		if !utf8.ValidString(got) {
+			t.Errorf("truncate(%q, %d) = %q: invalid UTF-8", tc.in, tc.n, got)
+		}
+		if len(got) > tc.n {
+			t.Errorf("truncate(%q, %d) = %q: %d bytes", tc.in, tc.n, got, len(got))
+		}
 	}
 }

@@ -1,0 +1,181 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WriteText renders every family in Prometheus text exposition format
+// (version 0.0.4), families in registration order, children in sorted
+// label-value order, so output is deterministic and diffable.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.RLock()
+	families := append([]*family(nil), r.families...)
+	r.mu.RUnlock()
+	var b strings.Builder
+	for _, f := range families {
+		b.Reset()
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		if f.fn != nil {
+			fmt.Fprintf(&b, "%s %s\n", f.name, formatFloat(f.fn()))
+		}
+		for _, m := range f.sortedChildren() {
+			writeChild(&b, f, m)
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeChild(b *strings.Builder, f *family, m *metric) {
+	switch f.kind {
+	case kindCounter:
+		fmt.Fprintf(b, "%s%s %d\n", f.name, labelString(f.labels, m.labelVals), m.num.Load())
+	case kindGauge:
+		fmt.Fprintf(b, "%s%s %s\n", f.name, labelString(f.labels, m.labelVals), formatFloat(m.gaugeGet()))
+	case kindHistogram:
+		// Copy before appending "le": f.labels and m.labelVals are shared.
+		names := append(append(make([]string, 0, len(f.labels)+1), f.labels...), "le")
+		vals := append(append(make([]string, 0, len(m.labelVals)+1), m.labelVals...), "")
+		var cum int64
+		for i := range m.hist.counts {
+			cum += m.hist.counts[i].Load()
+			vals[len(vals)-1] = "+Inf"
+			if i < len(f.buckets) {
+				vals[len(vals)-1] = formatFloat(f.buckets[i])
+			}
+			fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, labelString(names, vals), cum)
+		}
+		fmt.Fprintf(b, "%s_sum%s %s\n", f.name, labelString(f.labels, m.labelVals),
+			formatFloat(math.Float64frombits(m.hist.sum.Load())))
+		fmt.Fprintf(b, "%s_count%s %d\n", f.name, labelString(f.labels, m.labelVals), cum)
+	}
+}
+
+// labelString renders {k="v",...} or "" when there are no labels.
+func labelString(names, vals []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(vals[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Sample is one metric child in a JSON snapshot.
+type Sample struct {
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   float64           `json:"value"`
+	Count   int64             `json:"count,omitempty"`   // histograms
+	Sum     float64           `json:"sum,omitempty"`     // histograms
+	Buckets map[string]int64  `json:"buckets,omitempty"` // cumulative, keyed by le
+}
+
+// FamilySnapshot is one family in a JSON snapshot.
+type FamilySnapshot struct {
+	Name    string   `json:"name"`
+	Help    string   `json:"help,omitempty"`
+	Type    string   `json:"type"`
+	Samples []Sample `json:"samples"`
+}
+
+// Snapshot returns a point-in-time copy of every family, for JSON exposition
+// and tests.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	r.mu.RLock()
+	families := append([]*family(nil), r.families...)
+	r.mu.RUnlock()
+	out := make([]FamilySnapshot, 0, len(families))
+	for _, f := range families {
+		fs := FamilySnapshot{Name: f.name, Help: f.help, Type: f.kind.String()}
+		if f.fn != nil {
+			fs.Samples = append(fs.Samples, Sample{Value: f.fn()})
+		}
+		for _, m := range f.sortedChildren() {
+			s := Sample{}
+			if len(f.labels) > 0 {
+				s.Labels = make(map[string]string, len(f.labels))
+				for i, n := range f.labels {
+					s.Labels[n] = m.labelVals[i]
+				}
+			}
+			switch f.kind {
+			case kindCounter:
+				s.Value = float64(m.num.Load())
+			case kindGauge:
+				s.Value = m.gaugeGet()
+			case kindHistogram:
+				s.Count = m.hist.count.Load()
+				s.Sum = math.Float64frombits(m.hist.sum.Load())
+				s.Buckets = make(map[string]int64, len(m.hist.counts))
+				var cum int64
+				for i := range m.hist.counts {
+					cum += m.hist.counts[i].Load()
+					le := "+Inf"
+					if i < len(f.buckets) {
+						le = formatFloat(f.buckets[i])
+					}
+					s.Buckets[le] = cum
+				}
+				s.Value = float64(s.Count)
+			}
+			fs.Samples = append(fs.Samples, s)
+		}
+		out = append(out, fs)
+	}
+	return out
+}
+
+// Handler serves the registry: Prometheus text format by default,
+// ?format=json for the JSON snapshot.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(r.Snapshot())
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}

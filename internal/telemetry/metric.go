@@ -1,0 +1,200 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// metric is the storage behind one (family, label values) pair. Counters use
+// num; gauges use fbits (float64 bits); histograms use hist.
+type metric struct {
+	labelVals []string
+	num       atomic.Int64
+	fbits     atomic.Uint64
+	hist      *histValues
+}
+
+func (m *metric) gaugeSet(v float64) { m.fbits.Store(math.Float64bits(v)) }
+func (m *metric) gaugeGet() float64  { return math.Float64frombits(m.fbits.Load()) }
+func (m *metric) gaugeAdd(d float64) {
+	for {
+		old := m.fbits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if m.fbits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ m *metric }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.m.num.Add(1) }
+
+// Add adds n; negative deltas panic (counters only go up).
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("telemetry: counter decreased")
+	}
+	c.m.num.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.m.num.Load() }
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values (created on first use).
+func (v *CounterVec) With(labelVals ...string) *Counter {
+	return &Counter{m: v.f.child(labelVals)}
+}
+
+// Gauge is a metric that can go up and down.
+type Gauge struct{ m *metric }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.m.gaugeSet(v) }
+
+// Add adds d (negative to subtract).
+func (g *Gauge) Add(d float64) { g.m.gaugeAdd(d) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.m.gaugeAdd(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.m.gaugeAdd(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.m.gaugeGet() }
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values (created on first use).
+func (v *GaugeVec) With(labelVals ...string) *Gauge {
+	return &Gauge{m: v.f.child(labelVals)}
+}
+
+// histValues is the concurrent state of one histogram child: per-bucket
+// atomic counts (the last slot is the +Inf overflow bucket), a total count
+// and a float sum maintained by CAS.
+type histValues struct {
+	counts []atomic.Int64 // len(buckets)+1
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+}
+
+func newHistValues(buckets int) *histValues {
+	return &histValues{counts: make([]atomic.Int64, buckets+1)}
+}
+
+func (h *histValues) observe(upper []float64, v float64) {
+	i := sort.SearchFloat64s(upper, v) // first bound >= v: the `le` bucket
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Histogram observes float64 samples into fixed buckets.
+type Histogram struct {
+	f *family
+	m *metric
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) { h.m.hist.observe(h.f.buckets, v) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.m.hist.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.m.hist.sum.Load()) }
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear interpolation
+// within the bucket containing it, the standard Prometheus-style estimate.
+// Samples in the +Inf overflow bucket are attributed to the highest finite
+// bound. Returns NaN when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	return quantile(h.f.buckets, h.m.hist, q)
+}
+
+func quantile(upper []float64, hv *histValues, q float64) float64 {
+	total := hv.count.Load()
+	if total == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i := range hv.counts {
+		n := hv.counts[i].Load()
+		if n == 0 {
+			cum += n
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i >= len(upper) {
+				// Overflow bucket: no finite upper edge to interpolate to.
+				if len(upper) == 0 {
+					return math.NaN()
+				}
+				return upper[len(upper)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = upper[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			return lo + (upper[i]-lo)*frac
+		}
+		cum += n
+	}
+	return upper[len(upper)-1]
+}
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values (created on first
+// use).
+func (v *HistogramVec) With(labelVals ...string) *Histogram {
+	return &Histogram{f: v.f, m: v.f.child(labelVals)}
+}
+
+// LinearBuckets returns n bounds start, start+width, ...
+func LinearBuckets(start, width float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + width*float64(i)
+	}
+	return out
+}
+
+// ExponentialBuckets returns n bounds start, start*factor, ...
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LatencyBuckets are the default request-latency bounds in seconds,
+// 500µs to ~16s doubling.
+func LatencyBuckets() []float64 { return ExponentialBuckets(0.0005, 2, 16) }

@@ -1,0 +1,198 @@
+// Package telemetry is the repository's dependency-free metrics and tracing
+// layer: counters, gauges, fixed-bucket histograms and labeled families
+// collected in a Registry, exposed in Prometheus text format or as a JSON
+// snapshot, plus a Chrome trace_event writer whose output loads in Perfetto.
+//
+// Everything is stdlib-only by design (the container bakes in no third-party
+// modules), and every metric is safe for concurrent use: counters and gauges
+// are single atomics, histograms are per-bucket atomics, and family child
+// lookup takes a read lock only on the first access of a label set.
+//
+// The hot search path (internal/core) does not touch this package at all: its
+// event hooks aggregate in per-worker shards and the *consumers* (engine,
+// servers, commands) fold the shards into a Registry. See DESIGN.md §7.
+package telemetry
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// metricKind is the exposition type of a family.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "counter"
+	}
+}
+
+var (
+	nameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// Registry holds metric families and renders them. The zero value is not
+// usable; create one with NewRegistry. All methods are safe for concurrent
+// use. Registration of a duplicate or invalid name panics: families are
+// created at wiring time, so a bad name is a programming error, not a
+// runtime condition.
+type Registry struct {
+	mu       sync.RWMutex
+	families []*family // registration order, the exposition order
+	byName   map[string]*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// family is one named metric family with zero or more label dimensions.
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	labels  []string
+	buckets []float64      // histogram upper bounds, ascending, +Inf implicit
+	fn      func() float64 // callback gauge; nil for stored values
+
+	mu       sync.RWMutex
+	children map[string]*metric
+}
+
+// register creates and records a family, panicking on invalid or duplicate
+// definitions.
+func (r *Registry) register(name, help string, kind metricKind, buckets []float64, labels []string, fn func() float64) *family {
+	if !nameRe.MatchString(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !labelRe.MatchString(l) {
+			panic(fmt.Sprintf("telemetry: metric %s: invalid label name %q", name, l))
+		}
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("telemetry: metric %s: bucket bounds not strictly increasing", name))
+		}
+	}
+	f := &family{
+		name:     name,
+		help:     help,
+		kind:     kind,
+		labels:   labels,
+		buckets:  buckets,
+		fn:       fn,
+		children: make(map[string]*metric),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		panic(fmt.Sprintf("telemetry: duplicate metric name %q", name))
+	}
+	r.byName[name] = f
+	r.families = append(r.families, f)
+	return f
+}
+
+// child returns the metric for the given label values, creating it on first
+// use. The fast path is a read-locked map hit.
+func (f *family) child(labelVals []string) *metric {
+	if len(labelVals) != len(f.labels) {
+		panic(fmt.Sprintf("telemetry: metric %s: got %d label values, want %d",
+			f.name, len(labelVals), len(f.labels)))
+	}
+	key := strings.Join(labelVals, "\xff")
+	f.mu.RLock()
+	m := f.children[key]
+	f.mu.RUnlock()
+	if m != nil {
+		return m
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m = f.children[key]; m != nil {
+		return m
+	}
+	m = &metric{labelVals: append([]string(nil), labelVals...)}
+	if f.kind == kindHistogram {
+		m.hist = newHistValues(len(f.buckets))
+	}
+	f.children[key] = m
+	return m
+}
+
+// sortedChildren returns the family's metrics ordered by label values, for
+// deterministic exposition.
+func (f *family) sortedChildren() []*metric {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*metric, len(keys))
+	for i, k := range keys {
+		out[i] = f.children[k]
+	}
+	return out
+}
+
+// Counter registers an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, kindCounter, nil, nil, nil)
+	return &Counter{m: f.child(nil)}
+}
+
+// CounterVec registers a counter family with the given label dimensions.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.register(name, help, kindCounter, nil, labels, nil)}
+}
+
+// Gauge registers an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, kindGauge, nil, nil, nil)
+	return &Gauge{m: f.child(nil)}
+}
+
+// GaugeVec registers a gauge family with the given label dimensions.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.register(name, help, kindGauge, nil, labels, nil)}
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at exposition
+// time. fn must be safe for concurrent use.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if fn == nil {
+		panic(fmt.Sprintf("telemetry: GaugeFunc %s: nil function", name))
+	}
+	r.register(name, help, kindGauge, nil, nil, fn)
+}
+
+// Histogram registers an unlabeled histogram with the given upper bounds
+// (ascending; a +Inf overflow bucket is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.register(name, help, kindHistogram, buckets, nil, nil)
+	return &Histogram{f: f, m: f.child(nil)}
+}
+
+// HistogramVec registers a histogram family with label dimensions.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{f: r.register(name, help, kindHistogram, buckets, labels, nil)}
+}

@@ -1,0 +1,272 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "jobs processed")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	g := r.Gauge("queue_depth", "current queue depth")
+	g.Set(3)
+	g.Inc()
+	g.Dec()
+	g.Add(-2)
+	if g.Value() != 1 {
+		t.Fatalf("gauge = %v, want 1", g.Value())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("negative counter add did not panic")
+			}
+		}()
+		c.Add(-1)
+	}()
+}
+
+func TestVecLabelsAndExposition(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("http_requests_total", "requests by path and code", "path", "code")
+	v.With("/bestmove", "200").Add(3)
+	v.With("/bestmove", "503").Inc()
+	v.With(`/we"ird`+"\n", "200").Inc()
+	r.GaugeFunc("uptime_seconds", "seconds since start", func() float64 { return 12.5 })
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP http_requests_total requests by path and code\n",
+		"# TYPE http_requests_total counter\n",
+		`http_requests_total{path="/bestmove",code="200"} 3` + "\n",
+		`http_requests_total{path="/bestmove",code="503"} 1` + "\n",
+		`http_requests_total{path="/we\"ird\n",code="200"} 1` + "\n",
+		"# TYPE uptime_seconds gauge\n",
+		"uptime_seconds 12.5\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "request latency", []float64{0.1, 0.5, 1})
+	for _, v := range []float64{0.05, 0.05, 0.3, 0.7, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-6.1) > 1e-9 {
+		t.Fatalf("sum = %v, want 6.1", h.Sum())
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE latency_seconds histogram\n",
+		`latency_seconds_bucket{le="0.1"} 2` + "\n",
+		`latency_seconds_bucket{le="0.5"} 3` + "\n",
+		`latency_seconds_bucket{le="1"} 4` + "\n",
+		`latency_seconds_bucket{le="+Inf"} 5` + "\n",
+		"latency_seconds_sum 6.1\n",
+		"latency_seconds_count 5\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBoundaryGoesToLowerBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1, 2})
+	h.Observe(1) // le="1" is inclusive
+	if got := h.m.hist.counts[0].Load(); got != 1 {
+		t.Fatalf("boundary sample in bucket 0: %d, want 1", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", "", LinearBuckets(10, 10, 10)) // 10..100
+	for v := 1; v <= 100; v++ {
+		h.Observe(float64(v))
+	}
+	if p50 := h.Quantile(0.5); math.Abs(p50-50) > 10 {
+		t.Fatalf("p50 = %v, want ~50", p50)
+	}
+	if p95 := h.Quantile(0.95); math.Abs(p95-95) > 10 {
+		t.Fatalf("p95 = %v, want ~95", p95)
+	}
+	empty := r.Histogram("q2", "", []float64{1})
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Fatal("empty histogram quantile should be NaN")
+	}
+	// Overflow-bucket quantile clamps to the highest finite bound.
+	over := r.Histogram("q3", "", []float64{1})
+	over.Observe(100)
+	if got := over.Quantile(0.9); got != 1 {
+		t.Fatalf("overflow quantile = %v, want 1", got)
+	}
+}
+
+func TestRegistryPanicsOnBadRegistrations(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ok_total", "")
+	for name, fn := range map[string]func(){
+		"duplicate":     func() { r.Counter("ok_total", "") },
+		"bad name":      func() { r.Counter("bad-name", "") },
+		"bad label":     func() { r.CounterVec("v_total", "", "bad-label") },
+		"bad buckets":   func() { r.Histogram("h1", "", []float64{2, 1}) },
+		"nil gaugefunc": func() { r.GaugeFunc("g1", "", nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s registration did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("label arity mismatch did not panic")
+			}
+		}()
+		r.CounterVec("v2_total", "", "a", "b").With("only-one")
+	}()
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("ops_total", "", "kind").With("serial").Add(7)
+	h := r.Histogram("lat", "", []float64{1})
+	h.Observe(0.5)
+	h.Observe(3)
+	snap := r.Snapshot()
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{`"ops_total"`, `"kind":"serial"`, `"value":7`, `"count":2`, `"+Inf":2`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("snapshot missing %q in %s", want, s)
+		}
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(string(body), "x_total 1") {
+		t.Fatalf("text body:\n%s", body)
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap []FamilySnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != 1 || snap[0].Name != "x_total" {
+		t.Fatalf("json snapshot: %+v", snap)
+	}
+}
+
+// TestConcurrentUse hammers every metric type from many goroutines; run
+// under -race this is the package's synchronization proof.
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	v := r.CounterVec("v_total", "", "w")
+	g := r.Gauge("g", "")
+	h := r.HistogramVec("h", "", []float64{1, 10, 100}, "w")
+	const workers, iters = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lbl := string(rune('a' + w))
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				v.With(lbl).Inc()
+				g.Add(1)
+				h.With(lbl).Observe(float64(i % 150))
+				if i%100 == 0 {
+					var b strings.Builder
+					_ = r.WriteText(&b)
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*iters {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*iters)
+	}
+	if g.Value() != workers*iters {
+		t.Fatalf("gauge = %v, want %d", g.Value(), workers*iters)
+	}
+	var total int64
+	for w := 0; w < workers; w++ {
+		total += v.With(string(rune('a' + w))).Value()
+	}
+	if total != workers*iters {
+		t.Fatalf("vec total = %d, want %d", total, workers*iters)
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	lin := LinearBuckets(1, 2, 3)
+	if lin[0] != 1 || lin[1] != 3 || lin[2] != 5 {
+		t.Fatalf("linear: %v", lin)
+	}
+	exp := ExponentialBuckets(1, 10, 3)
+	if exp[0] != 1 || exp[1] != 10 || exp[2] != 100 {
+		t.Fatalf("exponential: %v", exp)
+	}
+	lat := LatencyBuckets()
+	for i := 1; i < len(lat); i++ {
+		if lat[i] <= lat[i-1] {
+			t.Fatalf("latency buckets not increasing: %v", lat)
+		}
+	}
+}

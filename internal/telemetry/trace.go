@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace_event output (the JSON array format), loadable in Perfetto
+// (ui.perfetto.dev) and chrome://tracing. Both the real runtime's worker
+// spans and the simulator's virtual-time busy intervals export through this
+// writer, so the paper's virtual timelines and the machine's wall-clock
+// timelines render in the same tool. Timestamps and durations are in
+// microseconds (for simulated runs: virtual time units, a fiction Perfetto
+// neither knows nor cares about).
+
+// traceEvent is one trace_event record.
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`
+	Dur   int64          `json:"dur,omitempty"`
+	PID   int64          `json:"pid"`
+	TID   int64          `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// TraceWriter streams trace events as a JSON array, one event per line.
+type TraceWriter struct {
+	w   io.Writer
+	n   int
+	err error
+}
+
+// NewTraceWriter starts a trace stream on w. Call Close to finish the array.
+func NewTraceWriter(w io.Writer) *TraceWriter { return &TraceWriter{w: w} }
+
+func (t *TraceWriter) emit(ev traceEvent) {
+	if t.err != nil {
+		return
+	}
+	data, err := json.Marshal(ev)
+	if err != nil {
+		t.err = err
+		return
+	}
+	sep := "[ "
+	if t.n > 0 {
+		sep = ",\n  "
+	}
+	if _, err := fmt.Fprintf(t.w, "%s%s", sep, data); err != nil {
+		t.err = err
+		return
+	}
+	t.n++
+}
+
+// Complete emits an "X" (complete) event: a span of dur microseconds starting
+// at ts on track (pid, tid).
+func (t *TraceWriter) Complete(pid, tid int64, name, cat string, ts, dur int64, args map[string]any) {
+	if dur < 1 {
+		dur = 1 // Perfetto drops zero-length spans; keep them visible
+	}
+	t.emit(traceEvent{Name: name, Cat: cat, Phase: "X", TS: ts, Dur: dur, PID: pid, TID: tid, Args: args})
+}
+
+// Instant emits an "i" (instant) event at ts on track (pid, tid).
+func (t *TraceWriter) Instant(pid, tid int64, name string, ts int64, args map[string]any) {
+	t.emit(traceEvent{Name: name, Phase: "i", TS: ts, PID: pid, TID: tid, Args: args})
+}
+
+// CounterSample emits a "C" (counter) event: Perfetto renders one line per
+// key in values as a counter track.
+func (t *TraceWriter) CounterSample(pid int64, name string, ts int64, values map[string]any) {
+	t.emit(traceEvent{Name: name, Phase: "C", TS: ts, PID: pid, TID: 0, Args: values})
+}
+
+// ProcessName emits the process_name metadata record for pid.
+func (t *TraceWriter) ProcessName(pid int64, name string) {
+	t.emit(traceEvent{Name: "process_name", Phase: "M", PID: pid, Args: map[string]any{"name": name}})
+}
+
+// ThreadName emits the thread_name metadata record for (pid, tid).
+func (t *TraceWriter) ThreadName(pid, tid int64, name string) {
+	t.emit(traceEvent{Name: "thread_name", Phase: "M", PID: pid, TID: tid, Args: map[string]any{"name": name}})
+}
+
+// Close terminates the JSON array and returns the first error encountered.
+func (t *TraceWriter) Close() error {
+	if t.err != nil {
+		return t.err
+	}
+	if t.n == 0 {
+		_, t.err = io.WriteString(t.w, "[")
+	}
+	if t.err == nil {
+		_, t.err = io.WriteString(t.w, " ]\n")
+	}
+	return t.err
+}
+
+// TraceSpan is one renderable span, runtime-agnostic: core worker telemetry
+// and simulator busy intervals both convert to it.
+type TraceSpan struct {
+	Track     int            // tid: one track per worker/processor
+	TrackName string         // thread_name metadata (first non-empty wins)
+	Name      string         // span label (e.g. task kind)
+	Cat       string         // category (e.g. "primary" / "speculative")
+	StartUS   int64          // microseconds (or virtual units) from the epoch
+	DurUS     int64          // span length
+	Args      map[string]any // optional details
+}
+
+// WriteTrace writes a complete Chrome trace for the spans: process metadata,
+// one named thread per track, and one "X" event per span, ordered by (track,
+// start) so output is deterministic.
+func WriteTrace(w io.Writer, process string, spans []TraceSpan) error {
+	tw := NewTraceWriter(w)
+	tw.ProcessName(1, process)
+	sorted := append([]TraceSpan(nil), spans...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Track != sorted[j].Track {
+			return sorted[i].Track < sorted[j].Track
+		}
+		return sorted[i].StartUS < sorted[j].StartUS
+	})
+	names := map[int]string{}
+	for _, s := range sorted {
+		if _, ok := names[s.Track]; !ok || (names[s.Track] == "" && s.TrackName != "") {
+			names[s.Track] = s.TrackName
+		}
+	}
+	for _, s := range sorted {
+		if name, ok := names[s.Track]; ok {
+			if name == "" {
+				name = fmt.Sprintf("worker %d", s.Track)
+			}
+			tw.ThreadName(1, int64(s.Track), name)
+			delete(names, s.Track)
+		}
+		tw.Complete(1, int64(s.Track), s.Name, s.Cat, s.StartUS, s.DurUS, s.Args)
+	}
+	return tw.Close()
+}

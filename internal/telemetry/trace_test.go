@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// decodeTrace parses a written trace back into generic events, proving the
+// output is the valid JSON array Perfetto and chrome://tracing load.
+func decodeTrace(t *testing.T, raw string) []map[string]any {
+	t.Helper()
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(raw), &events); err != nil {
+		t.Fatalf("trace is not a JSON array: %v\n%s", err, raw)
+	}
+	return events
+}
+
+func TestTraceWriterEvents(t *testing.T) {
+	var b strings.Builder
+	tw := NewTraceWriter(&b)
+	tw.ProcessName(1, "ertree")
+	tw.ThreadName(1, 0, "worker 0")
+	tw.Complete(1, 0, "serial", "primary", 100, 50, map[string]any{"ply": 3})
+	tw.Complete(1, 0, "leaf", "speculative", 200, 0, nil) // zero dur clamped to 1
+	tw.Instant(1, 0, "cutoff", 260, nil)
+	tw.CounterSample(1, "heap", 300, map[string]any{"primary": 7, "spec": 2})
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events := decodeTrace(t, b.String())
+	if len(events) != 6 {
+		t.Fatalf("got %d events, want 6", len(events))
+	}
+	if events[0]["ph"] != "M" || events[0]["name"] != "process_name" {
+		t.Fatalf("first event: %v", events[0])
+	}
+	span := events[2]
+	if span["ph"] != "X" || span["ts"] != float64(100) || span["dur"] != float64(50) || span["cat"] != "primary" {
+		t.Fatalf("complete event: %v", span)
+	}
+	if events[3]["dur"] != float64(1) {
+		t.Fatalf("zero-duration span not clamped: %v", events[3])
+	}
+	if events[5]["ph"] != "C" {
+		t.Fatalf("counter event: %v", events[5])
+	}
+}
+
+func TestTraceWriterEmpty(t *testing.T) {
+	var b strings.Builder
+	tw := NewTraceWriter(&b)
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if events := decodeTrace(t, b.String()); len(events) != 0 {
+		t.Fatalf("empty trace has %d events", len(events))
+	}
+}
+
+func TestWriteTraceOneTrackPerWorker(t *testing.T) {
+	spans := []TraceSpan{
+		{Track: 1, TrackName: "p1", Name: "serial", StartUS: 10, DurUS: 5},
+		{Track: 0, TrackName: "p0", Name: "leaf", StartUS: 0, DurUS: 3},
+		{Track: 1, TrackName: "p1", Name: "leaf", StartUS: 20, DurUS: 2},
+	}
+	var b strings.Builder
+	if err := WriteTrace(&b, "test", spans); err != nil {
+		t.Fatal(err)
+	}
+	events := decodeTrace(t, b.String())
+	// 1 process_name + 2 thread_name + 3 spans.
+	if len(events) != 6 {
+		t.Fatalf("got %d events, want 6", len(events))
+	}
+	threads := map[float64]string{}
+	var spanCount int
+	for _, ev := range events {
+		switch ev["ph"] {
+		case "M":
+			if ev["name"] == "thread_name" {
+				args := ev["args"].(map[string]any)
+				threads[ev["tid"].(float64)] = args["name"].(string)
+			}
+		case "X":
+			spanCount++
+		}
+	}
+	if spanCount != 3 {
+		t.Fatalf("span events = %d, want 3", spanCount)
+	}
+	if threads[0] != "p0" || threads[1] != "p1" {
+		t.Fatalf("thread names: %v", threads)
+	}
+}
