@@ -32,6 +32,7 @@ func main() {
 		addr          = flag.String("addr", ":8080", "listen address")
 		workers       = flag.Int("workers", 4, "parallel-ER workers per search")
 		serialDepth   = flag.Int("serial-depth", 3, "depth at or below which subtrees are searched serially")
+		sharded       = flag.Bool("sharded", false, "use the per-worker work-stealing problem heap")
 		tableBits     = flag.Int("table-bits", 20, "per-game transposition table size (2^bits slots, 0 disables)")
 		maxConcurrent = flag.Int("max-concurrent", 2, "server-wide concurrent search sessions")
 		queueTimeout  = flag.Duration("queue-timeout", time.Second, "how long an over-capacity request waits for a slot before 503")
@@ -44,6 +45,7 @@ func main() {
 	s := newServer(serverConfig{
 		Workers:       *workers,
 		SerialDepth:   *serialDepth,
+		Sharded:       *sharded,
 		TableBits:     *tableBits,
 		MaxConcurrent: *maxConcurrent,
 		QueueTimeout:  *queueTimeout,

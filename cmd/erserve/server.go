@@ -42,6 +42,7 @@ var games = map[string]gameSpec{
 type serverConfig struct {
 	Workers       int           // parallel-ER workers per search
 	SerialDepth   int           // serial work grain
+	Sharded       bool          // per-worker work-stealing problem heap
 	TableBits     int           // per-game shared transposition table size
 	MaxConcurrent int           // server-wide concurrent sessions
 	QueueTimeout  time.Duration // admission-queue wait before 503
@@ -94,6 +95,7 @@ func newServer(cfg serverConfig) *server {
 			Name:         name,
 			Workers:      cfg.Workers,
 			SerialDepth:  cfg.SerialDepth,
+			Sharded:      cfg.Sharded,
 			Order:        spec.order,
 			TableBits:    cfg.TableBits,
 			Delta:        32,

@@ -81,7 +81,6 @@ type problemHeap struct {
 
 	pushes, pops atomic.Int64 // heap operations (interference accounting)
 	specPops     atomic.Int64 // work taken from the speculative queue
-	dropped      atomic.Int64 // dead nodes discarded at pop time
 }
 
 func (h *problemHeap) pushPrimary(n *node) {

@@ -26,6 +26,21 @@ var ErrUnresolved = errors.New("core: search terminated with unresolved root")
 type Options struct {
 	// Workers is the number of processors P. Defaults to 1.
 	Workers int
+	// Sharded replaces the global two-queue problem heap with per-worker
+	// heap shards plus rank-respecting work stealing on the real runtime
+	// (shardheap.go): each worker owns a primary + speculative queue pair,
+	// pushes the work it generates locally, and steals the best task from
+	// the busiest victim when it runs dry. ER's deepest-first /
+	// fewest-e-children priorities hold exactly per shard and approximately
+	// globally, which changes which nodes are speculatively expanded but
+	// never the root value (the fuzzsched harness cross-checks this against
+	// the serial oracle). Ignored by Simulate, which keeps the paper's exact
+	// single-heap semantics so Tables 1-2 reproductions stay bit-identical.
+	Sharded bool
+	// StealSeed seeds the per-worker victim-rotation RNG of the sharded
+	// heap. Zero is a fixed default; the schedule fuzzer varies it to
+	// explore steal interleavings.
+	StealSeed uint64
 	// SerialDepth is the remaining depth at or below which subtrees are
 	// searched by serial ER as a single work unit (the paper's "depth
 	// below which serial ER is to be used", §6). Zero parallelizes all the
@@ -152,10 +167,18 @@ func (c CostModel) Of(s game.StatsSnapshot) int64 {
 type Result struct {
 	// Value is the exact negamax value of the root.
 	Value game.Value
+	// Exact reports that Value is the exact negamax value: the root
+	// resolved and the value lies strictly inside the root window. False
+	// means Value is a fail-soft bound (RootWindow excluded it) or the
+	// search was aborted.
+	Exact bool
 	// Stats are the accumulated node counts.
 	Stats game.StatsSnapshot
 	// Workers is the processor count used.
 	Workers int
+	// Sharded reports which problem-heap implementation ran (Options.Sharded
+	// on the real runtime; always false for Simulate).
+	Sharded bool
 
 	// Engine counters.
 	SerialTasks int64 // subtrees searched by serial ER
@@ -164,6 +187,10 @@ type Result struct {
 	Dropped     int64 // dead nodes discarded at pop time
 	CutoffDrops int64 // nodes cut off at pop time (window closed while queued)
 	HeapOps     int64 // pushes + pops on the problem heap
+
+	// Sharded-heap counters (zero on the global heap).
+	Steals     int64 // tasks taken from another worker's shard
+	StealFails int64 // steal sweeps that found every shard empty
 
 	// Transposition-table counters (all zero when Options.Table is nil).
 	TTProbes  int64 // serial-task probes of the table
@@ -185,21 +212,31 @@ type Result struct {
 }
 
 func (s *state) result(workers int) Result {
-	return Result{
+	res := Result{
 		Value:       s.root.value,
+		Exact:       s.root.done && s.root.rootWin.Contains(s.root.value),
 		Stats:       s.stats.Snapshot(),
 		Workers:     workers,
 		SerialTasks: s.serialTasks.Load(),
 		LeafTasks:   s.leafTasks.Load(),
-		SpecPops:    s.heap.specPops.Load(),
-		Dropped:     s.heap.dropped.Load(),
+		Dropped:     s.dropped.Load(),
 		CutoffDrops: s.cutoffDrops.Load(),
-		HeapOps:     s.heap.pushes.Load() + s.heap.pops.Load(),
 		TTProbes:    s.ttProbes.Load(),
 		TTHits:      s.ttHits.Load(),
 		TTStores:    s.ttStores.Load(),
 		TTCutoffs:   s.ttCutoffs.Load(),
 	}
+	if s.shards != nil {
+		res.Sharded = true
+		res.SpecPops = s.shards.specPops.Load()
+		res.HeapOps = s.shards.pushes.Load() + s.shards.pops.Load()
+		res.Steals = s.shards.steals.Load()
+		res.StealFails = s.shards.stealFails.Load()
+	} else {
+		res.SpecPops = s.heap.specPops.Load()
+		res.HeapOps = s.heap.pushes.Load() + s.heap.pops.Load()
+	}
+	return res
 }
 
 // testStateHook, when non-nil, observes the search state after the result
@@ -230,6 +267,10 @@ func Search(pos game.Position, depth int, opt Options) (Result, error) {
 		workers = 1
 	}
 	s := newState(pos, depth, opt, DefaultCostModel())
+	if opt.Sharded {
+		s.shards = newShardedHeap(workers)
+	}
+	s.seedRoot()
 	rt := newRealRuntime()
 	if opt.Cancel != nil {
 		stop := make(chan struct{})
@@ -258,6 +299,12 @@ func Search(pos game.Position, depth int, opt Options) (Result, error) {
 			w := newWctx(rt)
 			if opt.Hooks != nil {
 				w.attachHooks(id, opt.Hooks, epoch)
+			}
+			if s.shards != nil {
+				w.shard = id
+				w.rng = stealRNGSeed(opt.StealSeed, id)
+				s.workerSharded(w)
+				return
 			}
 			s.worker(w)
 		}(i)
@@ -291,9 +338,11 @@ func Simulate(pos game.Position, depth int, opt Options, cost CostModel) (Result
 		workers = 1
 	}
 	opt.Cancel = nil
-	opt.Table = nil // the paper's machine had no transposition table
-	opt.Hooks = nil // wall-clock hooks would perturb the bit-stable virtual run
+	opt.Table = nil     // the paper's machine had no transposition table
+	opt.Hooks = nil     // wall-clock hooks would perturb the bit-stable virtual run
+	opt.Sharded = false // the model keeps the paper's exact single-heap semantics
 	s := newState(pos, depth, opt, cost)
+	s.seedRoot()
 	env := sim.NewEnv()
 	if opt.Trace {
 		env.EnableTrace()

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"container/heap"
+	"sync"
+	"sync/atomic"
+)
+
+// Sharded problem heap for the real runtime.
+//
+// The paper's problem heap is one shared structure guarded by the engine
+// lock, and on real hardware every pop serializes the workers on that lock —
+// the same global-queue ceiling the Sequent hit at 16 processors. The
+// sharded heap splits the two priority queues into per-worker shards: each
+// worker owns a primary + speculative pair guarded by a private mutex, pushes
+// the work it generates into its own shard, and pops from its own shard
+// first. A worker that runs dry steals from the shard with the largest
+// size hint (a relaxed atomic read, no lock taken until one victim is
+// chosen), and a steal removes the *best* task the victim holds — the root
+// of the victim's heap — so ER's deepest-first / fewest-e-children priorities
+// are preserved per shard and approximately preserved globally.
+//
+// Flag discipline differs from the global heap in one deliberate way: the
+// global heap clears inPrimary/onSpec at pop time, which is safe because pop
+// happens under the engine lock. Sharded pops happen under only a shard
+// mutex, so the popped node's queued flag stays set until the worker acquires
+// the engine lock and begins processing (workerSharded). Between pop and
+// processing the node is "in flight": re-push checks under the engine lock
+// still observe it as queued and skip the duplicate — exactly the single-heap
+// dedup semantics — and the in-flight worker processes it with whatever state
+// the tree has by the time it gets the lock, which is what the single heap
+// would have done too. Every queued-flag transition therefore happens under
+// the engine lock, and the shard mutexes guard only the slice structure.
+//
+// Lock order: engine lock → shard mutex (pushes run under both); pops and
+// steals take a shard mutex alone and never acquire the engine lock while
+// holding one.
+type shardedHeap struct {
+	shards []heapShard
+
+	// queued counts tasks across all shards. Workers check it under the
+	// engine lock before sleeping; pushes increment it under the engine lock
+	// before WakeAll, so the sleep/wake handshake has no lost-wakeup window.
+	queued atomic.Int64
+
+	pushes, pops atomic.Int64 // heap operations (interference accounting)
+	specPops     atomic.Int64 // work taken from the speculative queues
+	steals       atomic.Int64 // tasks taken from another worker's shard
+	stealFails   atomic.Int64 // full victim sweeps that found nothing
+}
+
+// heapShard is one worker's slice of the problem heap: a primary/speculative
+// queue pair with the same ordering invariants as the global problemHeap.
+type heapShard struct {
+	mu      sync.Mutex
+	primary primaryQueue
+	spec    specQueue
+
+	// size is the load hint thieves read without the mutex: the total number
+	// of tasks queued in this shard. It is updated inside the critical
+	// section, so a hint can be momentarily stale but never drifts.
+	size atomic.Int64
+
+	// Pad shards apart so one worker's mutex traffic does not false-share
+	// with its neighbor's.
+	_ [64]byte
+}
+
+func newShardedHeap(shards int) *shardedHeap {
+	if shards < 1 {
+		shards = 1
+	}
+	return &shardedHeap{shards: make([]heapShard, shards)}
+}
+
+// pushPrimary schedules n on the given shard. Engine lock held.
+func (h *shardedHeap) pushPrimary(n *node, shard int) {
+	if n.inPrimary {
+		return
+	}
+	n.inPrimary = true
+	sh := &h.shards[shard]
+	sh.mu.Lock()
+	sh.primary = append(sh.primary, n)
+	sh.primary.up(len(sh.primary) - 1)
+	sh.size.Add(1)
+	sh.mu.Unlock()
+	h.pushes.Add(1)
+	h.queued.Add(1)
+}
+
+// pushPrimaryBatch schedules freshly generated children (never queued before,
+// so the dedup check is skipped) on the given shard in one critical section.
+// Engine lock held.
+func (h *shardedHeap) pushPrimaryBatch(ns []*node, shard int) {
+	sh := &h.shards[shard]
+	sh.mu.Lock()
+	for _, n := range ns {
+		n.inPrimary = true
+		sh.primary = append(sh.primary, n)
+		sh.primary.up(len(sh.primary) - 1)
+	}
+	sh.size.Add(int64(len(ns)))
+	sh.mu.Unlock()
+	h.pushes.Add(int64(len(ns)))
+	h.queued.Add(int64(len(ns)))
+}
+
+// pushSpec places e-node n on the given shard's speculative queue. Engine
+// lock held.
+func (h *shardedHeap) pushSpec(n *node, shard int) {
+	if n.onSpec {
+		return
+	}
+	n.onSpec = true
+	sh := &h.shards[shard]
+	sh.mu.Lock()
+	sh.spec = append(sh.spec, n)
+	heapUpSpec(sh.spec)
+	sh.size.Add(1)
+	sh.mu.Unlock()
+	h.pushes.Add(1)
+	h.queued.Add(1)
+}
+
+// popShard removes the best task from one shard: primary first, speculative
+// otherwise (§6's pop order, applied per shard). It leaves the node's queued
+// flag set — the caller clears it under the engine lock when processing
+// starts. Called without the engine lock.
+func (h *shardedHeap) popShard(idx int) (n *node, fromSpec bool) {
+	sh := &h.shards[idx]
+	sh.mu.Lock()
+	switch {
+	case len(sh.primary) > 0:
+		n = heap.Pop(&sh.primary).(*node)
+	case len(sh.spec) > 0:
+		n = heap.Pop(&sh.spec).(*node)
+		fromSpec = true
+	default:
+		sh.mu.Unlock()
+		return nil, false
+	}
+	sh.size.Add(-1)
+	sh.mu.Unlock()
+	h.queued.Add(-1)
+	h.pops.Add(1)
+	if fromSpec {
+		h.specPops.Add(1)
+	}
+	return n, fromSpec
+}
+
+// steal takes the best task from the busiest other shard. Victim selection is
+// two phases: read every shard's size hint (cheap atomic loads, no locks) and
+// pick the largest, then lock only the chosen victim. A stale hint can make
+// the chosen victim come up empty; the sweep then retries with fresh hints,
+// at most once per shard, so a steal attempt is bounded even while other
+// thieves race it. The scan starts at a per-call offset derived from rot so
+// concurrent thieves with equal hints spread across victims instead of
+// convoying on shard 0.
+func (h *shardedHeap) steal(self int, rot uint64) (n *node, fromSpec bool) {
+	off := int(rot % uint64(len(h.shards)))
+	for attempt := 0; attempt < len(h.shards); attempt++ {
+		victim, best := -1, int64(0)
+		for i := range h.shards {
+			j := (i + off + attempt) % len(h.shards)
+			if j == self {
+				continue
+			}
+			if sz := h.shards[j].size.Load(); sz > best {
+				victim, best = j, sz
+			}
+		}
+		if victim < 0 {
+			h.stealFails.Add(1)
+			return nil, false
+		}
+		if n, fromSpec = h.popShard(victim); n != nil {
+			h.steals.Add(1)
+			return n, fromSpec
+		}
+	}
+	h.stealFails.Add(1)
+	return nil, false
+}
+
+// approxSizes returns the summed primary/speculative queue lengths without
+// taking any shard lock; used for telemetry heap samples, where a momentarily
+// stale total is fine.
+func (h *shardedHeap) approxSizes() (primary, spec int) {
+	total := 0
+	for i := range h.shards {
+		total += int(h.shards[i].size.Load())
+	}
+	// The per-queue split is not tracked per shard; report the total as
+	// primary (speculative entries are a small minority in practice and the
+	// sample's purpose is backlog magnitude).
+	return total, 0
+}
+
+// release drops every shard's slices so no queued node stays reachable.
+func (h *shardedHeap) release() {
+	for i := range h.shards {
+		sh := &h.shards[i]
+		sh.mu.Lock()
+		sh.primary, sh.spec = nil, nil
+		sh.size.Store(0)
+		sh.mu.Unlock()
+	}
+}
+
+// heapUpSpec restores the spec-queue heap invariant after an append — the
+// sift-up half of container/heap.Push, mirroring primaryQueue.up.
+func heapUpSpec(q specQueue) {
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.Less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}

@@ -20,6 +20,7 @@ type state struct {
 	opt      Options
 	cost     CostModel
 	heap     problemHeap
+	shards   *shardedHeap // non-nil when Options.Sharded selected the sharded heap
 	arena    nodeArena
 	root     *node
 	seq      uint64
@@ -30,6 +31,7 @@ type state struct {
 	// engine counters (beyond game.Stats)
 	serialTasks atomic.Int64
 	leafTasks   atomic.Int64
+	dropped     atomic.Int64 // dead nodes discarded at pop time
 	cutoffDrops atomic.Int64 // nodes cut off at pop time
 
 	// transposition-table counters (all zero when opt.Table is nil)
@@ -47,6 +49,12 @@ type state struct {
 type wctx struct {
 	rt    Runtime
 	stats *game.Stats
+
+	// shard is the worker's home shard of the sharded heap (stealworker.go);
+	// always 0 on the simulator and the global-heap runtime. rng drives the
+	// worker's steal victim rotation, seeded from Options.StealSeed.
+	shard int
+	rng   uint64
 
 	// Telemetry shard (hooks.go); tel is nil when hooks are disabled and
 	// every instrumentation call reduces to one pointer test.
@@ -68,8 +76,45 @@ func newState(pos game.Position, depth int, opt Options, cost CostModel) *state 
 		s.root.rootWin = *opt.RootWindow
 	}
 	s.stats.AddGenerated(1)
-	s.heap.pushPrimary(s.root)
 	return s
+}
+
+// seedRoot schedules the root node once the heap mode has been decided —
+// Search may have swapped in the sharded heap after newState built the tree.
+func (s *state) seedRoot() {
+	if s.shards != nil {
+		s.shards.pushPrimary(s.root, 0)
+		return
+	}
+	s.heap.pushPrimary(s.root)
+}
+
+// enqueue schedules n on the active heap: the worker's own shard when the
+// sharded heap is selected, the global primary queue otherwise. Lock held.
+func (s *state) enqueue(n *node, w *wctx) {
+	if s.shards != nil {
+		s.shards.pushPrimary(n, w.shard)
+		return
+	}
+	s.heap.pushPrimary(n)
+}
+
+// enqueueBatch schedules freshly generated children in one pass. Lock held.
+func (s *state) enqueueBatch(ns []*node, w *wctx) {
+	if s.shards != nil {
+		s.shards.pushPrimaryBatch(ns, w.shard)
+		return
+	}
+	s.heap.pushPrimaryBatch(ns)
+}
+
+// enqueueSpec places e-node n on the active speculative queue. Lock held.
+func (s *state) enqueueSpec(n *node, w *wctx) {
+	if s.shards != nil {
+		s.shards.pushSpec(n, w.shard)
+		return
+	}
+	s.heap.pushSpec(n)
 }
 
 // release severs the search tree once a result has been extracted: the heap
@@ -77,6 +122,9 @@ func newState(pos game.Position, depth int, opt Options, cost CostModel) *state 
 // position a node referenced — remains reachable through the state.
 func (s *state) release() {
 	s.heap.primary, s.heap.spec = nil, nil
+	if s.shards != nil {
+		s.shards.release()
+	}
 	s.root = nil
 	s.arena.release()
 }
@@ -135,13 +183,16 @@ func (s *state) pushSpeculative(E *node, w *wctx) {
 		// Paper §6: fewest e-children first, then shallower nodes.
 		E.specKey = int64(E.eKids)<<32 | int64(E.ply)
 	}
-	s.heap.pushSpec(E)
+	s.enqueueSpec(E, w)
 	w.rt.HoldWork(s.cost.HeapOp)
 }
 
 // finish marks a node done with the given value and propagates the
 // completion. Lock held.
 func (s *state) finish(n *node, v game.Value, w *wctx) {
+	if debugInvariants && n.done {
+		panic("core: node finished twice")
+	}
 	if v > n.value {
 		n.value = v
 	}
@@ -185,7 +236,7 @@ func (s *state) table1(n *node, w *wctx) {
 			batch := n.kids[start:]
 			w.stats.AddGenerated(int64(len(batch)))
 			w.rt.HoldWork(int64(len(batch)) * (s.cost.Node + s.cost.HeapOp))
-			s.heap.pushPrimaryBatch(batch)
+			s.enqueueBatch(batch, w)
 		}
 		w.rt.WakeAll()
 	case undecided, rNode:
@@ -198,7 +249,7 @@ func (s *state) table1(n *node, w *wctx) {
 			n.activeKids++
 			w.stats.AddGenerated(1)
 			w.rt.HoldWork(s.cost.Node + s.cost.HeapOp)
-			s.heap.pushPrimary(k)
+			s.enqueue(k, w)
 			w.rt.WakeAll()
 			return
 		}
@@ -215,7 +266,7 @@ func (s *state) table1(n *node, w *wctx) {
 			w.stats.AddGenerated(1)
 			w.stats.AddRefutations(1)
 			w.rt.HoldWork(s.cost.Node + s.cost.HeapOp)
-			s.heap.pushPrimary(k)
+			s.enqueue(k, w)
 			w.rt.WakeAll()
 		}
 	}
@@ -306,7 +357,7 @@ func (s *state) childDone(p, c *node, w *wctx) bool {
 		if len(p.kids) < len(p.moves) {
 			// Sequential refutation within an r-node: the next child is
 			// examined only now that the current one has finished.
-			s.heap.pushPrimary(p)
+			s.enqueue(p, w)
 			w.rt.HoldWork(s.cost.HeapOp)
 			w.rt.WakeAll()
 			return false
@@ -377,7 +428,7 @@ func (s *state) selectEChild(E *node, w *wctx, speculative bool) bool {
 	}
 	E.eSelected = true
 	E.eKids++
-	s.heap.pushPrimary(best)
+	s.enqueue(best, w)
 	w.rt.HoldWork(s.cost.HeapOp)
 	// "Once the elder grandchildren of E have been evaluated, ensure that
 	// E always has at least one active e-child" (§5): keep E available on
@@ -394,7 +445,7 @@ func (s *state) selectEChild(E *node, w *wctx, speculative bool) bool {
 // candidates remain (§6). Lock held.
 func (s *state) specAction(E *node, w *wctx) {
 	if E.done || E.refuting || !E.alive() {
-		s.heap.dropped.Add(1)
+		s.dropped.Add(1)
 		return
 	}
 	if !s.selectEChild(E, w, true) {
@@ -436,7 +487,7 @@ func (s *state) scheduleRefuter(k *node, w *wctx) {
 	if k.expanded && len(k.kids) == len(k.moves) {
 		return // nothing left to generate; completion is in flight
 	}
-	s.heap.pushPrimary(k)
+	s.enqueue(k, w)
 	w.rt.HoldWork(s.cost.HeapOp)
 	w.rt.WakeAll()
 }

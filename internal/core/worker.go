@@ -45,55 +45,64 @@ func (s *state) worker(w *wctx) {
 		}
 		rt.HoldWork(s.cost.HeapOp)
 		w.sampleHeap(len(s.heap.primary), len(s.heap.spec))
-		start := w.taskStart()
-		if fromSpec {
-			s.specAction(n, w)
-			w.taskEnd(start, TaskSpec, true, n.ply)
-			continue
-		}
-		if !n.alive() {
-			s.heap.dropped.Add(1)
-			w.taskEnd(start, TaskDrop, n.specBorn, n.ply)
-			continue
-		}
-		win := n.window()
-		if win.Empty() || n.value >= win.Beta {
-			// The window closed while the node was queued: cut it off
-			// without searching (a cutoff the serial algorithm would have
-			// taken before recursing).
-			s.cutoffAtPop(n, win, w)
-			w.taskEnd(start, TaskCutoff, n.specBorn, n.ply)
-			continue
-		}
-		switch {
-		case n.depth == 0:
-			s.leafTask(n, w)
-			w.taskEnd(start, TaskLeaf, n.specBorn, n.ply)
-		case n.depth <= s.opt.SerialDepth && n.typ == eNode:
-			// The serial cut-over matches work units to node roles. An
-			// e-node's work is a complete evaluation — exactly one
-			// serial ER call. Undecided and r-nodes at the frontier
-			// still follow Table 1 (their work is per-child), but the
-			// children they generate become single serial units: e-node
-			// children full ER calls, r-node children Examine calls.
-			s.serialTask(n, win, w)
-			w.taskEnd(start, TaskSerial, n.specBorn, n.ply)
-		case n.examine:
-			s.examineTask(n, win, w)
-			w.taskEnd(start, TaskExamine, n.specBorn, n.ply)
-		default:
-			if !n.expanded && !s.expandTask(n, w) {
-				w.taskEnd(start, TaskExpand, n.specBorn, n.ply)
-				continue // node died during expansion
-			}
-			if len(n.moves) == 0 {
-				s.leafTask(n, w) // terminal position above the horizon
-				w.taskEnd(start, TaskLeaf, n.specBorn, n.ply)
-				continue
-			}
-			s.table1(n, w)
+		s.runTask(n, fromSpec, w)
+	}
+}
+
+// runTask executes one popped task: the Table 1 / §6 dispatch shared by the
+// global-heap worker and the sharded-heap worker (stealworker.go). The node's
+// queued flag has already been cleared — at pop time on the global heap, at
+// processing time on the sharded heap — so from here both runtimes see
+// identical semantics. Lock held on entry and exit.
+func (s *state) runTask(n *node, fromSpec bool, w *wctx) {
+	start := w.taskStart()
+	if fromSpec {
+		s.specAction(n, w)
+		w.taskEnd(start, TaskSpec, true, n.ply)
+		return
+	}
+	if !n.alive() {
+		s.dropped.Add(1)
+		w.taskEnd(start, TaskDrop, n.specBorn, n.ply)
+		return
+	}
+	win := n.window()
+	if win.Empty() || n.value >= win.Beta {
+		// The window closed while the node was queued: cut it off
+		// without searching (a cutoff the serial algorithm would have
+		// taken before recursing).
+		s.cutoffAtPop(n, win, w)
+		w.taskEnd(start, TaskCutoff, n.specBorn, n.ply)
+		return
+	}
+	switch {
+	case n.depth == 0:
+		s.leafTask(n, w)
+		w.taskEnd(start, TaskLeaf, n.specBorn, n.ply)
+	case n.depth <= s.opt.SerialDepth && n.typ == eNode:
+		// The serial cut-over matches work units to node roles. An
+		// e-node's work is a complete evaluation — exactly one
+		// serial ER call. Undecided and r-nodes at the frontier
+		// still follow Table 1 (their work is per-child), but the
+		// children they generate become single serial units: e-node
+		// children full ER calls, r-node children Examine calls.
+		s.serialTask(n, win, w)
+		w.taskEnd(start, TaskSerial, n.specBorn, n.ply)
+	case n.examine:
+		s.examineTask(n, win, w)
+		w.taskEnd(start, TaskExamine, n.specBorn, n.ply)
+	default:
+		if !n.expanded && !s.expandTask(n, w) {
 			w.taskEnd(start, TaskExpand, n.specBorn, n.ply)
+			return // node died during expansion
 		}
+		if len(n.moves) == 0 {
+			s.leafTask(n, w) // terminal position above the horizon
+			w.taskEnd(start, TaskLeaf, n.specBorn, n.ply)
+			return
+		}
+		s.table1(n, w)
+		w.taskEnd(start, TaskExpand, n.specBorn, n.ply)
 	}
 }
 
@@ -108,7 +117,7 @@ func (s *state) leafTask(n *node, w *wctx) {
 	w.stats.NotePly(n.ply)
 	w.rt.Lock()
 	if !n.alive() {
-		s.heap.dropped.Add(1)
+		s.dropped.Add(1)
 		return
 	}
 	s.finish(n, v, w)
@@ -150,7 +159,7 @@ func (s *state) serialTask(n *node, win game.Window, w *wctx) {
 	}
 	w.rt.Lock()
 	if !n.alive() {
-		s.heap.dropped.Add(1)
+		s.dropped.Add(1)
 		return
 	}
 	s.finish(n, v, w)
@@ -182,7 +191,7 @@ func (s *state) examineTask(n *node, win game.Window, w *wctx) {
 	}
 	w.rt.Lock()
 	if !n.alive() {
-		s.heap.dropped.Add(1)
+		s.dropped.Add(1)
 		return
 	}
 	s.finish(n, v, w)
@@ -205,7 +214,7 @@ func (s *state) expandTask(n *node, w *wctx) bool {
 	w.stats.AddSortEvals(sortEvals)
 	w.rt.Lock()
 	if !n.alive() {
-		s.heap.dropped.Add(1)
+		s.dropped.Add(1)
 		return false
 	}
 	n.moves = moves

@@ -42,6 +42,10 @@ type Config struct {
 	// Order is the move-ordering policy for the underlying searches; nil
 	// means natural order.
 	Order game.Orderer
+	// Sharded runs every search on the per-worker sharded work-stealing
+	// problem heap instead of the global two-queue heap. Same values,
+	// less pop-path lock contention at high worker counts.
+	Sharded bool
 	// TableBits sizes the shared transposition table at 2^TableBits slots.
 	// Zero disables the table. All sessions of this engine share it, both
 	// concurrently and across iterations.

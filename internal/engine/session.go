@@ -298,6 +298,7 @@ func (s *session) searchChild(child game.Position, depth int, w game.Window) (ga
 		ParallelRefutation: true,
 		MultipleENodes:     true,
 		EarlyChoice:        true,
+		Sharded:            cfg.Sharded,
 		RootWindow:         &w,
 		Table:              s.e.coreTable(),
 		Cancel:             s.cancel,

@@ -1,0 +1,98 @@
+package tt
+
+import (
+	"sync"
+	"testing"
+
+	"ertree/internal/game"
+)
+
+// Concurrent depth-preferred replacement: StoreDeep never lets a shallower
+// result evict a deeper one for the same position, so under any interleaving
+// of same-key stores the slot's depth is monotonically non-decreasing, and a
+// reader that once observed depth d can never later observe a shallower
+// entry. Entries are written with Value == Depth so torn or stale reads are
+// also detectable as a value/depth mismatch. Run with -race (as CI does)
+// this doubles as the data-race check on the striped-lock slot access.
+
+func TestSharedStoreDeepConcurrentSameKey(t *testing.T) {
+	const (
+		key     = uint64(0xABCDEF123456)
+		writers = 8
+		readers = 4
+		rounds  = 2000
+		maxD    = 32
+	)
+	table := NewShared(10, 4)
+
+	var writerWG, readerWG sync.WaitGroup
+	stop := make(chan struct{})
+
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			seen := -1
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				e, ok := table.ProbeDeep(key, 0)
+				if !ok {
+					continue
+				}
+				if int(e.Value) != int(e.Depth) {
+					t.Errorf("torn entry: depth %d value %d", e.Depth, e.Value)
+					return
+				}
+				if int(e.Depth) < seen {
+					t.Errorf("depth went backwards: saw %d after %d", e.Depth, seen)
+					return
+				}
+				seen = int(e.Depth)
+				// ProbeDeep at a positive floor must never hand back a
+				// shallower entry than asked for.
+				if e2, ok2 := table.ProbeDeep(key, seen); ok2 && int(e2.Depth) < seen {
+					t.Errorf("ProbeDeep(depth=%d) returned depth %d", seen, e2.Depth)
+					return
+				}
+			}
+		}()
+	}
+
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			x := uint64(w)*0x9E3779B97F4A7C15 + 1
+			for i := 0; i < rounds; i++ {
+				x ^= x << 13
+				x ^= x >> 7
+				x ^= x << 17
+				d := int(x % maxD)
+				table.StoreDeep(key, d, game.Value(d), Exact)
+			}
+		}(w)
+	}
+
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	// A consistent entry must survive the store storm.
+	e, ok := table.ProbeDeep(key, 0)
+	if !ok {
+		t.Fatal("no entry survived the store storm")
+	}
+	if int(e.Value) != int(e.Depth) || int(e.Depth) >= maxD {
+		t.Fatalf("final entry inconsistent: depth %d value %d", e.Depth, e.Value)
+	}
+	// A deeper StoreDeep still wins, and a shallower one still loses.
+	table.StoreDeep(key, maxD, game.Value(maxD), Exact)
+	table.StoreDeep(key, 1, 1, Exact)
+	if e, _ := table.ProbeDeep(key, 0); int(e.Depth) != maxD {
+		t.Fatalf("shallow StoreDeep evicted deeper entry: depth %d", e.Depth)
+	}
+}
