@@ -14,10 +14,13 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"sync"
 	"testing"
+	"time"
 
 	"ertree"
 	"ertree/internal/experiments"
+	"ertree/internal/flight"
 	"ertree/internal/telemetry"
 )
 
@@ -48,6 +51,17 @@ type taskLatencySummary struct {
 	MeanUS  float64 `json:"mean_us"`
 }
 
+// specWasteSummary condenses the flight-recorder waste attribution per worker
+// count: how much of the recorded busy time was speculative at all, and how
+// much of it was provably wasted — the paper's §6 overhead, measured on the
+// real runtime as P grows.
+type specWasteSummary struct {
+	Workers     int     `json:"workers"`
+	Searches    int     `json:"searches"`
+	SpecShare   float64 `json:"spec_share"`   // speculative fraction of recorded busy time
+	WastedRatio float64 `json:"wasted_ratio"` // wasted-speculative fraction of recorded busy time
+}
+
 type realSpeedupArtifact struct {
 	GoVersion string `json:"go_version"`
 	GOOS      string `json:"goos"`
@@ -60,6 +74,7 @@ type realSpeedupArtifact struct {
 	ShardedVsGlobal float64              `json:"sharded_vs_global_at_max_p"`
 	Points          []realSpeedupPoint   `json:"points"`
 	TaskLatency     []taskLatencySummary `json:"task_latency"`
+	SpecWaste       []specWasteSummary   `json:"spec_waste"`
 }
 
 // realSpeedupWorkers returns the measured processor counts: the paper's
@@ -102,9 +117,17 @@ func BenchmarkRealSpeedup(b *testing.B) {
 	const reps = 3
 	var ratioSum float64
 	var ratioN int
+	// Per-worker-count waste attribution, rebuilt per iteration from each
+	// search's flight log (the hooks are armed for spans anyway).
+	type wasteAccum struct {
+		wasted, spec, total time.Duration
+		searches            int
+	}
+	waste := map[int]*wasteAccum{}
 	for i := 0; i < b.N; i++ {
 		points = points[:0]
 		ratioSum, ratioN = 0, 0
+		waste = map[int]*wasteAccum{}
 		for _, w := range workloads {
 			base := int64(0)
 			maxP := realSpeedupWorkers()[len(realSpeedupWorkers())-1]
@@ -114,6 +137,10 @@ func BenchmarkRealSpeedup(b *testing.B) {
 					hist := histFor(p)
 					var best ertree.Result
 					for r := 0; r < reps; r++ {
+						// One search's telemetry shards, for the flight-log
+						// waste attribution below.
+						var telMu sync.Mutex
+						var tels []ertree.WorkerTelemetry
 						// A fresh table per measurement: each one is a cold
 						// search, not a replay of the previous point's work.
 						cfg := ertree.Config{
@@ -124,11 +151,15 @@ func BenchmarkRealSpeedup(b *testing.B) {
 							StealSeed:   uint64(r),
 							Table:       ertree.NewSharedTranspositionTable(tableBits, 0),
 							Hooks: &ertree.SearchHooks{
-								Spans: true,
+								Spans:  true,
+								Events: 1 << 16,
 								OnWorkerDone: func(wt ertree.WorkerTelemetry) {
 									for _, sp := range wt.Spans {
 										hist.Observe((sp.End - sp.Start).Seconds())
 									}
+									telMu.Lock()
+									tels = append(tels, wt)
+									telMu.Unlock()
 								},
 							},
 						}
@@ -136,6 +167,16 @@ func BenchmarkRealSpeedup(b *testing.B) {
 						if err != nil {
 							b.Fatalf("%s P=%d sharded=%v: %v", w.Name, p, sharded, err)
 						}
+						rep := flight.Build(tels, flight.Options{Workers: p})
+						wa, ok := waste[p]
+						if !ok {
+							wa = &wasteAccum{}
+							waste[p] = wa
+						}
+						wa.wasted += rep.WastedSpec.Time
+						wa.spec += rep.UsefulSpec.Time + rep.WastedSpec.Time
+						wa.total += rep.UsefulPrimary.Time + rep.UsefulSpec.Time + rep.WastedSpec.Time
+						wa.searches++
 						if r == 0 || res.Elapsed < best.Elapsed {
 							best = res
 						}
@@ -210,6 +251,18 @@ func BenchmarkRealSpeedup(b *testing.B) {
 			P50US:   h.Quantile(0.5) * 1e6,
 			P95US:   h.Quantile(0.95) * 1e6,
 			MeanUS:  h.Sum() / float64(n) * 1e6,
+		})
+	}
+	for _, p := range realSpeedupWorkers() {
+		wa, ok := waste[p]
+		if !ok || wa.total == 0 {
+			continue
+		}
+		art.SpecWaste = append(art.SpecWaste, specWasteSummary{
+			Workers:     p,
+			Searches:    wa.searches,
+			SpecShare:   float64(wa.spec) / float64(wa.total),
+			WastedRatio: float64(wa.wasted) / float64(wa.total),
 		})
 	}
 	data, err := json.MarshalIndent(art, "", "  ")

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"ertree/internal/flight"
+)
+
+// flightRingSize bounds /debug/flight: the server keeps the reports of the
+// last flightRingSize recorded requests and evicts the oldest beyond that.
+const flightRingSize = 32
+
+// flightRing keeps the most recent per-request flight reports keyed by
+// request id, so a client that ran /analyze?flight=1 can fetch its search's
+// speculation-waste profile afterwards from /debug/flight?id=<X-Request-ID>.
+type flightRing struct {
+	mu   sync.Mutex
+	ids  []string // insertion order, oldest first
+	byID map[string]*flight.Report
+}
+
+func newFlightRing() *flightRing {
+	return &flightRing{byID: make(map[string]*flight.Report, flightRingSize)}
+}
+
+func (r *flightRing) add(id string, rep *flight.Report) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byID[id]; !ok {
+		r.ids = append(r.ids, id)
+		if len(r.ids) > flightRingSize {
+			delete(r.byID, r.ids[0])
+			r.ids = r.ids[1:]
+		}
+	}
+	r.byID[id] = rep
+}
+
+func (r *flightRing) get(id string) (*flight.Report, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rep, ok := r.byID[id]
+	return rep, ok
+}
+
+// flightSummary is one /debug/flight listing entry.
+type flightSummary struct {
+	ID          string  `json:"id"`
+	Workers     int     `json:"workers"`
+	Tasks       int64   `json:"tasks"`
+	WastedRatio float64 `json:"wasted_ratio"`
+	EventDrops  int64   `json:"event_drops,omitempty"`
+}
+
+// summaries lists the retained reports, newest first.
+func (r *flightRing) summaries() []flightSummary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]flightSummary, 0, len(r.ids))
+	for i := len(r.ids) - 1; i >= 0; i-- {
+		id := r.ids[i]
+		rep := r.byID[id]
+		out = append(out, flightSummary{
+			ID:          id,
+			Workers:     rep.Workers,
+			Tasks:       rep.Tasks,
+			WastedRatio: rep.WastedRatio(),
+			EventDrops:  rep.EventDrops,
+		})
+	}
+	return out
+}
+
+// handleDebugFlight serves the retained flight reports: a listing without
+// parameters, the full report with ?id=<X-Request-ID>.
+func (s *server) handleDebugFlight(w http.ResponseWriter, r *http.Request) {
+	if id := firstValue(r.URL.Query(), "id"); id != "" {
+		rep, ok := s.flights.get(id)
+		if !ok {
+			s.fail(w, http.StatusNotFound, "no flight report for request id %q (ring keeps the last %d)", id, flightRingSize)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, rep)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"reports": s.flights.summaries()})
+}
+
+// sseWriter frames server-sent events over a flushable response writer; the
+// handler goroutine is the only writer, so no locking.
+type sseWriter struct {
+	w http.ResponseWriter
+	f http.Flusher
+}
+
+// startSSE switches the response to a server-sent event stream. Returns nil
+// when the connection cannot stream (no http.Flusher under the middleware).
+func startSSE(w http.ResponseWriter) *sseWriter {
+	f, ok := w.(http.Flusher)
+	if !ok {
+		return nil
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	f.Flush()
+	return &sseWriter{w: w, f: f}
+}
+
+// event emits one named SSE event with a JSON payload and flushes it to the
+// client immediately — the point of streaming progress.
+func (s *sseWriter) event(name string, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(s.w, "event: %s\ndata: %s\n\n", name, b)
+	s.f.Flush()
+}

@@ -7,6 +7,9 @@
 //	GET /bestmove?game=connect4&moves=3,3&depth=8&budget_ms=500
 //	GET /analyze?game=othello&depth=6        (adds per-iteration history)
 //	GET /analyze?game=othello&depth=6&trace=1  (Perfetto-loadable worker trace)
+//	GET /analyze?game=othello&depth=6&stream=1 (SSE per-iteration progress)
+//	GET /analyze?game=othello&depth=6&flight=1 (record a flight report)
+//	GET /debug/flight                        (retained reports; ?id=<request id>)
 //	GET /healthz
 //	GET /stats
 //	GET /metrics                             (Prometheus text; ?format=json)

@@ -37,7 +37,7 @@ func newHTTPMetrics(reg *telemetry.Registry) *httpMetrics {
 // served surface (scanners, typos) collapses into "other".
 var knownPaths = map[string]bool{
 	"/bestmove": true, "/analyze": true, "/healthz": true,
-	"/stats": true, "/metrics": true,
+	"/stats": true, "/metrics": true, "/debug/flight": true,
 }
 
 func pathLabel(p string) string {
@@ -68,6 +68,14 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	n, err := w.ResponseWriter.Write(b)
 	w.bytes += int64(n)
 	return n, err
+}
+
+// Flush forwards to the wrapped writer so streaming handlers (the SSE
+// progress feed) keep working through the instrumentation layer.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // requestIDs hands out unique request ids: a random per-process prefix plus

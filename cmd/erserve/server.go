@@ -16,6 +16,7 @@ import (
 	"ertree/internal/checkers"
 	"ertree/internal/connect4"
 	"ertree/internal/engine"
+	"ertree/internal/flight"
 	"ertree/internal/game"
 	"ertree/internal/othello"
 	"ertree/internal/telemetry"
@@ -64,6 +65,7 @@ type server struct {
 	metrics *httpMetrics
 	log     *slog.Logger
 	ids     *requestIDs
+	flights *flightRing
 }
 
 func newServer(cfg serverConfig) *server {
@@ -88,6 +90,7 @@ func newServer(cfg serverConfig) *server {
 		metrics: newHTTPMetrics(reg),
 		log:     log,
 		ids:     newRequestIDs(),
+		flights: newFlightRing(),
 	}
 	tel := engine.NewTelemetry(reg)
 	for name, spec := range games {
@@ -122,6 +125,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/analyze", s.handleAnalyze(true))
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/debug/flight", s.handleDebugFlight)
 	mux.Handle("/metrics", s.reg.Handler())
 	return s.instrument(mux)
 }
@@ -153,14 +157,33 @@ func (s *server) fail(w http.ResponseWriter, code int, format string, args ...an
 	s.writeJSON(w, code, httpError{Error: fmt.Sprintf(format, args...)})
 }
 
-// iterationJSON is one completed deepening iteration on the wire.
+// iterationJSON is one completed deepening iteration on the wire; it doubles
+// as the payload of the SSE "iteration" progress events.
 type iterationJSON struct {
 	Depth      int   `json:"depth"`
 	Move       int   `json:"move"`
 	Value      int   `json:"value"`
 	Researches int   `json:"researches"`
 	Nodes      int64 `json:"nodes"`
-	ElapsedMS  int64 `json:"elapsed_ms"`
+	Steals     int64 `json:"steals"`
+	// HeapPeak is the largest problem-heap occupancy sampled during the
+	// iteration; zero unless the session recorded (stream=1 or flight=1).
+	HeapPeak  int   `json:"heap_peak"`
+	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+// wireIteration converts an engine iteration to its JSON form.
+func wireIteration(it engine.Iteration) iterationJSON {
+	return iterationJSON{
+		Depth:      it.Depth,
+		Move:       it.Move,
+		Value:      int(it.Value),
+		Researches: it.Researches,
+		Nodes:      it.Nodes,
+		Steals:     it.Steals,
+		HeapPeak:   it.HeapPeak,
+		ElapsedMS:  it.Elapsed.Milliseconds(),
+	}
 }
 
 // analysisJSON is the /bestmove and /analyze response body.
@@ -217,7 +240,11 @@ func firstValue(q map[string][]string, key string) string {
 // per-iteration history included only on /analyze. On /analyze, trace=1 runs
 // the session with worker-span telemetry and answers with a Chrome
 // trace-object envelope ({"traceEvents": [...], "analysis": {...}}) that
-// loads directly in Perfetto.
+// loads directly in Perfetto; stream=1 answers a server-sent-event stream of
+// per-iteration progress ("iteration" events, then "done" with the full
+// analysis or "error"); flight=1 runs the session with the core flight
+// recorder armed and retains the resulting speculation-waste report under the
+// request id for /debug/flight.
 func (s *server) handleAnalyze(includeIterations bool) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query()
@@ -248,35 +275,70 @@ func (s *server) handleAnalyze(includeIterations bool) http.HandlerFunc {
 			budget = time.Duration(ms) * time.Millisecond
 		}
 		trace := includeIterations && firstValue(q, "trace") == "1"
+		stream := includeIterations && firstValue(q, "stream") == "1"
+		recordFlight := includeIterations && firstValue(q, "flight") == "1"
 		// The session stops at the budget or when the client disconnects,
 		// whichever comes first, and still answers with the deepest
-		// completed iteration.
+		// completed iteration. For SSE the disconnect path is the one that
+		// matters: closing the stream cancels r.Context() and with it the
+		// in-flight search.
 		ctx, cancel := context.WithTimeout(r.Context(), budget)
 		defer cancel()
 
-		analyze := s.engines[name].Analyze
-		if trace {
-			analyze = s.engines[name].AnalyzeTrace
-		}
-		an, err := analyze(ctx, pos, depth)
+		// The middleware put the request id on the response before the
+		// handler ran; threading it into the session labels its analysis,
+		// trace, and flight report with the same correlation key as the
+		// access-log line.
+		opts := engine.SessionOptions{Trace: trace, Label: w.Header().Get("X-Request-ID")}
 		switch {
-		case err == nil:
-		case errors.Is(err, engine.ErrBusy):
-			w.Header().Set("Retry-After", "1")
-			s.fail(w, http.StatusServiceUnavailable, "%v", err)
+		case recordFlight:
+			opts.Record = 1 << 16
+		case stream:
+			// Streaming needs hooks armed for the heap-occupancy gauge in
+			// the progress events; a small ring keeps the cost down.
+			opts.Record = 1 << 12
+		}
+		var sse *sseWriter
+		if stream {
+			if sse = startSSE(w); sse == nil {
+				s.fail(w, http.StatusInternalServerError, "connection does not support streaming")
+				return
+			}
+			opts.OnIteration = func(it engine.Iteration) {
+				sse.event("iteration", wireIteration(it))
+			}
+		}
+
+		an, err := s.engines[name].AnalyzeSession(ctx, pos, depth, opts)
+		if err != nil {
+			code, msg := http.StatusInternalServerError, err.Error()
+			switch {
+			case errors.Is(err, engine.ErrBusy):
+				code = http.StatusServiceUnavailable
+			case errors.Is(err, engine.ErrNoMoves):
+				code, msg = http.StatusUnprocessableEntity, "position is terminal: no moves to search"
+			case errors.Is(err, engine.ErrNoResult):
+				code, msg = http.StatusGatewayTimeout, fmt.Sprintf("budget %v expired before the first iteration completed", budget)
+			case errors.Is(err, context.Canceled):
+				code, msg = http.StatusServiceUnavailable, "request cancelled while queued"
+			}
+			if sse != nil {
+				// The 200 and the event-stream header are already on the
+				// wire; the error becomes the stream's terminal event.
+				sse.event("error", httpError{Error: msg})
+				return
+			}
+			if code == http.StatusServiceUnavailable && errors.Is(err, engine.ErrBusy) {
+				w.Header().Set("Retry-After", "1")
+			}
+			s.fail(w, code, "%s", msg)
 			return
-		case errors.Is(err, engine.ErrNoMoves):
-			s.fail(w, http.StatusUnprocessableEntity, "position is terminal: no moves to search")
-			return
-		case errors.Is(err, engine.ErrNoResult):
-			s.fail(w, http.StatusGatewayTimeout, "budget %v expired before the first iteration completed", budget)
-			return
-		case errors.Is(err, context.Canceled):
-			s.fail(w, http.StatusServiceUnavailable, "request cancelled while queued")
-			return
-		default:
-			s.fail(w, http.StatusInternalServerError, "%v", err)
-			return
+		}
+		if recordFlight {
+			s.flights.add(an.Label, flight.Build(an.Trace, flight.Options{
+				Label:   an.Label,
+				Workers: s.cfg.Workers,
+			}))
 		}
 
 		out := analysisJSON{
@@ -291,15 +353,12 @@ func (s *server) handleAnalyze(includeIterations bool) http.HandlerFunc {
 		}
 		if includeIterations {
 			for _, it := range an.Iterations {
-				out.Iterations = append(out.Iterations, iterationJSON{
-					Depth:      it.Depth,
-					Move:       it.Move,
-					Value:      int(it.Value),
-					Researches: it.Researches,
-					Nodes:      it.Nodes,
-					ElapsedMS:  it.Elapsed.Milliseconds(),
-				})
+				out.Iterations = append(out.Iterations, wireIteration(it))
 			}
+		}
+		if sse != nil {
+			sse.event("done", out)
+			return
 		}
 		if trace {
 			var buf bytes.Buffer

@@ -1,0 +1,233 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	name string
+	data string
+}
+
+// readSSE parses events off the stream until it ends or n events arrived
+// (n <= 0 reads to EOF).
+func readSSE(t *testing.T, r io.Reader, n int) []sseEvent {
+	t.Helper()
+	var (
+		events []sseEvent
+		cur    sseEvent
+	)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur.name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		case line == "":
+			if cur.name != "" || cur.data != "" {
+				events = append(events, cur)
+				cur = sseEvent{}
+				if n > 0 && len(events) >= n {
+					return events
+				}
+			}
+		}
+	}
+	return events
+}
+
+// TestAnalyzeStreamSSE is the streaming acceptance check: /analyze?stream=1
+// answers text/event-stream with one "iteration" event per completed depth in
+// deepening order, then a terminal "done" event carrying the same analysis
+// the non-streaming endpoint would have returned.
+func TestAnalyzeStreamSSE(t *testing.T) {
+	ts := testServer(t, serverConfig{Workers: 2, SerialDepth: 2, TableBits: 14, MaxConcurrent: 2})
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	resp, err := client.Get(ts.URL + "/analyze?game=ttt&depth=6&budget_ms=20000&stream=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("stream content type %q", ct)
+	}
+
+	events := readSSE(t, resp.Body, 0)
+	if len(events) < 2 {
+		t.Fatalf("stream produced %d events, want iterations + done", len(events))
+	}
+	last := events[len(events)-1]
+	if last.name != "done" {
+		t.Fatalf("stream ended with %q, want done", last.name)
+	}
+	var an analysisJSON
+	if err := json.Unmarshal([]byte(last.data), &an); err != nil {
+		t.Fatalf("done payload: %v", err)
+	}
+	if !an.Completed || an.Depth != 6 || an.Game != "ttt" {
+		t.Fatalf("done analysis: %+v", an)
+	}
+	iterations := events[:len(events)-1]
+	if len(iterations) != 6 {
+		t.Fatalf("%d iteration events for a depth-6 session", len(iterations))
+	}
+	for i, ev := range iterations {
+		if ev.name != "iteration" {
+			t.Fatalf("event %d named %q", i, ev.name)
+		}
+		var it iterationJSON
+		if err := json.Unmarshal([]byte(ev.data), &it); err != nil {
+			t.Fatalf("iteration payload %d: %v", i, err)
+		}
+		if it.Depth != i+1 {
+			t.Fatalf("iteration event %d at depth %d: out of order", i, it.Depth)
+		}
+	}
+}
+
+// TestStreamDisconnectCancelsSession: closing the SSE stream mid-session
+// must cancel the search. The handler derives the session context from the
+// request context, so the disconnect surfaces as a deadline-cut session in
+// the engine's counters — the observable proof the search stopped early.
+func TestStreamDisconnectCancelsSession(t *testing.T) {
+	srv := newServer(serverConfig{
+		Workers: 2, SerialDepth: 4, MaxConcurrent: 1,
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// Depth 32 with a generous budget cannot finish on its own before the
+	// client hangs up; the first iteration event proves the session started.
+	resp, err := client.Get(ts.URL + "/analyze?game=connect4&depth=32&budget_ms=25000&stream=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := readSSE(t, resp.Body, 1); len(got) != 1 || got[0].name != "iteration" {
+		resp.Body.Close()
+		t.Fatalf("first stream event: %+v", got)
+	}
+	resp.Body.Close() // hang up mid-search
+
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		st := srv.engines["connect4"].Stats()
+		if st.DeadlineCut == 1 && st.Active == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("session not cancelled by disconnect: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDebugFlightEndpoint: flight=1 retains a per-request report fetchable
+// from /debug/flight by the request id, with the busy-time buckets forming an
+// exact partition, and the listing shows it.
+func TestDebugFlightEndpoint(t *testing.T) {
+	ts := testServer(t, serverConfig{Workers: 2, SerialDepth: 2, TableBits: 14, MaxConcurrent: 2})
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	req, _ := http.NewRequest("GET", ts.URL+"/analyze?game=ttt&depth=6&budget_ms=20000&flight=1", nil)
+	req.Header.Set("X-Request-ID", "flight-e2e-1")
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("flight=1 analyze status %d", resp.StatusCode)
+	}
+
+	var rep struct {
+		Label   string `json:"label"`
+		Workers int    `json:"workers"`
+		Tasks   int64  `json:"tasks"`
+		BusyNS  int64  `json:"busy_ns"`
+		Useful  struct {
+			TimeNS int64 `json:"time_ns"`
+		} `json:"useful_primary"`
+		UsefulSpec struct {
+			TimeNS int64 `json:"time_ns"`
+		} `json:"useful_spec"`
+		WastedSpec struct {
+			TimeNS int64 `json:"time_ns"`
+		} `json:"wasted_spec"`
+		EventDrops int64 `json:"event_drops"`
+	}
+	getJSON(t, client, ts.URL+"/debug/flight?id=flight-e2e-1", http.StatusOK, &rep)
+	if rep.Label != "flight-e2e-1" || rep.Workers != 2 || rep.Tasks <= 0 {
+		t.Fatalf("flight report: %+v", rep)
+	}
+	if rep.EventDrops == 0 {
+		if sum := rep.Useful.TimeNS + rep.UsefulSpec.TimeNS + rep.WastedSpec.TimeNS; sum != rep.BusyNS {
+			t.Fatalf("buckets sum to %d ns, busy is %d ns", sum, rep.BusyNS)
+		}
+	}
+
+	var listing struct {
+		Reports []flightSummary `json:"reports"`
+	}
+	getJSON(t, client, ts.URL+"/debug/flight", http.StatusOK, &listing)
+	found := false
+	for _, e := range listing.Reports {
+		found = found || e.ID == "flight-e2e-1"
+	}
+	if !found {
+		t.Fatalf("listing misses the retained report: %+v", listing.Reports)
+	}
+
+	getJSON(t, client, ts.URL+"/debug/flight?id=nope", http.StatusNotFound, nil)
+}
+
+// TestStatsExposeSteals: after a sharded multi-worker session /stats carries
+// the per-game steal counters; the end-of-search drain guarantees at least
+// the steal-fail sweeps fired.
+func TestStatsExposeSteals(t *testing.T) {
+	ts := testServer(t, serverConfig{Workers: 4, SerialDepth: 2, Sharded: true, TableBits: 14, MaxConcurrent: 2})
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	var an analysisJSON
+	getJSON(t, client, ts.URL+"/bestmove?game=connect4&depth=6&budget_ms=20000", http.StatusOK, &an)
+
+	// Decode into a raw map too: the counters must be present as JSON
+	// fields, not merely zero values of a stale struct.
+	resp, err := client.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw struct {
+		Games map[string]map[string]any `json:"games"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	g := raw.Games["connect4"]
+	steals, ok1 := g["Steals"].(float64)
+	fails, ok2 := g["StealFails"].(float64)
+	if !ok1 || !ok2 {
+		t.Fatalf("/stats misses steal counters: %v", g)
+	}
+	if steals+fails == 0 {
+		t.Fatal("sharded 4-worker session recorded no steal activity at all")
+	}
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ertree"
+	"ertree/internal/flight"
+	"ertree/internal/gtree"
+)
+
+// materializeBudget bounds the explicit tree mirror built for minimal-tree
+// classification: past ~2M nodes the mirror costs more than the insight.
+const materializeBudget = 2 << 20
+
+// materialize builds an explicit gtree mirror of pos down to depth plies, so
+// the flight report can classify the visited set against the Knuth–Moore
+// minimal tree. Positions at the search frontier become leaves carrying their
+// static value, matching what a depth-limited search evaluates. Returns nil
+// (skip classification) when the mirror would exceed the node budget.
+func materialize(pos ertree.Position, depth int, budget *int) *gtree.Node {
+	*budget--
+	if *budget < 0 {
+		return nil
+	}
+	if depth == 0 {
+		return &gtree.Node{Leaf: pos.Value()}
+	}
+	kids := pos.Children()
+	if len(kids) == 0 {
+		return &gtree.Node{Leaf: pos.Value()}
+	}
+	n := &gtree.Node{Kids: make([]*gtree.Node, len(kids))}
+	for i, k := range kids {
+		c := materialize(k, depth-1, budget)
+		if c == nil {
+			return nil
+		}
+		n.Kids[i] = c
+	}
+	return n
+}
+
+// printFlight builds and prints the speculation-waste report of a hooked
+// er-real search. Minimal-tree classification needs the spawn log's move
+// indices to line up with child order, so it only runs under natural move
+// order (no static sorting), and only within the materialization budget.
+func printFlight(pos ertree.Position, depth, serialDepth int, naturalOrder bool, workers int, label string, tels []ertree.WorkerTelemetry) {
+	opts := flight.Options{Label: label, Workers: workers}
+	if naturalOrder {
+		budget := materializeBudget
+		if root := materialize(pos, depth, &budget); root != nil {
+			opts.Root = root
+		} else {
+			fmt.Fprintf(os.Stderr, "ertree: tree exceeds %d nodes; skipping minimal-tree classification\n", materializeBudget)
+		}
+	}
+	flight.Build(tels, opts).WriteText(os.Stdout)
+	if opts.Root != nil && serialDepth > 0 {
+		fmt.Printf("  (serial-depth %d: visited counts cover the parallel tree only; run -serial-depth 0 for exact node accounting)\n", serialDepth)
+	}
+}

@@ -43,6 +43,7 @@ func main() {
 		traceOut    = flag.String("trace", "", "with er-par/er-real: write a Chrome trace_event JSON (open in Perfetto) to this file")
 		bestLine    = flag.Bool("bestmove", false, "also print the best move and principal variation (parallel ER)")
 		tableBits   = flag.Int("table-bits", 0, "with er-real: back serial tasks with a shared transposition table of 2^bits slots (0 disables)")
+		flightOn    = flag.Bool("flight", false, "with er-real: record the search flight log and print the speculation-waste report")
 		mutexProf   = flag.String("mutexprofile", "", "write a mutex-contention profile to this file (er-real lock interference)")
 		blockProf   = flag.String("blockprofile", "", "write a blocking profile to this file")
 	)
@@ -132,9 +133,12 @@ func main() {
 			cfg.Table = ertree.NewSharedTranspositionTable(*tableBits, 0)
 		}
 		var sink *traceSink
-		if *traceOut != "" {
+		if *traceOut != "" || *flightOn {
 			sink = newTraceSink()
-			cfg.Hooks = &ertree.SearchHooks{Spans: true, HeapEvery: 8, OnWorkerDone: sink.add}
+			cfg.Hooks = &ertree.SearchHooks{Spans: *traceOut != "", HeapEvery: 8, OnWorkerDone: sink.add}
+			if *flightOn {
+				cfg.Hooks.Events = 1 << 16
+			}
 		}
 		res, err := ertree.Search(pos, *depth, cfg)
 		if err != nil {
@@ -143,12 +147,16 @@ func main() {
 		}
 		report(res.Value, &stats)
 		fmt.Printf("elapsed %v on %d workers\n", res.Elapsed, res.Workers)
-		if sink != nil {
+		if sink != nil && *traceOut != "" {
 			if err := writeRealTrace(*traceOut, "ertree er-real", sink.workers()); err != nil {
 				fmt.Fprintln(os.Stderr, "ertree:", err)
 				os.Exit(1)
 			}
 			fmt.Printf("trace written to %s (open in https://ui.perfetto.dev)\n", *traceOut)
+		}
+		if *flightOn {
+			label := fmt.Sprintf("%s depth %d", *gameName, *depth)
+			printFlight(pos, *depth, *serialDepth, order == nil, res.Workers, label, sink.workers())
 		}
 		if res.TTProbes > 0 {
 			fmt.Printf("table: %d probes, %d hits (%.1f%%), %d stores, %d tasks answered without searching\n",

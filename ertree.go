@@ -160,10 +160,15 @@ type Config struct {
 	// by Simulate, whose model of the paper's machine has no table.
 	Table *SharedTranspositionTable
 	// Hooks, if non-nil, arms per-worker telemetry on Search: busy spans by
-	// task kind, the speculative-vs-primary work split, and heap samples,
+	// task kind, the speculative-vs-primary work split, heap samples, and —
+	// with Hooks.Events set — the bounded flight-recorder event log,
 	// delivered per worker at exit. Nil costs one pointer test per task.
 	// Ignored by Simulate, which records Timeline via Trace instead.
 	Hooks *SearchHooks
+	// ProfileLabels runs every Search task under runtime/pprof goroutine
+	// labels (task_kind, spec), so CPU and mutex profiles segment by the
+	// search's work taxonomy. Ignored by Simulate.
+	ProfileLabels bool
 }
 
 // SearchHooks configures real-runtime search telemetry; see core.Hooks.
@@ -213,6 +218,7 @@ func (c Config) options() core.Options {
 		Trace:              c.Trace,
 		Stats:              c.Stats,
 		Hooks:              c.Hooks,
+		ProfileLabels:      c.ProfileLabels,
 	}
 	if c.Table != nil {
 		// Assign only when non-nil: a nil *tt.Shared wrapped in the Prober

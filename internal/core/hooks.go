@@ -105,6 +105,11 @@ type WorkerTelemetry struct {
 	Spans []Span
 	// HeapSamples are recorded every Hooks.HeapEvery pops.
 	HeapSamples []HeapSample
+	// Events is the worker's flight-recorder log (events.go), drained from
+	// the bounded ring at worker exit; empty unless Hooks.Events > 0.
+	// EventDrops counts events overwritten when the ring wrapped.
+	Events     []Event
+	EventDrops int64
 }
 
 // Busy returns the worker's total instrumented busy time.
@@ -139,6 +144,8 @@ func (wt *WorkerTelemetry) Merge(o WorkerTelemetry) {
 	wt.StealTime += o.StealTime
 	wt.Spans = append(wt.Spans, o.Spans...)
 	wt.HeapSamples = append(wt.HeapSamples, o.HeapSamples...)
+	wt.Events = append(wt.Events, o.Events...)
+	wt.EventDrops += o.EventDrops
 }
 
 // Hooks configures optional observation of a real-runtime Search. A nil
@@ -155,6 +162,11 @@ type Hooks struct {
 	// HeapEvery samples the problem-heap sizes every N pops per worker
 	// (0 disables sampling).
 	HeapEvery int
+	// Events arms the flight recorder (events.go) with a per-worker ring of
+	// this capacity; 0 disables it. The ring keeps the newest events and
+	// counts overwrites in WorkerTelemetry.EventDrops, so memory stays
+	// bounded at Events records per worker regardless of search size.
+	Events int
 	// OnWorkerDone receives each worker's telemetry when the worker exits.
 	// It is called once per worker, concurrently from worker goroutines, so
 	// the sink must be safe for concurrent use.
@@ -167,6 +179,9 @@ func (w *wctx) attachHooks(id int, h *Hooks, epoch time.Time) {
 	w.hooks = h
 	w.epoch = epoch
 	w.tel = &WorkerTelemetry{Worker: id}
+	if h.Events > 0 {
+		w.rec = &eventRing{buf: make([]Event, 0, h.Events)}
+	}
 }
 
 // taskStart stamps the beginning of a task; the zero time when telemetry is
@@ -178,8 +193,9 @@ func (w *wctx) taskStart() time.Time {
 	return time.Now()
 }
 
-// taskEnd records one finished task in the worker's shard.
-func (w *wctx) taskEnd(start time.Time, k TaskKind, spec bool, ply int) {
+// taskEnd records one finished task in the worker's shard; n is the task's
+// node (its seq feeds the flight recorder when armed).
+func (w *wctx) taskEnd(start time.Time, k TaskKind, spec bool, n *node) {
 	t := w.tel
 	if t == nil {
 		return
@@ -196,9 +212,20 @@ func (w *wctx) taskEnd(start time.Time, k TaskKind, spec bool, ply int) {
 		t.Spans = append(t.Spans, Span{
 			Kind:  k,
 			Spec:  spec,
-			Ply:   ply,
+			Ply:   n.ply,
 			Start: start.Sub(w.epoch),
 			End:   end.Sub(w.epoch),
+		})
+	}
+	if w.rec != nil {
+		w.rec.add(Event{
+			At:   start.Sub(w.epoch),
+			Dur:  d,
+			Seq:  n.seq,
+			Kind: EvTask,
+			Task: k,
+			Spec: spec,
+			Ply:  int32(n.ply),
 		})
 	}
 }
@@ -222,9 +249,16 @@ func (w *wctx) sampleHeap(primary, spec int) {
 	})
 }
 
-// flush delivers the worker's telemetry shard to the sink at worker exit.
+// flush delivers the worker's telemetry shard to the sink at worker exit,
+// draining the flight-recorder ring into it first.
 func (w *wctx) flush() {
-	if w.tel != nil && w.hooks.OnWorkerDone != nil {
+	if w.tel == nil {
+		return
+	}
+	if w.rec != nil {
+		w.tel.Events, w.tel.EventDrops = w.rec.drain()
+	}
+	if w.hooks.OnWorkerDone != nil {
 		w.hooks.OnWorkerDone(*w.tel)
 	}
 }

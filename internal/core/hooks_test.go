@@ -113,14 +113,18 @@ func TestHooksSharedEpoch(t *testing.T) {
 }
 
 // TestHooksDisabledInstrumentationAllocFree pins the nil-hook fast path: with
-// telemetry disabled the per-task instrumentation performs zero allocations
-// (and, by construction, no clock reads).
+// telemetry disabled the per-task instrumentation — including every flight-
+// recorder call site — performs zero allocations (and, by construction, no
+// clock reads).
 func TestHooksDisabledInstrumentationAllocFree(t *testing.T) {
 	w := newWctx(newRealRuntime())
+	n := &node{seq: 7, ply: 2}
 	allocs := testing.AllocsPerRun(1000, func() {
 		start := w.taskStart()
 		w.sampleHeap(3, 1)
-		w.taskEnd(start, TaskSerial, false, 2)
+		w.event(Event{Kind: EvSpawn, Seq: n.seq, Par: RootSeq, Ply: int32(n.ply)})
+		w.event(Event{Kind: EvCombine, Seq: n.seq, Par: RootSeq, Arg: 42})
+		w.taskEnd(start, TaskSerial, false, n)
 	})
 	if allocs != 0 {
 		t.Fatalf("disabled instrumentation allocates %.1f per task, want 0", allocs)
@@ -164,5 +168,9 @@ func BenchmarkSearchHooksOverhead(b *testing.B) {
 	b.Run("disabled", func(b *testing.B) { run(b, nil) })
 	b.Run("enabled", func(b *testing.B) {
 		run(b, &Hooks{Spans: true, HeapEvery: 16, OnWorkerDone: func(WorkerTelemetry) {}})
+	})
+	b.Run("recorder", func(b *testing.B) {
+		run(b, &Hooks{Spans: true, HeapEvery: 16, Events: 1 << 14,
+			OnWorkerDone: func(WorkerTelemetry) {}})
 	})
 }

@@ -101,6 +101,11 @@ type Options struct {
 	// worker exit (see hooks.go). Nil costs one pointer test per task.
 	// Ignored by Simulate, which has its own deterministic tracing (Trace).
 	Hooks *Hooks
+	// ProfileLabels runs every task under runtime/pprof goroutine labels
+	// task_kind and spec (events.go), so CPU/mutex/block profiles segment by
+	// the Table 1 work taxonomy. Real runtime only; off by default because
+	// SetGoroutineLabels costs a few tens of nanoseconds per task.
+	ProfileLabels bool
 }
 
 // SpecRank is a speculative-queue ordering policy.
@@ -297,6 +302,7 @@ func Search(pos game.Position, depth int, opt Options) (Result, error) {
 		go func(id int) {
 			defer wg.Done()
 			w := newWctx(rt)
+			w.labels = opt.ProfileLabels
 			if opt.Hooks != nil {
 				w.attachHooks(id, opt.Hooks, epoch)
 			}
@@ -338,9 +344,10 @@ func Simulate(pos game.Position, depth int, opt Options, cost CostModel) (Result
 		workers = 1
 	}
 	opt.Cancel = nil
-	opt.Table = nil     // the paper's machine had no transposition table
-	opt.Hooks = nil     // wall-clock hooks would perturb the bit-stable virtual run
-	opt.Sharded = false // the model keeps the paper's exact single-heap semantics
+	opt.Table = nil           // the paper's machine had no transposition table
+	opt.Hooks = nil           // wall-clock hooks would perturb the bit-stable virtual run
+	opt.ProfileLabels = false // goroutine labels are a real-runtime concern
+	opt.Sharded = false       // the model keeps the paper's exact single-heap semantics
 	s := newState(pos, depth, opt, cost)
 	s.seedRoot()
 	env := sim.NewEnv()

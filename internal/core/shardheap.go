@@ -56,10 +56,12 @@ type heapShard struct {
 	primary primaryQueue
 	spec    specQueue
 
-	// size is the load hint thieves read without the mutex: the total number
-	// of tasks queued in this shard. It is updated inside the critical
-	// section, so a hint can be momentarily stale but never drifts.
-	size atomic.Int64
+	// sizeP/sizeS are the load hints thieves and telemetry read without the
+	// mutex: the number of tasks queued on this shard's primary and
+	// speculative queues. They are updated inside the critical section, so a
+	// hint can be momentarily stale but never drifts.
+	sizeP atomic.Int64
+	sizeS atomic.Int64
 
 	// Pad shards apart so one worker's mutex traffic does not false-share
 	// with its neighbor's.
@@ -83,7 +85,7 @@ func (h *shardedHeap) pushPrimary(n *node, shard int) {
 	sh.mu.Lock()
 	sh.primary = append(sh.primary, n)
 	sh.primary.up(len(sh.primary) - 1)
-	sh.size.Add(1)
+	sh.sizeP.Add(1)
 	sh.mu.Unlock()
 	h.pushes.Add(1)
 	h.queued.Add(1)
@@ -100,7 +102,7 @@ func (h *shardedHeap) pushPrimaryBatch(ns []*node, shard int) {
 		sh.primary = append(sh.primary, n)
 		sh.primary.up(len(sh.primary) - 1)
 	}
-	sh.size.Add(int64(len(ns)))
+	sh.sizeP.Add(int64(len(ns)))
 	sh.mu.Unlock()
 	h.pushes.Add(int64(len(ns)))
 	h.queued.Add(int64(len(ns)))
@@ -117,7 +119,7 @@ func (h *shardedHeap) pushSpec(n *node, shard int) {
 	sh.mu.Lock()
 	sh.spec = append(sh.spec, n)
 	heapUpSpec(sh.spec)
-	sh.size.Add(1)
+	sh.sizeS.Add(1)
 	sh.mu.Unlock()
 	h.pushes.Add(1)
 	h.queued.Add(1)
@@ -133,14 +135,15 @@ func (h *shardedHeap) popShard(idx int) (n *node, fromSpec bool) {
 	switch {
 	case len(sh.primary) > 0:
 		n = heap.Pop(&sh.primary).(*node)
+		sh.sizeP.Add(-1)
 	case len(sh.spec) > 0:
 		n = heap.Pop(&sh.spec).(*node)
 		fromSpec = true
+		sh.sizeS.Add(-1)
 	default:
 		sh.mu.Unlock()
 		return nil, false
 	}
-	sh.size.Add(-1)
 	sh.mu.Unlock()
 	h.queued.Add(-1)
 	h.pops.Add(1)
@@ -167,7 +170,7 @@ func (h *shardedHeap) steal(self int, rot uint64) (n *node, fromSpec bool) {
 			if j == self {
 				continue
 			}
-			if sz := h.shards[j].size.Load(); sz > best {
+			if sz := h.shards[j].sizeP.Load() + h.shards[j].sizeS.Load(); sz > best {
 				victim, best = j, sz
 			}
 		}
@@ -188,14 +191,11 @@ func (h *shardedHeap) steal(self int, rot uint64) (n *node, fromSpec bool) {
 // taking any shard lock; used for telemetry heap samples, where a momentarily
 // stale total is fine.
 func (h *shardedHeap) approxSizes() (primary, spec int) {
-	total := 0
 	for i := range h.shards {
-		total += int(h.shards[i].size.Load())
+		primary += int(h.shards[i].sizeP.Load())
+		spec += int(h.shards[i].sizeS.Load())
 	}
-	// The per-queue split is not tracked per shard; report the total as
-	// primary (speculative entries are a small minority in practice and the
-	// sample's purpose is backlog magnitude).
-	return total, 0
+	return primary, spec
 }
 
 // release drops every shard's slices so no queued node stays reachable.
@@ -204,7 +204,8 @@ func (h *shardedHeap) release() {
 		sh := &h.shards[i]
 		sh.mu.Lock()
 		sh.primary, sh.spec = nil, nil
-		sh.size.Store(0)
+		sh.sizeP.Store(0)
+		sh.sizeS.Store(0)
 		sh.mu.Unlock()
 	}
 }

@@ -57,11 +57,15 @@ type wctx struct {
 	rng   uint64
 
 	// Telemetry shard (hooks.go); tel is nil when hooks are disabled and
-	// every instrumentation call reduces to one pointer test.
-	hooks *Hooks
-	tel   *WorkerTelemetry
-	epoch time.Time
-	pops  int // pop counter for heap sampling
+	// every instrumentation call reduces to one pointer test. rec is the
+	// flight-recorder ring (events.go), nil unless Hooks.Events > 0; labels
+	// arms per-task pprof goroutine labels (Options.ProfileLabels).
+	hooks  *Hooks
+	tel    *WorkerTelemetry
+	rec    *eventRing
+	epoch  time.Time
+	pops   int // pop counter for heap sampling
+	labels bool
 }
 
 func newWctx(rt Runtime) *wctx { return &wctx{rt: rt, stats: &game.Stats{}} }
@@ -232,6 +236,8 @@ func (s *state) table1(n *node, w *wctx) {
 				k := s.newNode(n.moves[i], n, undecided, n.depth-1)
 				n.kids = append(n.kids, k)
 				n.activeKids++
+				w.event(Event{Kind: EvSpawn, Seq: k.seq, Par: n.seq,
+					Arg: int64(i), Spec: k.specBorn, Ply: int32(k.ply)})
 			}
 			batch := n.kids[start:]
 			w.stats.AddGenerated(int64(len(batch)))
@@ -247,6 +253,8 @@ func (s *state) table1(n *node, w *wctx) {
 			k := s.newNode(n.moves[0], n, eNode, n.depth-1)
 			n.kids = append(n.kids, k)
 			n.activeKids++
+			w.event(Event{Kind: EvSpawn, Seq: k.seq, Par: n.seq,
+				Arg: 0, Spec: k.specBorn, Ply: int32(k.ply)})
 			w.stats.AddGenerated(1)
 			w.rt.HoldWork(s.cost.Node + s.cost.HeapOp)
 			s.enqueue(k, w)
@@ -259,10 +267,13 @@ func (s *state) table1(n *node, w *wctx) {
 			// one serial unit rather than decomposed further, so each
 			// refutation step gets a fresh window while the protocol
 			// bookkeeping stays bounded.
-			k := s.newNode(n.moves[len(n.kids)], n, rNode, n.depth-1)
+			idx := len(n.kids)
+			k := s.newNode(n.moves[idx], n, rNode, n.depth-1)
 			k.examine = k.depth <= s.opt.SerialDepth
 			n.kids = append(n.kids, k)
 			n.activeKids++
+			w.event(Event{Kind: EvSpawn, Seq: k.seq, Par: n.seq,
+				Arg: int64(idx), Spec: k.specBorn, Ply: int32(k.ply)})
 			w.stats.AddGenerated(1)
 			w.stats.AddRefutations(1)
 			w.rt.HoldWork(s.cost.Node + s.cost.HeapOp)
@@ -288,17 +299,27 @@ func (s *state) combine(n *node, w *wctx) {
 		if p.done {
 			// An ancestor was resolved concurrently (cutoff); this
 			// subtree's result is no longer needed.
+			w.event(Event{Kind: EvDiscard, Seq: cur.seq, Par: p.seq,
+				Spec: cur.specBorn, Ply: int32(cur.ply)})
 			return
 		}
 		if -cur.value > p.value {
 			p.value = -cur.value
 		}
 		p.activeKids--
+		w.event(Event{Kind: EvCombine, Seq: cur.seq, Par: p.seq,
+			Arg: int64(-cur.value), Spec: cur.specBorn, Ply: int32(cur.ply)})
 
 		// "...until node has active children AND node can't be cut off."
 		if win := p.window(); p.value >= win.Beta {
 			p.done, p.cutoff = true, true
 			w.stats.AddCutoffs(1)
+			if p.activeKids > 0 {
+				// The cutoff orphans in-flight children: their subtrees
+				// are the speculative waste internal/flight attributes.
+				w.event(Event{Kind: EvAbort, Seq: p.seq,
+					Arg: int64(p.activeKids), Spec: p.specBorn, Ply: int32(p.ply)})
+			}
 			cur = p
 			continue
 		}
@@ -428,6 +449,8 @@ func (s *state) selectEChild(E *node, w *wctx, speculative bool) bool {
 	}
 	E.eSelected = true
 	E.eKids++
+	w.event(Event{Kind: EvPromote, Seq: best.seq, Par: E.seq,
+		Spec: speculative, Ply: int32(best.ply)})
 	s.enqueue(best, w)
 	w.rt.HoldWork(s.cost.HeapOp)
 	// "Once the elder grandchildren of E have been evaluated, ensure that
@@ -460,6 +483,7 @@ func (s *state) specAction(E *node, w *wctx) {
 // parallel refutation enabled, schedules every one whose previous activity
 // has finished; otherwise only the most promising refuter runs. Lock held.
 func (s *state) startRefutation(E *node, w *wctx) {
+	w.event(Event{Kind: EvRefute, Seq: E.seq, Spec: E.specBorn, Ply: int32(E.ply)})
 	for _, k := range E.kids {
 		if k.done || k.isEChild {
 			continue

@@ -93,6 +93,9 @@ func (s *state) takeTask(w *wctx) (n *node, fromSpec bool) {
 	if n != nil && w.tel != nil {
 		w.tel.Steals++
 		w.tel.StealTime += time.Since(t0)
+		// Only immutable node fields here: the thief does not yet hold the
+		// engine lock, so mutable state (specBorn, value) is off limits.
+		w.event(Event{Kind: EvSteal, Seq: n.seq, Ply: int32(n.ply)})
 	}
 	return n, fromSpec
 }

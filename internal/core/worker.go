@@ -55,15 +55,19 @@ func (s *state) worker(w *wctx) {
 // processing time on the sharded heap — so from here both runtimes see
 // identical semantics. Lock held on entry and exit.
 func (s *state) runTask(n *node, fromSpec bool, w *wctx) {
+	if w.labels {
+		setTaskLabels(s.classifyTask(n, fromSpec))
+		defer clearTaskLabels()
+	}
 	start := w.taskStart()
 	if fromSpec {
 		s.specAction(n, w)
-		w.taskEnd(start, TaskSpec, true, n.ply)
+		w.taskEnd(start, TaskSpec, true, n)
 		return
 	}
 	if !n.alive() {
 		s.dropped.Add(1)
-		w.taskEnd(start, TaskDrop, n.specBorn, n.ply)
+		w.taskEnd(start, TaskDrop, n.specBorn, n)
 		return
 	}
 	win := n.window()
@@ -72,13 +76,13 @@ func (s *state) runTask(n *node, fromSpec bool, w *wctx) {
 		// without searching (a cutoff the serial algorithm would have
 		// taken before recursing).
 		s.cutoffAtPop(n, win, w)
-		w.taskEnd(start, TaskCutoff, n.specBorn, n.ply)
+		w.taskEnd(start, TaskCutoff, n.specBorn, n)
 		return
 	}
 	switch {
 	case n.depth == 0:
 		s.leafTask(n, w)
-		w.taskEnd(start, TaskLeaf, n.specBorn, n.ply)
+		w.taskEnd(start, TaskLeaf, n.specBorn, n)
 	case n.depth <= s.opt.SerialDepth && n.typ == eNode:
 		// The serial cut-over matches work units to node roles. An
 		// e-node's work is a complete evaluation — exactly one
@@ -87,22 +91,22 @@ func (s *state) runTask(n *node, fromSpec bool, w *wctx) {
 		// children they generate become single serial units: e-node
 		// children full ER calls, r-node children Examine calls.
 		s.serialTask(n, win, w)
-		w.taskEnd(start, TaskSerial, n.specBorn, n.ply)
+		w.taskEnd(start, TaskSerial, n.specBorn, n)
 	case n.examine:
 		s.examineTask(n, win, w)
-		w.taskEnd(start, TaskExamine, n.specBorn, n.ply)
+		w.taskEnd(start, TaskExamine, n.specBorn, n)
 	default:
 		if !n.expanded && !s.expandTask(n, w) {
-			w.taskEnd(start, TaskExpand, n.specBorn, n.ply)
+			w.taskEnd(start, TaskExpand, n.specBorn, n)
 			return // node died during expansion
 		}
 		if len(n.moves) == 0 {
 			s.leafTask(n, w) // terminal position above the horizon
-			w.taskEnd(start, TaskLeaf, n.specBorn, n.ply)
+			w.taskEnd(start, TaskLeaf, n.specBorn, n)
 			return
 		}
 		s.table1(n, w)
-		w.taskEnd(start, TaskExpand, n.specBorn, n.ply)
+		w.taskEnd(start, TaskExpand, n.specBorn, n)
 	}
 }
 
@@ -118,6 +122,7 @@ func (s *state) leafTask(n *node, w *wctx) {
 	w.rt.Lock()
 	if !n.alive() {
 		s.dropped.Add(1)
+		w.event(Event{Kind: EvDiscard, Seq: n.seq, Spec: n.specBorn, Ply: int32(n.ply)})
 		return
 	}
 	s.finish(n, v, w)
@@ -158,8 +163,12 @@ func (s *state) serialTask(n *node, win game.Window, w *wctx) {
 		}
 	}
 	w.rt.Lock()
+	if answered {
+		w.event(Event{Kind: EvTTCutoff, Seq: n.seq, Spec: n.specBorn, Ply: int32(n.ply)})
+	}
 	if !n.alive() {
 		s.dropped.Add(1)
+		w.event(Event{Kind: EvDiscard, Seq: n.seq, Spec: n.specBorn, Ply: int32(n.ply)})
 		return
 	}
 	s.finish(n, v, w)
@@ -190,8 +199,12 @@ func (s *state) examineTask(n *node, win game.Window, w *wctx) {
 		}
 	}
 	w.rt.Lock()
+	if answered {
+		w.event(Event{Kind: EvTTCutoff, Seq: n.seq, Spec: n.specBorn, Ply: int32(n.ply)})
+	}
 	if !n.alive() {
 		s.dropped.Add(1)
+		w.event(Event{Kind: EvDiscard, Seq: n.seq, Spec: n.specBorn, Ply: int32(n.ply)})
 		return
 	}
 	s.finish(n, v, w)
@@ -215,6 +228,7 @@ func (s *state) expandTask(n *node, w *wctx) bool {
 	w.rt.Lock()
 	if !n.alive() {
 		s.dropped.Add(1)
+		w.event(Event{Kind: EvDiscard, Seq: n.seq, Spec: n.specBorn, Ply: int32(n.ply)})
 		return false
 	}
 	n.moves = moves

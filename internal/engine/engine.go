@@ -46,6 +46,10 @@ type Config struct {
 	// problem heap instead of the global two-queue heap. Same values,
 	// less pop-path lock contention at high worker counts.
 	Sharded bool
+	// ProfileLabels runs every core task under runtime/pprof goroutine
+	// labels (task_kind, spec) so CPU/mutex profiles taken from the serving
+	// process segment by the search's work taxonomy.
+	ProfileLabels bool
 	// TableBits sizes the shared transposition table at 2^TableBits slots.
 	// Zero disables the table. All sessions of this engine share it, both
 	// concurrently and across iterations.
@@ -116,6 +120,8 @@ type Engine struct {
 	dropped     atomic.Int64
 	cutoffDrops atomic.Int64
 	heapOps     atomic.Int64
+	steals      atomic.Int64
+	stealFails  atomic.Int64
 	ttProbes    atomic.Int64
 	ttHits      atomic.Int64
 	ttStores    atomic.Int64
@@ -139,6 +145,8 @@ func (e *Engine) addCore(c *coreTotals) {
 	e.dropped.Add(c.dropped)
 	e.cutoffDrops.Add(c.cutoffDrops)
 	e.heapOps.Add(c.heapOps)
+	e.steals.Add(c.steals)
+	e.stealFails.Add(c.stealFails)
 	e.ttProbes.Add(c.ttProbes)
 	e.ttHits.Add(c.ttHits)
 	e.ttStores.Add(c.ttStores)
@@ -214,6 +222,8 @@ type Stats struct {
 	Dropped     int64 // dead nodes discarded at pop time
 	CutoffDrops int64 // nodes cut off at pop time
 	HeapOps     int64 // problem-heap pushes + pops
+	Steals      int64 // sharded-heap tasks taken from another worker's shard
+	StealFails  int64 // steal sweeps that found every shard empty
 
 	// Transposition traffic as the searches saw it: session-level root-child
 	// probes plus the core serial tasks' probes.
@@ -249,6 +259,8 @@ func (e *Engine) Stats() Stats {
 		Dropped:     e.dropped.Load(),
 		CutoffDrops: e.cutoffDrops.Load(),
 		HeapOps:     e.heapOps.Load(),
+		Steals:      e.steals.Load(),
+		StealFails:  e.stealFails.Load(),
 		TTProbes:    e.ttProbes.Load(),
 		TTHits:      e.ttHits.Load(),
 		TTStores:    e.ttStores.Load(),

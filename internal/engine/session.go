@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"ertree/internal/core"
@@ -19,12 +20,20 @@ type Iteration struct {
 	Value      game.Value // root value, from the side to move
 	Researches int        // aspiration-window re-searches
 	Nodes      int64      // tree nodes generated during this iteration
-	Elapsed    time.Duration
+	Steals     int64      // sharded-heap steals during this iteration
+	// HeapPeak is the largest problem-heap occupancy sampled during this
+	// iteration; zero unless the session runs with hooks armed
+	// (SessionOptions.Trace or Record).
+	HeapPeak int
+	Elapsed  time.Duration
 }
 
 // Analysis is the result of a session: the best move found, at the deepest
 // depth the deadline allowed, with the full per-iteration history.
 type Analysis struct {
+	// Label echoes SessionOptions.Label (e.g. the request id a server
+	// session belongs to), so logs, traces, and flight reports correlate.
+	Label      string
 	Move       int        // best child index (natural move order)
 	Value      game.Value // value of the deepest completed iteration
 	Depth      int        // deepest completed iteration
@@ -33,8 +42,10 @@ type Analysis struct {
 	Elapsed    time.Duration
 	Iterations []Iteration
 	// Trace holds the merged per-worker telemetry of every core search the
-	// session ran, on one common time axis anchored at session start. Only
-	// populated by AnalyzeTrace; render it with WriteWorkerTrace.
+	// session ran, on one common time axis anchored at session start.
+	// Populated when the session armed hooks (SessionOptions.Trace records
+	// spans for WriteWorkerTrace; SessionOptions.Record fills each worker's
+	// Events for internal/flight).
 	Trace []core.WorkerTelemetry
 }
 
@@ -51,7 +62,7 @@ type Analysis struct {
 // answer for a time-managed engine. Only when not even depth 1 finished does
 // it return ErrNoResult.
 func (e *Engine) Analyze(ctx context.Context, pos game.Position, maxDepth int) (*Analysis, error) {
-	return e.analyze(ctx, pos, maxDepth, false)
+	return e.AnalyzeSession(ctx, pos, maxDepth, SessionOptions{})
 }
 
 // AnalyzeTrace is Analyze with worker-span tracing armed: every core search
@@ -60,10 +71,32 @@ func (e *Engine) Analyze(ctx context.Context, pos game.Position, maxDepth int) (
 // clock read and a span record per core task; use for on-demand diagnosis,
 // not as the default serving path.
 func (e *Engine) AnalyzeTrace(ctx context.Context, pos game.Position, maxDepth int) (*Analysis, error) {
-	return e.analyze(ctx, pos, maxDepth, true)
+	return e.AnalyzeSession(ctx, pos, maxDepth, SessionOptions{Trace: true})
 }
 
-func (e *Engine) analyze(ctx context.Context, pos game.Position, maxDepth int, trace bool) (*Analysis, error) {
+// SessionOptions configures one analysis session's observability; the zero
+// value is the plain serving path (no hooks, no streaming).
+type SessionOptions struct {
+	// Trace records per-task worker spans for Analysis.Trace (the Perfetto
+	// timeline path of AnalyzeTrace).
+	Trace bool
+	// Record arms the core flight recorder with a per-worker ring of this
+	// capacity; the recorded events land in Analysis.Trace[i].Events, ready
+	// for internal/flight.Build. Zero disables recording.
+	Record int
+	// Label tags the session (Analysis.Label) with a caller-side
+	// correlation id — the server passes its X-Request-ID so one request's
+	// access-log line, worker trace, and flight report share a key.
+	Label string
+	// OnIteration, when non-nil, is called after each completed deepening
+	// iteration from the session goroutine (never concurrently). Servers
+	// stream these as progress events; a slow callback delays the next
+	// iteration, not the search inside the current one.
+	OnIteration func(Iteration)
+}
+
+// AnalyzeSession is Analyze with per-session observability options.
+func (e *Engine) AnalyzeSession(ctx context.Context, pos game.Position, maxDepth int, opts SessionOptions) (*Analysis, error) {
 	if maxDepth < 1 {
 		return nil, fmt.Errorf("engine: maxDepth %d, must be at least 1", maxDepth)
 	}
@@ -87,18 +120,26 @@ func (e *Engine) analyze(ctx context.Context, pos game.Position, maxDepth int, t
 		scores: make([]game.Value, len(kids)),
 		prev:   game.NoValue,
 	}
-	if trace {
+	if opts.Trace || opts.Record > 0 {
 		s.trace = newTraceCollector()
 		// All of the session's searches share the session-start epoch, so
-		// their spans land on one time axis and merge into per-worker tracks.
-		s.hooks = &core.Hooks{Epoch: start, Spans: true, HeapEvery: 8, OnWorkerDone: s.trace.add}
+		// their spans land on one time axis and merge into per-worker
+		// tracks. The collector also tracks peak heap occupancy for the
+		// per-iteration progress reports.
+		s.hooks = &core.Hooks{
+			Epoch:        start,
+			Spans:        opts.Trace,
+			HeapEvery:    8,
+			Events:       opts.Record,
+			OnWorkerDone: s.observeWorker,
+		}
 	}
 	for i := range s.order {
 		s.order[i] = i
 	}
 	s.primeScores()
 
-	an := &Analysis{Move: -1}
+	an := &Analysis{Label: opts.Label, Move: -1}
 	researches := 0
 	for depth := 1; depth <= maxDepth; depth++ {
 		if ctx.Err() != nil {
@@ -116,6 +157,9 @@ func (e *Engine) analyze(ctx context.Context, pos game.Position, maxDepth int, t
 		an.Iterations = append(an.Iterations, it)
 		an.Move, an.Value, an.Depth = it.Move, it.Value, it.Depth
 		s.prev = it.Value
+		if opts.OnIteration != nil {
+			opts.OnIteration(it)
+		}
 		// Search the previous best first next iteration, then the rest by
 		// their latest (bound) scores: the engine's own move ordering.
 		s.reorder()
@@ -172,6 +216,25 @@ type session struct {
 	core   coreTotals      // core-search counters, flushed once at finish
 	hooks  *core.Hooks     // non-nil when the session is traced
 	trace  *traceCollector // collects worker telemetry for Analysis.Trace
+
+	// heapPeak is the largest sampled heap occupancy since the last
+	// Iteration was cut (workers deliver concurrently; iterate swaps it out).
+	heapPeak atomic.Int64
+}
+
+// observeWorker receives each finished worker's telemetry: it feeds the
+// iteration-level heap-peak gauge and hands the shard to the collector.
+func (s *session) observeWorker(wt core.WorkerTelemetry) {
+	for _, hs := range wt.HeapSamples {
+		occ := int64(hs.Primary + hs.Spec)
+		for {
+			cur := s.heapPeak.Load()
+			if occ <= cur || s.heapPeak.CompareAndSwap(cur, occ) {
+				break
+			}
+		}
+	}
+	s.trace.add(wt)
 }
 
 // iterate completes one depth: an aspiration loop around the previous value
@@ -181,6 +244,7 @@ func (s *session) iterate(depth int) (Iteration, error) {
 	it := Iteration{Depth: depth}
 	start := time.Now()
 	nodes0 := s.nodes
+	steals0 := s.core.steals
 	w := game.FullWindow()
 	if s.e.cfg.Delta > 0 && s.prev != game.NoValue {
 		w = game.Window{Alpha: s.prev - s.e.cfg.Delta, Beta: s.prev + s.e.cfg.Delta}
@@ -204,6 +268,8 @@ func (s *session) iterate(depth int) (Iteration, error) {
 		}
 		it.Move, it.Value = move, v
 		it.Nodes = s.nodes - nodes0
+		it.Steals = s.core.steals - steals0
+		it.HeapPeak = int(s.heapPeak.Swap(0))
 		it.Elapsed = time.Since(start)
 		return it, nil
 	}
@@ -299,6 +365,7 @@ func (s *session) searchChild(child game.Position, depth int, w game.Window) (ga
 		MultipleENodes:     true,
 		EarlyChoice:        true,
 		Sharded:            cfg.Sharded,
+		ProfileLabels:      cfg.ProfileLabels,
 		RootWindow:         &w,
 		Table:              s.e.coreTable(),
 		Cancel:             s.cancel,
