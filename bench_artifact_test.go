@@ -1,0 +1,59 @@
+package ertree_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestBenchArtifactBackendCurves guards the committed BENCH_core.json: the
+// head-to-head benchmark must have produced a curve for every registered
+// backend, and enough host metadata to interpret the numbers on different
+// hardware. CI's bench smoke regenerates the artifact first, so a sweep that
+// silently drops a backend fails here rather than in a human's spreadsheet.
+func TestBenchArtifactBackendCurves(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_core.json")
+	if err != nil {
+		t.Fatalf("missing benchmark artifact: %v", err)
+	}
+	var art struct {
+		GoVersion  string `json:"go_version"`
+		GOOS       string `json:"goos"`
+		GOARCH     string `json:"goarch"`
+		NumCPU     int    `json:"num_cpu"`
+		GOMAXPROCS int    `json:"gomaxprocs"`
+		LazyVsER   float64 `json:"lazysmp_vs_er_at_max_p"`
+		Points     []struct {
+			Backend string `json:"backend"`
+			Workers int    `json:"workers"`
+			Value   int    `json:"value"`
+			Nodes   int64  `json:"nodes"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(raw, &art); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+
+	if art.GoVersion == "" || art.GOOS == "" || art.GOARCH == "" {
+		t.Fatalf("artifact missing toolchain metadata: %+v", art)
+	}
+	if art.NumCPU < 1 || art.GOMAXPROCS < 1 {
+		t.Fatalf("artifact missing host metadata: num_cpu=%d gomaxprocs=%d", art.NumCPU, art.GOMAXPROCS)
+	}
+	if art.LazyVsER <= 0 {
+		t.Fatalf("artifact missing lazysmp_vs_er_at_max_p ratio: %v", art.LazyVsER)
+	}
+
+	perBackend := map[string]int{}
+	for _, p := range art.Points {
+		perBackend[p.Backend]++
+		if p.Nodes <= 0 {
+			t.Fatalf("point with no node count: %+v", p)
+		}
+	}
+	for _, be := range []string{"er", "serial", "lazysmp"} {
+		if perBackend[be] == 0 {
+			t.Fatalf("artifact has no %q curve (points per backend: %v)", be, perBackend)
+		}
+	}
+}

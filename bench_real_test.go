@@ -24,11 +24,13 @@ import (
 	"ertree/internal/telemetry"
 )
 
-// realSpeedupPoint is one (workload, worker-count, heap-mode) measurement.
+// realSpeedupPoint is one (workload, backend, worker-count, heap-mode)
+// measurement.
 type realSpeedupPoint struct {
 	Workload  string  `json:"workload"`
+	Backend   string  `json:"backend"` // search backend: er, serial, lazysmp
 	Workers   int     `json:"workers"`
-	Sharded   bool    `json:"sharded"` // per-worker work-stealing heap vs. global heap
+	Sharded   bool    `json:"sharded"` // er only: work-stealing heap vs. global heap
 	ElapsedNS int64   `json:"elapsed_ns"`
 	Speedup   float64 `json:"speedup"` // T(1, global) / T(P) for the same workload
 	Value     int     `json:"value"`
@@ -66,15 +68,68 @@ type realSpeedupArtifact struct {
 	GoVersion string `json:"go_version"`
 	GOOS      string `json:"goos"`
 	GOARCH    string `json:"goarch"`
-	NumCPU    int    `json:"num_cpu"`
-	TableBits int    `json:"table_bits"`
+	// NumCPU and GOMAXPROCS pin down the host the curves were measured on: a
+	// single-CPU run (like the seed data) has flat curves by construction,
+	// and a GOMAXPROCS cap below NumCPU caps the usable parallelism.
+	NumCPU     int `json:"num_cpu"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	TableBits  int `json:"table_bits"`
 	// ShardedVsGlobal is the throughput ratio T(global)/T(sharded) at the
 	// highest measured worker count, averaged over workloads: >1 means the
 	// sharded heap wins where contention is worst.
-	ShardedVsGlobal float64              `json:"sharded_vs_global_at_max_p"`
-	Points          []realSpeedupPoint   `json:"points"`
-	TaskLatency     []taskLatencySummary `json:"task_latency"`
-	SpecWaste       []specWasteSummary   `json:"spec_waste"`
+	ShardedVsGlobal float64 `json:"sharded_vs_global_at_max_p"`
+	// LazySMPVsER is the throughput ratio T(er, global)/T(lazysmp) at the
+	// highest measured worker count, averaged over workloads: >1 means the
+	// shared-hash-table scheduler beats the paper's ER scheduler on this
+	// host — the comparison the 1990 paper couldn't run.
+	LazySMPVsER float64              `json:"lazysmp_vs_er_at_max_p"`
+	Points      []realSpeedupPoint   `json:"points"`
+	TaskLatency []taskLatencySummary `json:"task_latency"`
+	SpecWaste   []specWasteSummary   `json:"spec_waste"`
+}
+
+// backendSweepPoint selects one (backend, worker-count) measurement of the
+// head-to-head sweep.
+type backendSweepPoint struct {
+	backend string
+	workers int
+}
+
+// backendSweepPoints lists the non-er measurements for one workload: the
+// serial scout is one processor by definition; lazysmp walks the same worker
+// ladder as er.
+func backendSweepPoints() []backendSweepPoint {
+	out := []backendSweepPoint{{backend: "serial", workers: 1}}
+	for _, p := range realSpeedupWorkers() {
+		out = append(out, backendSweepPoint{backend: "lazysmp", workers: p})
+	}
+	return out
+}
+
+// benchBackendSearch measures one backend point: best-of-reps wall clock of
+// a full-window fixed-depth search on a fresh shared table (each measurement
+// is a cold search, matching the er points).
+func benchBackendSearch(b *testing.B, name string, workers int, w experiments.Workload, tableBits, reps int) (ertree.BackendResult, time.Duration) {
+	var best ertree.BackendResult
+	var bestElapsed time.Duration
+	for r := 0; r < reps; r++ {
+		cfg := ertree.Config{
+			Workers:     workers,
+			SerialDepth: w.SerialDepth,
+			Order:       w.Order,
+			Table:       ertree.NewSharedTranspositionTable(tableBits, 0),
+		}
+		t0 := time.Now()
+		res, err := ertree.SearchWith(name, w.Root, w.Depth, cfg)
+		elapsed := time.Since(t0)
+		if err != nil {
+			b.Fatalf("%s backend %s P=%d: %v", w.Name, name, workers, err)
+		}
+		if r == 0 || elapsed < bestElapsed {
+			best, bestElapsed = res, elapsed
+		}
+	}
+	return best, bestElapsed
 }
 
 // realSpeedupWorkers returns the measured processor counts: the paper's
@@ -117,6 +172,8 @@ func BenchmarkRealSpeedup(b *testing.B) {
 	const reps = 3
 	var ratioSum float64
 	var ratioN int
+	var lazyRatioSum float64
+	var lazyRatioN int
 	// Per-worker-count waste attribution, rebuilt per iteration from each
 	// search's flight log (the hooks are armed for spans anyway).
 	type wasteAccum struct {
@@ -127,6 +184,7 @@ func BenchmarkRealSpeedup(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		points = points[:0]
 		ratioSum, ratioN = 0, 0
+		lazyRatioSum, lazyRatioN = 0, 0
 		waste = map[int]*wasteAccum{}
 		for _, w := range workloads {
 			base := int64(0)
@@ -197,6 +255,7 @@ func BenchmarkRealSpeedup(b *testing.B) {
 					}
 					pt := realSpeedupPoint{
 						Workload:  w.Name,
+						Backend:   "er",
 						Workers:   p,
 						Sharded:   sharded,
 						ElapsedNS: res.Elapsed.Nanoseconds(),
@@ -221,6 +280,42 @@ func BenchmarkRealSpeedup(b *testing.B) {
 					lastSpeedup = pt.Speedup
 				}
 			}
+			// Backend head-to-head on the same workload, same fresh-table
+			// policy, same repetition discipline: the serial scout at P=1 and
+			// Lazy-SMP across the ladder, with every point's Speedup on the
+			// common T(1, er-global) denominator so the three curves read
+			// side by side. The er curve is the non-sharded points above.
+			erValue := points[len(points)-1].Value
+			for _, bw := range backendSweepPoints() {
+				res, elapsed := benchBackendSearch(b, bw.backend, bw.workers, w, tableBits, reps)
+				if int(res.Value) != erValue {
+					b.Fatalf("%s backend %s P=%d: value %d, er found %d",
+						w.Name, bw.backend, bw.workers, res.Value, erValue)
+				}
+				pt := realSpeedupPoint{
+					Workload:  w.Name,
+					Backend:   bw.backend,
+					Workers:   bw.workers,
+					ElapsedNS: elapsed.Nanoseconds(),
+					Value:     int(res.Value),
+					Nodes:     res.Totals.Nodes,
+					TTProbes:  res.Totals.TTProbes,
+					TTHits:    res.Totals.TTHits,
+					TTStores:  res.Totals.TTStores,
+					TTCutoffs: res.Totals.TTCutoffs,
+				}
+				if elapsed > 0 {
+					pt.Speedup = float64(base) / float64(elapsed.Nanoseconds())
+				}
+				if res.Totals.TTProbes > 0 {
+					pt.TTHitRate = float64(res.Totals.TTHits) / float64(res.Totals.TTProbes)
+				}
+				if bw.backend == "lazysmp" && bw.workers == maxP && elapsed > 0 {
+					lazyRatioSum += float64(globalAtMaxP) / float64(elapsed.Nanoseconds())
+					lazyRatioN++
+				}
+				points = append(points, pt)
+			}
 		}
 	}
 	b.ReportMetric(lastSpeedup, "speedup@maxP")
@@ -229,14 +324,21 @@ func BenchmarkRealSpeedup(b *testing.B) {
 		shardedVsGlobal = ratioSum / float64(ratioN)
 	}
 	b.ReportMetric(shardedVsGlobal, "sharded/global@maxP")
+	lazyVsER := 0.0
+	if lazyRatioN > 0 {
+		lazyVsER = lazyRatioSum / float64(lazyRatioN)
+	}
+	b.ReportMetric(lazyVsER, "lazysmp/er@maxP")
 
 	art := realSpeedupArtifact{
 		GoVersion:       runtime.Version(),
 		GOOS:            runtime.GOOS,
 		GOARCH:          runtime.GOARCH,
 		NumCPU:          runtime.NumCPU(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
 		TableBits:       tableBits,
 		ShardedVsGlobal: shardedVsGlobal,
+		LazySMPVsER:     lazyVsER,
 		Points:          points,
 	}
 	for _, p := range realSpeedupWorkers() {

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestBackendPerRequest drives one position through each backend via the
+// ?backend= parameter and checks the responses agree and are attributed to
+// the backend that served them, in both the response body and /stats.
+func TestBackendPerRequest(t *testing.T) {
+	ts := testServer(t, serverConfig{Workers: 2, SerialDepth: 2, TableBits: 16, MaxConcurrent: 2})
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	values := map[string]int{}
+	for _, be := range []string{"er", "serial", "lazysmp"} {
+		var an analysisJSON
+		getJSON(t, client,
+			ts.URL+"/bestmove?game=connect4&moves=3,3&depth=6&budget_ms=25000&backend="+be,
+			http.StatusOK, &an)
+		if an.Backend != be {
+			t.Fatalf("response attributes backend %q, requested %q", an.Backend, be)
+		}
+		if !an.Completed {
+			t.Fatalf("backend %s did not complete: %+v", be, an)
+		}
+		values[be] = an.Value
+	}
+	for be, v := range values {
+		if v != values["er"] {
+			t.Fatalf("backend %s found value %d, er found %d", be, v, values["er"])
+		}
+	}
+
+	// No backend parameter: the server default (er) serves and is named.
+	var an analysisJSON
+	getJSON(t, client, ts.URL+"/bestmove?game=ttt&depth=4&budget_ms=25000", http.StatusOK, &an)
+	if an.Backend != "er" {
+		t.Fatalf("default backend %q, want er", an.Backend)
+	}
+
+	// /stats attributes the mixed traffic per backend.
+	var st statsJSON
+	getJSON(t, client, ts.URL+"/stats", http.StatusOK, &st)
+	c4 := st.Games["connect4"]
+	if c4.BackendSessions["er"] != 1 || c4.BackendSessions["serial"] != 1 || c4.BackendSessions["lazysmp"] != 1 {
+		t.Fatalf("connect4 backend attribution wrong: %+v", c4.BackendSessions)
+	}
+	if c4.Backend != "er" {
+		t.Fatalf("engine default backend %q in stats, want er", c4.Backend)
+	}
+}
+
+// TestBackendValidation: an unknown ?backend= is a 400 naming the valid
+// options — never a silent fallback to the default.
+func TestBackendValidation(t *testing.T) {
+	ts := testServer(t, serverConfig{Workers: 1, MaxConcurrent: 1})
+	resp, err := http.Get(ts.URL + "/bestmove?game=ttt&depth=3&backend=alphago")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	var e httpError
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"alphago", "er", "serial", "lazysmp"} {
+		if !strings.Contains(e.Error, want) {
+			t.Fatalf("400 body %q does not mention %q", e.Error, want)
+		}
+	}
+}
+
+// TestBackendMetricsLabel: mixed-backend traffic shows up in /metrics under
+// engine_backend_sessions_total with the backend label.
+func TestBackendMetricsLabel(t *testing.T) {
+	ts := testServer(t, serverConfig{Workers: 1, TableBits: 12, MaxConcurrent: 1})
+	client := &http.Client{Timeout: 30 * time.Second}
+	var an analysisJSON
+	getJSON(t, client, ts.URL+"/bestmove?game=ttt&depth=4&budget_ms=25000&backend=lazysmp", http.StatusOK, &an)
+	resp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := string(raw); !strings.Contains(body, `engine_backend_sessions_total{game="ttt",backend="lazysmp"} 1`) {
+		t.Fatalf("metrics missing backend-labeled session counter:\n%s", body)
+	}
+}

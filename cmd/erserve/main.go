@@ -5,6 +5,7 @@
 // Endpoints:
 //
 //	GET /bestmove?game=connect4&moves=3,3&depth=8&budget_ms=500
+//	GET /bestmove?game=connect4&depth=8&backend=lazysmp (per-request backend)
 //	GET /analyze?game=othello&depth=6        (adds per-iteration history)
 //	GET /analyze?game=othello&depth=6&trace=1  (Perfetto-loadable worker trace)
 //	GET /analyze?game=othello&depth=6&stream=1 (SSE per-iteration progress)
@@ -28,12 +29,16 @@ import (
 	"os"
 	"runtime"
 	"time"
+
+	"ertree/internal/backend"
+	"ertree/internal/engine"
 )
 
 func main() {
 	var (
 		addr          = flag.String("addr", ":8080", "listen address")
 		workers       = flag.Int("workers", 4, "parallel-ER workers per search")
+		backendName   = flag.String("backend", engine.DefaultBackend, "default search backend: "+backend.NamesString())
 		serialDepth   = flag.Int("serial-depth", 3, "depth at or below which subtrees are searched serially")
 		sharded       = flag.Bool("sharded", false, "use the per-worker work-stealing problem heap")
 		tableBits     = flag.Int("table-bits", 20, "per-game transposition table size (2^bits slots, 0 disables)")
@@ -45,8 +50,14 @@ func main() {
 	)
 	flag.Parse()
 
+	if !backend.Valid(*backendName) {
+		fmt.Fprintf(os.Stderr, "erserve: unknown backend %q (valid: %s)\n",
+			*backendName, backend.NamesString())
+		os.Exit(2)
+	}
 	s := newServer(serverConfig{
 		Workers:       *workers,
+		Backend:       *backendName,
 		SerialDepth:   *serialDepth,
 		Sharded:       *sharded,
 		TableBits:     *tableBits,
@@ -71,8 +82,8 @@ func main() {
 		mux.Handle("/", h)
 		h = mux
 	}
-	fmt.Printf("erserve: listening on %s (%d workers/search, %d concurrent sessions)\n",
-		*addr, *workers, *maxConcurrent)
+	fmt.Printf("erserve: listening on %s (%s backend, %d workers/search, %d concurrent sessions)\n",
+		*addr, *backendName, *workers, *maxConcurrent)
 	if err := http.ListenAndServe(*addr, h); err != nil {
 		fmt.Fprintln(os.Stderr, "erserve:", err)
 		os.Exit(1)

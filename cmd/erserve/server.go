@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"ertree/internal/backend"
 	"ertree/internal/checkers"
 	"ertree/internal/connect4"
 	"ertree/internal/engine"
@@ -42,6 +43,7 @@ var games = map[string]gameSpec{
 // serverConfig configures a server; flag parsing in main fills it.
 type serverConfig struct {
 	Workers       int           // parallel-ER workers per search
+	Backend       string        // default search backend; empty means the engine default
 	SerialDepth   int           // serial work grain
 	Sharded       bool          // per-worker work-stealing problem heap
 	TableBits     int           // per-game shared transposition table size
@@ -96,6 +98,7 @@ func newServer(cfg serverConfig) *server {
 	for name, spec := range games {
 		s.engines[name] = engine.New(engine.Config{
 			Name:         name,
+			Backend:      cfg.Backend,
 			Workers:      cfg.Workers,
 			SerialDepth:  cfg.SerialDepth,
 			Sharded:      cfg.Sharded,
@@ -189,6 +192,7 @@ func wireIteration(it engine.Iteration) iterationJSON {
 // analysisJSON is the /bestmove and /analyze response body.
 type analysisJSON struct {
 	Game           string          `json:"game"`
+	Backend        string          `json:"backend"`
 	RequestedDepth int             `json:"requested_depth"`
 	Depth          int             `json:"depth"`
 	Move           int             `json:"move"`
@@ -274,6 +278,14 @@ func (s *server) handleAnalyze(includeIterations bool) http.HandlerFunc {
 			}
 			budget = time.Duration(ms) * time.Millisecond
 		}
+		// backend= swaps the search backend for this request only. Unknown
+		// names are a client error naming the valid set — never a silent
+		// fallback to the default.
+		beName := firstValue(q, "backend")
+		if beName != "" && !backend.Valid(beName) {
+			s.fail(w, http.StatusBadRequest, "unknown backend %q (valid: %s)", beName, backend.NamesString())
+			return
+		}
 		trace := includeIterations && firstValue(q, "trace") == "1"
 		stream := includeIterations && firstValue(q, "stream") == "1"
 		recordFlight := includeIterations && firstValue(q, "flight") == "1"
@@ -289,7 +301,7 @@ func (s *server) handleAnalyze(includeIterations bool) http.HandlerFunc {
 		// handler ran; threading it into the session labels its analysis,
 		// trace, and flight report with the same correlation key as the
 		// access-log line.
-		opts := engine.SessionOptions{Trace: trace, Label: w.Header().Get("X-Request-ID")}
+		opts := engine.SessionOptions{Trace: trace, Label: w.Header().Get("X-Request-ID"), Backend: beName}
 		switch {
 		case recordFlight:
 			opts.Record = 1 << 16
@@ -343,6 +355,7 @@ func (s *server) handleAnalyze(includeIterations bool) http.HandlerFunc {
 
 		out := analysisJSON{
 			Game:           name,
+			Backend:        an.Backend,
 			RequestedDepth: depth,
 			Depth:          an.Depth,
 			Move:           an.Move,

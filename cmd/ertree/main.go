@@ -13,6 +13,11 @@
 // deepening), er (serial ER), er-par (parallel ER on the deterministic
 // simulator), er-real (parallel ER on goroutines), aspiration, mwf,
 // rootsplit, treesplit, pvsplit, pvsplit-mw.
+//
+// -backend runs the search through the engine's backend seam instead of
+// -algo, comparing schedulers on identical terms:
+//
+//	ertree -game connect4 -depth 9 -backend lazysmp -workers 4 -table-bits 20
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"ertree"
 	"ertree/internal/metrics"
@@ -35,6 +41,7 @@ func main() {
 		treeDepth   = flag.Int("tree-depth", 8, "random/strong tree height")
 		depth       = flag.Int("depth", 6, "search depth (plies)")
 		algo        = flag.String("algo", "er-par", "algorithm")
+		backendName = flag.String("backend", "", "search via a named backend instead of -algo: "+joinBackends())
 		workers     = flag.Int("workers", 4, "processors for parallel algorithms")
 		serialDepth = flag.Int("serial-depth", 3, "depth at or below which subtrees are searched serially")
 		sortPly     = flag.Int("sort-ply", 5, "statically sort children above this ply (0 disables)")
@@ -73,6 +80,31 @@ func main() {
 	var stats ertree.Stats
 	cfg := ertree.Config{Workers: *workers, SerialDepth: *serialDepth, Order: order, Stats: &stats}
 	cost := ertree.DefaultCostModel()
+
+	if *backendName != "" {
+		if !ertree.ValidBackend(*backendName) {
+			fmt.Fprintf(os.Stderr, "ertree: unknown backend %q (valid: %s)\n", *backendName, joinBackends())
+			os.Exit(2)
+		}
+		if *tableBits > 0 {
+			cfg.Table = ertree.NewSharedTranspositionTable(*tableBits, 0)
+		}
+		res, err := ertree.SearchWith(*backendName, pos, *depth, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ertree:", err)
+			os.Exit(1)
+		}
+		report(res.Value, nil)
+		fmt.Printf("backend %s: best move %d (natural order), %d nodes on %d workers\n",
+			*backendName, res.Move, res.Totals.Nodes, res.Workers)
+		if res.Totals.TTProbes > 0 {
+			fmt.Printf("table: %d probes, %d hits (%.1f%%), %d stores, %d searches answered without searching\n",
+				res.Totals.TTProbes, res.Totals.TTHits,
+				100*float64(res.Totals.TTHits)/float64(res.Totals.TTProbes),
+				res.Totals.TTStores, res.Totals.TTCutoffs)
+		}
+		return
+	}
 
 	switch *algo {
 	case "negmax":
@@ -253,6 +285,9 @@ func buildPosition(gameName, rootName string, seed uint64, degree, treeDepth int
 		return nil, false, fmt.Errorf("unknown game %q", gameName)
 	}
 }
+
+// joinBackends lists the registered backend names for flag help and errors.
+func joinBackends() string { return strings.Join(ertree.Backends(), ", ") }
 
 // heightFor returns the binary processor-tree height closest to the
 // requested worker count from below.

@@ -9,11 +9,19 @@ package engine
 import (
 	"context"
 	"errors"
+	"fmt"
+	"os"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"ertree/internal/backend"
 	"ertree/internal/game"
 	"ertree/internal/tt"
+
+	// Register the lazysmp backend alongside the in-package er and serial
+	// ones, so every engine user can select any of the three by name.
+	_ "ertree/internal/lazysmp"
 )
 
 // Sentinel errors returned by Analyze.
@@ -26,13 +34,34 @@ var (
 	// ErrNoResult reports that the deadline expired before even the
 	// depth-1 iteration completed, so there is no move to return.
 	ErrNoResult = errors.New("engine: deadline expired before the first iteration completed")
+	// ErrUnknownBackend reports a SessionOptions.Backend that names no
+	// registered search backend; the wrapped message lists the valid set.
+	ErrUnknownBackend = errors.New("engine: unknown search backend")
 )
+
+// EnvBackend is the environment variable consulted when Config.Backend is
+// empty, so a test matrix (CI's backend leg) can force every engine in the
+// process onto one backend without threading a flag through each test.
+const EnvBackend = "ERTREE_BACKEND"
+
+// DefaultBackend is the search backend engines use when neither
+// Config.Backend nor EnvBackend selects one: the paper's parallel ER
+// scheduler, the behavior engines had before backends were selectable.
+const DefaultBackend = "er"
 
 // Config configures an Engine.
 type Config struct {
 	// Name labels this engine's samples in the shared Telemetry — the game
 	// key of a multi-game server (e.g. "othello"). Empty means "default".
 	Name string
+	// Backend selects the search backend sessions run on by default:
+	// "er" (parallel ER, the paper's scheduler), "serial" (single-threaded
+	// scout/PVS), or "lazysmp" (shared-table deepening workers). Empty
+	// consults the ERTREE_BACKEND environment variable, then falls back to
+	// DefaultBackend. Unknown names panic in New — validate user input with
+	// backend.Valid first. Per-session overrides go through
+	// SessionOptions.Backend.
+	Backend string
 	// Workers is the parallel-ER worker count used by each search.
 	// Defaults to 1.
 	Workers int
@@ -103,6 +132,15 @@ type Engine struct {
 	cfg   Config
 	table *tt.Shared
 	sem   chan struct{}
+	// backends holds one instance of every registered backend, built against
+	// this engine's table and scheduler knobs at New, so per-session backend
+	// switches (?backend=) are map lookups, not constructions.
+	backends map[string]backend.Backend
+
+	// backendSessions counts admitted sessions per backend name (the Stats
+	// attribution of mixed-backend traffic).
+	bmu             sync.Mutex
+	backendSessions map[string]int64
 
 	waiting     atomic.Int64
 	started     atomic.Int64
@@ -154,7 +192,10 @@ func (e *Engine) addCore(c *coreTotals) {
 }
 
 // New creates an engine. The zero Config is usable: one worker, one
-// concurrent session, no transposition table, full-window iterations.
+// concurrent session, no transposition table, full-window iterations, the
+// default (er) backend. An unknown Config.Backend panics — it is a wiring
+// bug, not user input; servers validate request parameters with
+// backend.Valid before they get here.
 func New(cfg Config) *Engine {
 	if cfg.Workers < 1 {
 		cfg.Workers = 1
@@ -162,14 +203,70 @@ func New(cfg Config) *Engine {
 	if cfg.MaxConcurrent < 1 {
 		cfg.MaxConcurrent = 1
 	}
-	e := &Engine{cfg: cfg, sem: cfg.Pool}
+	if cfg.Backend == "" {
+		cfg.Backend = os.Getenv(EnvBackend)
+	}
+	if cfg.Backend == "" {
+		cfg.Backend = DefaultBackend
+	}
+	if !backend.Valid(cfg.Backend) {
+		panic(fmt.Sprintf("engine: unknown backend %q (registered: %s)",
+			cfg.Backend, backend.NamesString()))
+	}
+	e := &Engine{cfg: cfg, sem: cfg.Pool, backendSessions: make(map[string]int64)}
 	if e.sem == nil {
 		e.sem = make(chan struct{}, cfg.MaxConcurrent)
 	}
 	if cfg.TableBits > 0 {
 		e.table = tt.NewShared(cfg.TableBits, cfg.TableShards)
 	}
+	bcfg := backend.Config{
+		Workers:     cfg.Workers,
+		SerialDepth: cfg.SerialDepth,
+		Order:       cfg.Order,
+		Table:       e.table,
+		DeeperHits:  cfg.DeeperHits,
+		// The engine has always run ER with the full speculation protocol on.
+		ParallelRefutation: true,
+		MultipleENodes:     true,
+		EarlyChoice:        true,
+		Sharded:            cfg.Sharded,
+		ProfileLabels:      cfg.ProfileLabels,
+	}
+	e.backends = make(map[string]backend.Backend)
+	for _, name := range backend.Names() {
+		be, err := backend.New(name, bcfg)
+		if err != nil {
+			panic(err) // unreachable: the name came from the registry
+		}
+		e.backends[name] = be
+	}
 	return e
+}
+
+// Backend returns the engine's default backend name.
+func (e *Engine) Backend() string { return e.cfg.Backend }
+
+// backendFor resolves a per-session backend override ("" means the engine
+// default) to the prebuilt instance.
+func (e *Engine) backendFor(name string) (backend.Backend, error) {
+	if name == "" {
+		name = e.cfg.Backend
+	}
+	be, ok := e.backends[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (registered: %s)",
+			ErrUnknownBackend, name, backend.NamesString())
+	}
+	return be, nil
+}
+
+// countBackendSession attributes one admitted session to the backend serving
+// it.
+func (e *Engine) countBackendSession(name string) {
+	e.bmu.Lock()
+	e.backendSessions[name]++
+	e.bmu.Unlock()
 }
 
 // acquire claims a session slot, waiting up to QueueTimeout when the pool is
@@ -214,6 +311,12 @@ type Stats struct {
 	Failed      int64 // sessions that errored
 	Nodes       int64 // total tree nodes generated across all sessions
 	Researches  int64 // aspiration-window re-searches across all sessions
+
+	// Backend is the engine's default search backend; BackendSessions counts
+	// admitted sessions per backend actually used (per-request overrides make
+	// mixed-backend traffic, and this is how it stays attributable).
+	Backend         string
+	BackendSessions map[string]int64
 
 	// Core-search aggregates across all sessions.
 	SerialTasks int64 // serial-ER subtree work units
@@ -265,7 +368,16 @@ func (e *Engine) Stats() Stats {
 		TTHits:      e.ttHits.Load(),
 		TTStores:    e.ttStores.Load(),
 		TTCutoffs:   e.ttCutoffs.Load(),
+		Backend:     e.cfg.Backend,
 	}
+	e.bmu.Lock()
+	if len(e.backendSessions) > 0 {
+		s.BackendSessions = make(map[string]int64, len(e.backendSessions))
+		for k, v := range e.backendSessions {
+			s.BackendSessions[k] = v
+		}
+	}
+	e.bmu.Unlock()
 	if e.table != nil {
 		s.HasTable = true
 		s.Table = e.table.Stats()
@@ -280,13 +392,3 @@ func (e *Engine) Stats() Stats {
 // tests use it to assert cross-session reuse.
 func (e *Engine) Table() *tt.Shared { return e.table }
 
-// coreTable returns the shared table as the prober handed to core.Search, or
-// a nil interface when the engine runs without a table. The explicit nil
-// check matters: wrapping a nil *tt.Shared in a tt.Prober would yield a
-// non-nil interface and core would probe through a nil table.
-func (e *Engine) coreTable() tt.Prober {
-	if e.table == nil {
-		return nil
-	}
-	return e.table
-}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ertree/internal/backend"
 	"ertree/internal/core"
 	"ertree/internal/game"
 	"ertree/internal/tt"
@@ -33,7 +34,9 @@ type Iteration struct {
 type Analysis struct {
 	// Label echoes SessionOptions.Label (e.g. the request id a server
 	// session belongs to), so logs, traces, and flight reports correlate.
-	Label      string
+	Label string
+	// Backend names the search backend that served the session.
+	Backend    string
 	Move       int        // best child index (natural move order)
 	Value      game.Value // value of the deepest completed iteration
 	Depth      int        // deepest completed iteration
@@ -51,9 +54,9 @@ type Analysis struct {
 
 // Analyze runs one analysis session: iterative deepening from depth 1 to
 // maxDepth, each iteration steered by an aspiration window around the
-// previous value and searched move-by-move at the root with parallel ER
-// under fail-soft bounds, probing and feeding the engine's shared
-// transposition table.
+// previous value and searched under fail-soft bounds by the engine's
+// configured search backend (parallel ER by default), probing and feeding
+// the engine's shared transposition table.
 //
 // The session honors ctx cooperatively: when the deadline expires
 // mid-iteration the in-flight searches abort, the partial iteration is
@@ -93,6 +96,11 @@ type SessionOptions struct {
 	// stream these as progress events; a slow callback delays the next
 	// iteration, not the search inside the current one.
 	OnIteration func(Iteration)
+	// Backend overrides the engine's configured search backend for this
+	// session ("er", "serial", "lazysmp"); empty uses the engine default. An
+	// unregistered name fails the session with ErrUnknownBackend before
+	// admission.
+	Backend string
 }
 
 // AnalyzeSession is Analyze with per-session observability options.
@@ -104,16 +112,26 @@ func (e *Engine) AnalyzeSession(ctx context.Context, pos game.Position, maxDepth
 	if len(kids) == 0 {
 		return nil, ErrNoMoves
 	}
+	be, err := e.backendFor(opts.Backend)
+	if err != nil {
+		// Bad input, not capacity: fail before admission so the rejection
+		// counters keep meaning "the engine was busy".
+		return nil, err
+	}
 	if err := e.acquire(ctx); err != nil {
 		e.cfg.Telemetry.recordRejection(e.name())
 		return nil, err
 	}
 	defer e.release()
 	e.started.Add(1)
+	e.countBackendSession(be.Name())
+	e.cfg.Telemetry.recordBackendSession(e.name(), be.Name())
 
 	start := time.Now()
 	s := &session{
 		e:      e,
+		be:     be,
+		pos:    pos,
 		cancel: ctx.Done(),
 		kids:   kids,
 		order:  make([]int, len(kids)),
@@ -139,7 +157,7 @@ func (e *Engine) AnalyzeSession(ctx context.Context, pos game.Position, maxDepth
 	}
 	s.primeScores()
 
-	an := &Analysis{Label: opts.Label, Move: -1}
+	an := &Analysis{Label: opts.Label, Backend: be.Name(), Move: -1}
 	researches := 0
 	for depth := 1; depth <= maxDepth; depth++ {
 		if ctx.Err() != nil {
@@ -207,13 +225,15 @@ func (s *session) finish(outcome string, elapsed time.Duration, depth, researche
 // session is the per-request state of one deepening run.
 type session struct {
 	e      *Engine
+	be     backend.Backend // the search backend serving this session
+	pos    game.Position   // the analyzed position
 	cancel <-chan struct{}
 	kids   []game.Position // root children, natural order
 	order  []int           // search order (indices into kids)
 	scores []game.Value    // latest root-view score per child (bounds for non-best)
 	prev   game.Value      // previous iteration's value (aspiration center)
 	nodes  int64
-	core   coreTotals      // core-search counters, flushed once at finish
+	core   coreTotals      // search work counters, flushed once at finish
 	hooks  *core.Hooks     // non-nil when the session is traced
 	trace  *traceCollector // collects worker telemetry for Analysis.Trace
 
@@ -275,123 +295,31 @@ func (s *session) iterate(depth int) (Iteration, error) {
 	}
 }
 
-// searchRoot scores the root children in the session's current order with
-// fail-soft alpha raising: after the first child every search runs under a
-// lower bound of the best score so far, so refuted moves cut quickly while
-// the best move's score stays exact within the window.
+// searchRoot runs one fixed-depth search of the session's position through
+// the backend: the session passes its current move ordering in and folds the
+// backend's fail-soft per-child scores back into its own (the backend marks
+// children it never reached with game.NoValue, which must not clobber a
+// real score from an earlier iteration).
 func (s *session) searchRoot(depth int, w game.Window) (bestIdx int, best game.Value, err error) {
-	best, bestIdx = -game.Inf, -1
-	for _, idx := range s.order {
-		a := w.Alpha
-		if best > a {
-			a = best
-		}
-		if a >= w.Beta {
-			break // the window is closed: the iteration fails high
-		}
-		cw := game.Window{Alpha: -w.Beta, Beta: -a}
-		v, err := s.searchChild(s.kids[idx], depth-1, cw)
-		if err != nil {
-			return -1, 0, err
-		}
-		nv := -v
-		s.scores[idx] = nv
-		if nv > best || bestIdx < 0 {
-			best, bestIdx = nv, idx
-		}
-	}
-	return bestIdx, best, nil
-}
-
-// searchChild evaluates one root child to the given depth under a fail-soft
-// window: through the shared transposition table when it can answer, by
-// parallel ER otherwise, storing the resulting bound for the table's other
-// readers (the re-searches of this session, its later iterations, and every
-// concurrent session of the engine).
-func (s *session) searchChild(child game.Position, depth int, w game.Window) (game.Value, error) {
-	if depth == 0 {
-		s.nodes++
-		return child.Value(), nil
-	}
-	var key uint64
-	hashable := false
-	if s.e.table != nil {
-		if h, ok := child.(tt.Hashable); ok {
-			hashable = true
-			key = h.Hash()
-			probe := s.e.table.ProbeDeep
-			if !s.e.cfg.DeeperHits {
-				// Exact mode keeps one entry per (position, depth): salt the
-				// key with the depth so iterative deepening's per-depth
-				// results coexist instead of each iteration evicting the
-				// previous one. Deeper-hits mode wants one entry per
-				// position — the deepest — so it keys by position alone.
-				key ^= uint64(depth) * 0x9E3779B97F4A7C15
-				probe = s.e.table.Probe
-			}
-			s.core.ttProbes++
-			if en, ok := probe(key, depth); ok {
-				s.core.ttHits++
-				switch en.Bound {
-				case tt.Exact:
-					s.core.ttCutoffs++
-					return en.Value, nil
-				case tt.Lower:
-					if en.Value >= w.Beta {
-						s.core.ttCutoffs++
-						return en.Value, nil
-					}
-					if en.Value > w.Alpha {
-						w.Alpha = en.Value
-					}
-				case tt.Upper:
-					if en.Value <= w.Alpha {
-						s.core.ttCutoffs++
-						return en.Value, nil
-					}
-					if en.Value < w.Beta {
-						w.Beta = en.Value
-					}
-				}
-			}
-		}
-	}
-	cfg := s.e.cfg
-	res, err := core.Search(child, depth, core.Options{
-		Workers:            cfg.Workers,
-		SerialDepth:        cfg.SerialDepth,
-		Order:              cfg.Order,
-		ParallelRefutation: true,
-		MultipleENodes:     true,
-		EarlyChoice:        true,
-		Sharded:            cfg.Sharded,
-		ProfileLabels:      cfg.ProfileLabels,
-		RootWindow:         &w,
-		Table:              s.e.coreTable(),
-		Cancel:             s.cancel,
-		Hooks:              s.hooks,
+	resp, err := s.be.Search(backend.Request{
+		Pos:       s.pos,
+		Depth:     depth,
+		Window:    w,
+		RootOrder: s.order,
+		Cancel:    s.cancel,
+		Hooks:     s.hooks,
 	})
-	s.nodes += res.Stats.Generated
-	s.core.addResult(res)
+	s.nodes += resp.Totals.Nodes
+	s.core.addTotals(resp.Totals)
 	if err != nil {
-		return 0, err
+		return -1, 0, err
 	}
-	if hashable {
-		s.core.ttStores++
-		store := s.e.table.Store
-		if s.e.cfg.DeeperHits {
-			store = s.e.table.StoreDeep
-		}
-		switch {
-		case res.Value <= w.Alpha:
-			store(key, depth, res.Value, tt.Upper)
-		case res.Value >= w.Beta:
-			store(key, depth, res.Value, tt.Lower)
-		default:
-			store(key, depth, res.Value, tt.Exact)
+	for i, v := range resp.Scores {
+		if v != game.NoValue {
+			s.scores[i] = v
 		}
 	}
-	return res.Value, nil
+	return resp.Move, resp.Value, nil
 }
 
 // primeScores seeds the root move ordering from the shared table before the

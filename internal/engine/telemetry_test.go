@@ -19,9 +19,12 @@ import (
 func TestTelemetryRecordsSessions(t *testing.T) {
 	reg := telemetry.NewRegistry()
 	tel := NewTelemetry(reg)
+	// Pinned to the er backend: the asserted families (serial tasks, heap
+	// ops) only exist on the ER scheduler, so this test must not float with
+	// ERTREE_BACKEND.
 	e := New(Config{
 		Name: "randtree", Workers: 2, SerialDepth: 2, TableBits: 12,
-		Telemetry: tel,
+		Backend: "er", Telemetry: tel,
 	})
 	tr := &randtree.Tree{Seed: 7, Degree: 4, Depth: 6, ValueRange: 1000}
 	if _, err := e.Analyze(context.Background(), tr.Root(), 5); err != nil {
@@ -72,7 +75,8 @@ func TestTelemetryNilIsSafe(t *testing.T) {
 // per-worker telemetry that WriteWorkerTrace renders as a valid Chrome
 // trace_event JSON array with one named track per worker.
 func TestAnalyzeTraceCollectsWorkerSpans(t *testing.T) {
-	e := New(Config{Name: "randtree", Workers: 3, SerialDepth: 2})
+	// Worker spans come from core hooks, which only the er backend arms.
+	e := New(Config{Name: "randtree", Workers: 3, SerialDepth: 2, Backend: "er"})
 	tr := &randtree.Tree{Seed: 17, Degree: 4, Depth: 6, ValueRange: 1000}
 	an, err := e.AnalyzeTrace(context.Background(), tr.Root(), 5)
 	if err != nil {
