@@ -8,23 +8,26 @@ import (
 
 // TestBenchArtifactBackendCurves guards the committed BENCH_core.json: the
 // head-to-head benchmark must have produced a curve for every registered
-// backend, and enough host metadata to interpret the numbers on different
-// hardware. CI's bench smoke regenerates the artifact first, so a sweep that
-// silently drops a backend fails here rather than in a human's spreadsheet.
+// backend and both shared-table implementations, plus enough host metadata to
+// interpret the numbers on different hardware. CI's bench smoke regenerates
+// the artifact first, so a sweep that silently drops a backend or a table
+// implementation fails here rather than in a human's spreadsheet.
 func TestBenchArtifactBackendCurves(t *testing.T) {
 	raw, err := os.ReadFile("BENCH_core.json")
 	if err != nil {
 		t.Fatalf("missing benchmark artifact: %v", err)
 	}
 	var art struct {
-		GoVersion  string `json:"go_version"`
-		GOOS       string `json:"goos"`
-		GOARCH     string `json:"goarch"`
-		NumCPU     int    `json:"num_cpu"`
-		GOMAXPROCS int    `json:"gomaxprocs"`
+		GoVersion  string  `json:"go_version"`
+		GOOS       string  `json:"goos"`
+		GOARCH     string  `json:"goarch"`
+		NumCPU     int     `json:"num_cpu"`
+		GOMAXPROCS int     `json:"gomaxprocs"`
 		LazyVsER   float64 `json:"lazysmp_vs_er_at_max_p"`
+		LFvsStripe float64 `json:"lockfree_vs_striped_at_max_p"`
 		Points     []struct {
 			Backend string `json:"backend"`
+			Table   string `json:"table"`
 			Workers int    `json:"workers"`
 			Value   int    `json:"value"`
 			Nodes   int64  `json:"nodes"`
@@ -43,17 +46,40 @@ func TestBenchArtifactBackendCurves(t *testing.T) {
 	if art.LazyVsER <= 0 {
 		t.Fatalf("artifact missing lazysmp_vs_er_at_max_p ratio: %v", art.LazyVsER)
 	}
+	if art.LFvsStripe <= 0 {
+		t.Fatalf("artifact missing lockfree_vs_striped_at_max_p ratio: %v", art.LFvsStripe)
+	}
+	if art.NumCPU == 1 {
+		t.Logf("warning: artifact was produced on a 1-CPU host; parallel speedups "+
+			"and the lockfree-vs-striped ratio (%.2f) measure scheduling overhead, "+
+			"not contention relief — regenerate on a multi-core machine before "+
+			"quoting them", art.LFvsStripe)
+	}
 
 	perBackend := map[string]int{}
+	erPerTable := map[string]int{}
 	for _, p := range art.Points {
 		perBackend[p.Backend]++
+		if p.Backend == "er" {
+			erPerTable[p.Table]++
+		}
 		if p.Nodes <= 0 {
 			t.Fatalf("point with no node count: %+v", p)
+		}
+		if p.Table == "" {
+			t.Fatalf("point missing table implementation: %+v", p)
 		}
 	}
 	for _, be := range []string{"er", "serial", "lazysmp"} {
 		if perBackend[be] == 0 {
 			t.Fatalf("artifact has no %q curve (points per backend: %v)", be, perBackend)
+		}
+	}
+	// The er sweep runs both table implementations head to head; losing
+	// either curve silently voids the lockfree-vs-striped ratio.
+	for _, impl := range []string{"lockfree", "striped"} {
+		if erPerTable[impl] == 0 {
+			t.Fatalf("artifact has no er curve for table=%q (er points per table: %v)", impl, erPerTable)
 		}
 	}
 }

@@ -29,6 +29,7 @@ import (
 type realSpeedupPoint struct {
 	Workload  string  `json:"workload"`
 	Backend   string  `json:"backend"` // search backend: er, serial, lazysmp
+	Table     string  `json:"table"`   // shared-table implementation: lockfree, striped
 	Workers   int     `json:"workers"`
 	Sharded   bool    `json:"sharded"` // er only: work-stealing heap vs. global heap
 	ElapsedNS int64   `json:"elapsed_ns"`
@@ -82,10 +83,15 @@ type realSpeedupArtifact struct {
 	// highest measured worker count, averaged over workloads: >1 means the
 	// shared-hash-table scheduler beats the paper's ER scheduler on this
 	// host — the comparison the 1990 paper couldn't run.
-	LazySMPVsER float64              `json:"lazysmp_vs_er_at_max_p"`
-	Points      []realSpeedupPoint   `json:"points"`
-	TaskLatency []taskLatencySummary `json:"task_latency"`
-	SpecWaste   []specWasteSummary   `json:"spec_waste"`
+	LazySMPVsER float64 `json:"lazysmp_vs_er_at_max_p"`
+	// LockfreeVsStriped is the throughput ratio T(striped)/T(lockfree) on the
+	// er global-heap points at the highest measured worker count, averaged
+	// over workloads: >1 means the lock-free table wins where probe/store
+	// contention is worst.
+	LockfreeVsStriped float64              `json:"lockfree_vs_striped_at_max_p"`
+	Points            []realSpeedupPoint   `json:"points"`
+	TaskLatency       []taskLatencySummary `json:"task_latency"`
+	SpecWaste         []specWasteSummary   `json:"spec_waste"`
 }
 
 // backendSweepPoint selects one (backend, worker-count) measurement of the
@@ -113,11 +119,17 @@ func benchBackendSearch(b *testing.B, name string, workers int, w experiments.Wo
 	var best ertree.BackendResult
 	var bestElapsed time.Duration
 	for r := 0; r < reps; r++ {
+		// Pinned to the lock-free (default) table so the backend curves stay
+		// on one table variable; the table comparison is the er sweep's job.
+		table, err := ertree.NewSearchTable(ertree.TableLockFree, tableBits, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
 		cfg := ertree.Config{
 			Workers:     workers,
 			SerialDepth: w.SerialDepth,
 			Order:       w.Order,
-			Table:       ertree.NewSharedTranspositionTable(tableBits, 0),
+			Table:       table,
 		}
 		t0 := time.Now()
 		res, err := ertree.SearchWith(name, w.Root, w.Depth, cfg)
@@ -174,6 +186,22 @@ func BenchmarkRealSpeedup(b *testing.B) {
 	var ratioN int
 	var lazyRatioSum float64
 	var lazyRatioN int
+	var lfRatioSum float64
+	var lfRatioN int
+	// erModes are the (heap, table) variants measured per worker count: the
+	// lock-free table on both heap modes (the serving default and its
+	// work-stealing variant) plus the striped-table baseline on the global
+	// heap — the pair behind the lockfree_vs_striped summary ratio. The
+	// global+lockfree mode must come first: it is the T(1) denominator and
+	// the max-P reference the other modes are divided by.
+	erModes := []struct {
+		sharded bool
+		table   string
+	}{
+		{sharded: false, table: ertree.TableLockFree},
+		{sharded: true, table: ertree.TableLockFree},
+		{sharded: false, table: ertree.TableStriped},
+	}
 	// Per-worker-count waste attribution, rebuilt per iteration from each
 	// search's flight log (the hooks are armed for spans anyway).
 	type wasteAccum struct {
@@ -185,13 +213,14 @@ func BenchmarkRealSpeedup(b *testing.B) {
 		points = points[:0]
 		ratioSum, ratioN = 0, 0
 		lazyRatioSum, lazyRatioN = 0, 0
+		lfRatioSum, lfRatioN = 0, 0
 		waste = map[int]*wasteAccum{}
 		for _, w := range workloads {
 			base := int64(0)
 			maxP := realSpeedupWorkers()[len(realSpeedupWorkers())-1]
 			var globalAtMaxP int64
 			for _, p := range realSpeedupWorkers() {
-				for _, sharded := range []bool{false, true} {
+				for _, mode := range erModes {
 					hist := histFor(p)
 					var best ertree.Result
 					for r := 0; r < reps; r++ {
@@ -201,13 +230,17 @@ func BenchmarkRealSpeedup(b *testing.B) {
 						var tels []ertree.WorkerTelemetry
 						// A fresh table per measurement: each one is a cold
 						// search, not a replay of the previous point's work.
+						table, err := ertree.NewSearchTable(mode.table, tableBits, 0)
+						if err != nil {
+							b.Fatal(err)
+						}
 						cfg := ertree.Config{
 							Workers:     p,
 							SerialDepth: w.SerialDepth,
 							Order:       w.Order,
-							Sharded:     sharded,
+							Sharded:     mode.sharded,
 							StealSeed:   uint64(r),
-							Table:       ertree.NewSharedTranspositionTable(tableBits, 0),
+							Table:       table,
 							Hooks: &ertree.SearchHooks{
 								Spans:  true,
 								Events: 1 << 16,
@@ -223,7 +256,7 @@ func BenchmarkRealSpeedup(b *testing.B) {
 						}
 						res, err := ertree.Search(w.Root, w.Depth, cfg)
 						if err != nil {
-							b.Fatalf("%s P=%d sharded=%v: %v", w.Name, p, sharded, err)
+							b.Fatalf("%s P=%d sharded=%v table=%s: %v", w.Name, p, mode.sharded, mode.table, err)
 						}
 						rep := flight.Build(tels, flight.Options{Workers: p})
 						wa, ok := waste[p]
@@ -240,24 +273,32 @@ func BenchmarkRealSpeedup(b *testing.B) {
 						}
 					}
 					res := best
-					if p == 1 && !sharded {
+					lockfree := mode.table == ertree.TableLockFree
+					if p == 1 && !mode.sharded && lockfree {
 						base = res.Elapsed.Nanoseconds()
 					}
 					if p == maxP {
-						if sharded {
+						switch {
+						case !mode.sharded && lockfree:
+							globalAtMaxP = res.Elapsed.Nanoseconds()
+						case mode.sharded:
 							if res.Elapsed > 0 {
 								ratioSum += float64(globalAtMaxP) / float64(res.Elapsed.Nanoseconds())
 								ratioN++
 							}
-						} else {
-							globalAtMaxP = res.Elapsed.Nanoseconds()
+						default: // striped, global heap: the table head-to-head
+							if globalAtMaxP > 0 {
+								lfRatioSum += float64(res.Elapsed.Nanoseconds()) / float64(globalAtMaxP)
+								lfRatioN++
+							}
 						}
 					}
 					pt := realSpeedupPoint{
 						Workload:  w.Name,
 						Backend:   "er",
+						Table:     mode.table,
 						Workers:   p,
-						Sharded:   sharded,
+						Sharded:   mode.sharded,
 						ElapsedNS: res.Elapsed.Nanoseconds(),
 						Value:     int(res.Value),
 						Nodes:     res.Stats.Generated,
@@ -295,6 +336,7 @@ func BenchmarkRealSpeedup(b *testing.B) {
 				pt := realSpeedupPoint{
 					Workload:  w.Name,
 					Backend:   bw.backend,
+					Table:     ertree.TableLockFree,
 					Workers:   bw.workers,
 					ElapsedNS: elapsed.Nanoseconds(),
 					Value:     int(res.Value),
@@ -329,17 +371,23 @@ func BenchmarkRealSpeedup(b *testing.B) {
 		lazyVsER = lazyRatioSum / float64(lazyRatioN)
 	}
 	b.ReportMetric(lazyVsER, "lazysmp/er@maxP")
+	lockfreeVsStriped := 0.0
+	if lfRatioN > 0 {
+		lockfreeVsStriped = lfRatioSum / float64(lfRatioN)
+	}
+	b.ReportMetric(lockfreeVsStriped, "lockfree/striped@maxP")
 
 	art := realSpeedupArtifact{
-		GoVersion:       runtime.Version(),
-		GOOS:            runtime.GOOS,
-		GOARCH:          runtime.GOARCH,
-		NumCPU:          runtime.NumCPU(),
-		GOMAXPROCS:      runtime.GOMAXPROCS(0),
-		TableBits:       tableBits,
-		ShardedVsGlobal: shardedVsGlobal,
-		LazySMPVsER:     lazyVsER,
-		Points:          points,
+		GoVersion:         runtime.Version(),
+		GOOS:              runtime.GOOS,
+		GOARCH:            runtime.GOARCH,
+		NumCPU:            runtime.NumCPU(),
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		TableBits:         tableBits,
+		ShardedVsGlobal:   shardedVsGlobal,
+		LazySMPVsER:       lazyVsER,
+		LockfreeVsStriped: lockfreeVsStriped,
+		Points:            points,
 	}
 	for _, p := range realSpeedupWorkers() {
 		h := histFor(p)

@@ -1,0 +1,204 @@
+package main
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// answerCache is the position-keyed single-flight result cache of /bestmove
+// and /analyze: duplicate concurrent requests for the same analysis coalesce
+// onto one engine search (the first request leads, the rest wait for its
+// answer), and completed answers are retained in a bounded LRU so repeat
+// requests skip the engine entirely.
+//
+// The cache key is every request parameter that changes the response body —
+// game, moves, depth, budget, backend, and whether iterations are included —
+// so two requests share a flight only when either answer could serve both.
+// Only analyses that reached their full requested depth are retained: a
+// deadline-cut answer depends on how loaded the server was, not just on the
+// request, and must not shadow the deeper answer a retry could earn. Errors
+// are delivered to the flight's waiters (they asked the same question under
+// the same budget) but never cached.
+type answerCache struct {
+	mu       sync.Mutex
+	inflight map[string]*cacheFlight
+	byKey    map[string]*list.Element
+	lru      *list.List // front = most recently used; values are *cacheItem
+	capacity int
+
+	hits      atomic.Int64 // served from the completed-answer LRU
+	misses    atomic.Int64 // led a new search
+	coalesced atomic.Int64 // waited on another request's search
+	stores    atomic.Int64 // completed answers retained
+	evictions atomic.Int64 // LRU entries dropped for capacity
+}
+
+// cacheFlight is one in-progress search shared by every coalesced request.
+// The leader closes done after filling out or err; waiters read both only
+// after done is closed.
+type cacheFlight struct {
+	done chan struct{}
+	out  analysisJSON
+	err  error
+	code int // HTTP status accompanying err
+}
+
+type cacheItem struct {
+	key string
+	out analysisJSON
+}
+
+// newAnswerCache creates a cache retaining up to capacity completed answers.
+// capacity <= 0 disables the cache entirely (newAnswerCache returns nil, and
+// a nil *answerCache serves nothing and coalesces nothing).
+func newAnswerCache(capacity int) *answerCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &answerCache{
+		inflight: make(map[string]*cacheFlight),
+		byKey:    make(map[string]*list.Element),
+		lru:      list.New(),
+		capacity: capacity,
+	}
+}
+
+// answerKey builds the cache key from everything that shapes the response.
+func answerKey(game, moves string, depth int, budgetMS int64, backend string, includeIterations bool) string {
+	var b strings.Builder
+	b.Grow(len(game) + len(moves) + len(backend) + 32)
+	b.WriteString(game)
+	b.WriteByte('|')
+	b.WriteString(moves)
+	b.WriteByte('|')
+	writeInt(&b, int64(depth))
+	b.WriteByte('|')
+	writeInt(&b, budgetMS)
+	b.WriteByte('|')
+	b.WriteString(backend)
+	if includeIterations {
+		b.WriteString("|iters")
+	}
+	return b.String()
+}
+
+func writeInt(b *strings.Builder, n int64) {
+	if n < 0 {
+		b.WriteByte('-')
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+		if n == 0 {
+			break
+		}
+	}
+	b.Write(buf[i:])
+}
+
+// get serves key from the completed-answer LRU, refreshing its recency.
+func (c *answerCache) get(key string) (analysisJSON, bool) {
+	if c == nil {
+		return analysisJSON{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return analysisJSON{}, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*cacheItem).out, true
+}
+
+// join attaches the caller to key's flight. leader reports that the caller
+// must run the search and settle the returned flight; otherwise the caller
+// waits on flight.done (or its own context) and reads the shared answer.
+func (c *answerCache) join(key string) (f *cacheFlight, leader bool) {
+	if c == nil {
+		return nil, true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f, ok := c.inflight[key]; ok {
+		c.coalesced.Add(1)
+		return f, false
+	}
+	f = &cacheFlight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.misses.Add(1)
+	return f, true
+}
+
+// settle publishes the leader's outcome to key's waiters and, for a
+// successful completed analysis, retains the answer in the LRU.
+func (c *answerCache) settle(key string, f *cacheFlight, out analysisJSON, err error, code int) {
+	if c == nil {
+		return
+	}
+	f.out, f.err, f.code = out, err, code
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if err == nil && out.Completed {
+		if el, ok := c.byKey[key]; ok {
+			el.Value.(*cacheItem).out = out
+			c.lru.MoveToFront(el)
+		} else {
+			c.byKey[key] = c.lru.PushFront(&cacheItem{key: key, out: out})
+			c.stores.Add(1)
+			for c.lru.Len() > c.capacity {
+				last := c.lru.Back()
+				delete(c.byKey, last.Value.(*cacheItem).key)
+				c.lru.Remove(last)
+				c.evictions.Add(1)
+			}
+		}
+	}
+	c.mu.Unlock()
+	close(f.done)
+}
+
+// size returns the number of retained answers.
+func (c *answerCache) size() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// answerCacheStats is the /stats view of the cache.
+type answerCacheStats struct {
+	Enabled   bool  `json:"enabled"`
+	Capacity  int   `json:"capacity"`
+	Size      int   `json:"size"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Coalesced int64 `json:"coalesced"`
+	Stores    int64 `json:"stores"`
+	Evictions int64 `json:"evictions"`
+}
+
+func (c *answerCache) stats() answerCacheStats {
+	if c == nil {
+		return answerCacheStats{}
+	}
+	return answerCacheStats{
+		Enabled:   true,
+		Capacity:  c.capacity,
+		Size:      c.size(),
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
+		Stores:    c.stores.Load(),
+		Evictions: c.evictions.Load(),
+	}
+}

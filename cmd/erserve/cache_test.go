@@ -1,0 +1,236 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAnswerCacheLRU pins the cache container semantics: capacity-bounded,
+// recency-ordered, completed-only retention, and nil-safety when disabled.
+func TestAnswerCacheLRU(t *testing.T) {
+	c := newAnswerCache(2)
+	lead := func(key string, out analysisJSON) {
+		fl, leader := c.join(key)
+		if !leader {
+			t.Fatalf("join(%q) did not lead an idle cache", key)
+		}
+		c.settle(key, fl, out, nil, 0)
+	}
+	lead("a", analysisJSON{Move: 1, Completed: true})
+	lead("b", analysisJSON{Move: 2, Completed: true})
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a evicted before capacity was reached")
+	}
+	// a was just touched, so inserting c evicts b (the LRU entry).
+	lead("c", analysisJSON{Move: 3, Completed: true})
+	if _, ok := c.get("b"); ok {
+		t.Fatal("LRU entry b survived an over-capacity insert")
+	}
+	if out, ok := c.get("a"); !ok || out.Move != 1 {
+		t.Fatalf("recently-used entry a lost: %+v ok=%v", out, ok)
+	}
+	// Deadline-cut answers (Completed=false) are never retained.
+	lead("cut", analysisJSON{Move: 4, Completed: false})
+	if _, ok := c.get("cut"); ok {
+		t.Fatal("incomplete analysis was cached")
+	}
+	if got := c.stats(); got.Stores != 3 || got.Evictions != 1 {
+		t.Fatalf("stats: %+v", got)
+	}
+
+	// Disabled cache: every caller leads, nothing is served or counted.
+	var off *answerCache
+	if _, ok := off.get("x"); ok {
+		t.Fatal("nil cache served an entry")
+	}
+	if _, leader := off.join("x"); !leader {
+		t.Fatal("nil cache coalesced a request")
+	}
+	off.settle("x", nil, analysisJSON{}, nil, 0)
+	if st := off.stats(); st.Enabled {
+		t.Fatalf("nil cache reports enabled: %+v", st)
+	}
+	if newAnswerCache(0) != nil {
+		t.Fatal("capacity 0 did not disable the cache")
+	}
+}
+
+// TestAnswerKeyDiscriminates: any parameter that changes the response body
+// must change the key.
+func TestAnswerKeyDiscriminates(t *testing.T) {
+	base := answerKey("connect4", "3,3", 8, 5000, "", false)
+	for name, other := range map[string]string{
+		"game":    answerKey("othello", "3,3", 8, 5000, "", false),
+		"moves":   answerKey("connect4", "3,4", 8, 5000, "", false),
+		"depth":   answerKey("connect4", "3,3", 9, 5000, "", false),
+		"budget":  answerKey("connect4", "3,3", 8, 1000, "", false),
+		"backend": answerKey("connect4", "3,3", 8, 5000, "lazysmp", false),
+		"iters":   answerKey("connect4", "3,3", 8, 5000, "", true),
+	} {
+		if other == base {
+			t.Errorf("key ignores %s: %q", name, base)
+		}
+	}
+	if answerKey("connect4", "3,3", 8, 5000, "", false) != base {
+		t.Fatal("key is not deterministic")
+	}
+}
+
+// TestSingleFlightCoalescing is the end-to-end acceptance scenario: K
+// concurrent identical /bestmove requests run exactly one engine search, all
+// K get the identical completed answer, and /stats accounts for every
+// request as the one leader plus cache hits and coalesced waiters.
+func TestSingleFlightCoalescing(t *testing.T) {
+	const k = 8
+	ts := testServer(t, serverConfig{
+		Workers: 2, SerialDepth: 3, TableBits: 16,
+		MaxConcurrent: 2, CacheSize: 32,
+	})
+	client := &http.Client{Timeout: 60 * time.Second}
+	url := ts.URL + "/bestmove?game=connect4&moves=3,3&depth=8&budget_ms=30000"
+
+	var wg sync.WaitGroup
+	bodies := make([]analysisJSON, k)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := client.Get(url)
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("request %d: status %d", i, resp.StatusCode)
+				return
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&bodies[i]); err != nil {
+				t.Errorf("request %d: decode: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	want, err := json.Marshal(bodies[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < k; i++ {
+		if got, _ := json.Marshal(bodies[i]); string(got) != string(want) {
+			t.Fatalf("request %d answered differently:\n%s\n%s", i, got, want)
+		}
+	}
+	if !bodies[0].Completed {
+		t.Fatalf("search did not complete, nothing was cacheable: %+v", bodies[0])
+	}
+
+	var st statsJSON
+	getJSON(t, client, ts.URL+"/stats", http.StatusOK, &st)
+	if got := st.Games["connect4"].Started; got != 1 {
+		t.Fatalf("%d engine sessions for %d identical requests, want exactly 1", got, k)
+	}
+	ac := st.AnswerCache
+	if !ac.Enabled || ac.Misses != 1 {
+		t.Fatalf("answer cache did not lead exactly one search: %+v", ac)
+	}
+	// Every non-leader either coalesced onto the flight or (arriving after
+	// it settled) hit the retained answer.
+	if ac.Hits+ac.Coalesced != k-1 {
+		t.Fatalf("hits(%d) + coalesced(%d) != %d: %+v", ac.Hits, ac.Coalesced, k-1, ac)
+	}
+	if ac.Size != 1 || ac.Stores != 1 {
+		t.Fatalf("completed answer not retained once: %+v", ac)
+	}
+
+	// A later identical request is a pure cache hit: no new session.
+	var again analysisJSON
+	getJSON(t, client, url, http.StatusOK, &again)
+	if got, _ := json.Marshal(again); string(got) != string(want) {
+		t.Fatalf("cached replay differs:\n%s\n%s", got, want)
+	}
+	getJSON(t, client, ts.URL+"/stats", http.StatusOK, &st)
+	if got := st.Games["connect4"].Started; got != 1 {
+		t.Fatalf("cache hit started a session: %d", got)
+	}
+	if st.AnswerCache.Hits != ac.Hits+1 {
+		t.Fatalf("replay not counted as a hit: %+v", st.AnswerCache)
+	}
+
+	// Observability requests bypass the cache: trace=1 always runs its own
+	// session (its value is the per-request telemetry, not the answer).
+	getJSON(t, client, ts.URL+"/analyze?game=connect4&moves=3,3&depth=4&budget_ms=30000&trace=1", http.StatusOK, nil)
+	getJSON(t, client, ts.URL+"/stats", http.StatusOK, &st)
+	if got := st.Games["connect4"].Started; got != 2 {
+		t.Fatalf("traced request did not run its own session: started=%d", got)
+	}
+}
+
+// TestSingleFlightErrorNotCached: a failed flight is replayed, never
+// retained, so the next identical request searches afresh instead of
+// replaying a stale rejection. The error here is a deterministic 503: the
+// single session slot is pinned by a long search and QueueTimeout is zero.
+func TestSingleFlightErrorNotCached(t *testing.T) {
+	ts := testServer(t, serverConfig{
+		Workers: 1, SerialDepth: 2, TableBits: 12,
+		MaxConcurrent: 1, CacheSize: 8,
+	})
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// Pin the only session slot with a deep search, cancelled at test end.
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "GET",
+		ts.URL+"/bestmove?game=othello&depth=20&budget_ms=20000", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if resp, err := client.Do(req); err == nil {
+			resp.Body.Close()
+		}
+	}()
+	defer func() { cancel(); <-done }()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var st statsJSON
+		getJSON(t, client, ts.URL+"/stats", http.StatusOK, &st)
+		if st.Active >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("pinning search never became active")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	url := ts.URL + "/bestmove?game=connect4&depth=6&budget_ms=5000"
+	for i := 0; i < 2; i++ {
+		resp, err := client.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("try %d: status %d, want %d", i, resp.StatusCode, http.StatusServiceUnavailable)
+		}
+	}
+	var st statsJSON
+	getJSON(t, client, ts.URL+"/stats", http.StatusOK, &st)
+	ac := st.AnswerCache
+	if ac.Size != 0 || ac.Stores != 0 {
+		t.Fatalf("error outcome was cached: %+v", ac)
+	}
+	// Three misses: the pinning search plus both rejected requests — the
+	// second rejection led its own flight rather than replaying the first.
+	if ac.Misses != 3 || ac.Hits != 0 {
+		t.Fatalf("second request did not re-search after the error: %+v", ac)
+	}
+}

@@ -32,6 +32,7 @@ import (
 
 	"ertree/internal/backend"
 	"ertree/internal/engine"
+	"ertree/internal/tt"
 )
 
 func main() {
@@ -42,6 +43,8 @@ func main() {
 		serialDepth   = flag.Int("serial-depth", 3, "depth at or below which subtrees are searched serially")
 		sharded       = flag.Bool("sharded", false, "use the per-worker work-stealing problem heap")
 		tableBits     = flag.Int("table-bits", 20, "per-game transposition table size (2^bits slots, 0 disables)")
+		tableImpl     = flag.String("table-impl", "", "transposition-table implementation: "+tt.ImplsString()+" (empty follows $"+tt.EnvTable+", then "+tt.DefaultImpl+")")
+		cacheSize     = flag.Int("answer-cache", 256, "completed analyses retained by the single-flight answer cache (0 disables caching and request coalescing)")
 		maxConcurrent = flag.Int("max-concurrent", 2, "server-wide concurrent search sessions")
 		queueTimeout  = flag.Duration("queue-timeout", time.Second, "how long an over-capacity request waits for a slot before 503")
 		maxDepth      = flag.Int("max-depth", 32, "cap on the requested search depth")
@@ -55,12 +58,19 @@ func main() {
 			*backendName, backend.NamesString())
 		os.Exit(2)
 	}
+	if !tt.ValidImpl(*tableImpl) {
+		fmt.Fprintf(os.Stderr, "erserve: unknown table implementation %q (valid: %s)\n",
+			*tableImpl, tt.ImplsString())
+		os.Exit(2)
+	}
 	s := newServer(serverConfig{
 		Workers:       *workers,
 		Backend:       *backendName,
 		SerialDepth:   *serialDepth,
 		Sharded:       *sharded,
 		TableBits:     *tableBits,
+		TableImpl:     *tableImpl,
+		CacheSize:     *cacheSize,
 		MaxConcurrent: *maxConcurrent,
 		QueueTimeout:  *queueTimeout,
 		MaxDepth:      *maxDepth,

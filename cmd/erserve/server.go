@@ -47,6 +47,8 @@ type serverConfig struct {
 	SerialDepth   int           // serial work grain
 	Sharded       bool          // per-worker work-stealing problem heap
 	TableBits     int           // per-game shared transposition table size
+	TableImpl     string        // shared-table implementation; empty follows ERTREE_TABLE then the default
+	CacheSize     int           // completed answers retained by the single-flight cache; 0 disables
 	MaxConcurrent int           // server-wide concurrent sessions
 	QueueTimeout  time.Duration // admission-queue wait before 503
 	MaxDepth      int           // cap on requested depth
@@ -68,6 +70,7 @@ type server struct {
 	log     *slog.Logger
 	ids     *requestIDs
 	flights *flightRing
+	cache   *answerCache
 }
 
 func newServer(cfg serverConfig) *server {
@@ -93,6 +96,7 @@ func newServer(cfg serverConfig) *server {
 		log:     log,
 		ids:     newRequestIDs(),
 		flights: newFlightRing(),
+		cache:   newAnswerCache(cfg.CacheSize),
 	}
 	tel := engine.NewTelemetry(reg)
 	for name, spec := range games {
@@ -104,6 +108,7 @@ func newServer(cfg serverConfig) *server {
 			Sharded:      cfg.Sharded,
 			Order:        spec.order,
 			TableBits:    cfg.TableBits,
+			TableImpl:    cfg.TableImpl,
 			Delta:        32,
 			Pool:         pool,
 			QueueTimeout: cfg.QueueTimeout,
@@ -119,6 +124,20 @@ func newServer(cfg serverConfig) *server {
 	reg.GaugeFunc("process_uptime_seconds",
 		"Seconds since the server started.",
 		func() float64 { return time.Since(s.start).Seconds() })
+	if s.cache != nil {
+		reg.GaugeFunc("server_answer_cache_size",
+			"Completed analyses retained by the single-flight answer cache.",
+			func() float64 { return float64(s.cache.size()) })
+		reg.GaugeFunc("server_answer_cache_hits_total",
+			"Requests served from the answer cache (monotone).",
+			func() float64 { return float64(s.cache.hits.Load()) })
+		reg.GaugeFunc("server_answer_cache_misses_total",
+			"Requests that led a new search (monotone).",
+			func() float64 { return float64(s.cache.misses.Load()) })
+		reg.GaugeFunc("server_answer_cache_coalesced_total",
+			"Requests that waited on another request's identical search (monotone).",
+			func() float64 { return float64(s.cache.coalesced.Load()) })
+	}
 	return s
 }
 
@@ -289,6 +308,40 @@ func (s *server) handleAnalyze(includeIterations bool) http.HandlerFunc {
 		trace := includeIterations && firstValue(q, "trace") == "1"
 		stream := includeIterations && firstValue(q, "stream") == "1"
 		recordFlight := includeIterations && firstValue(q, "flight") == "1"
+
+		// Single-flight answer cache: plain (non-trace, non-stream,
+		// non-flight) requests first try the completed-answer LRU, then
+		// either lead a search or coalesce onto an identical one already in
+		// flight. Observability requests always run their own session — their
+		// value is the per-request telemetry, not the answer.
+		var fl *cacheFlight
+		var cacheKey string
+		flightLeader := false
+		if s.cache != nil && !trace && !stream && !recordFlight {
+			cacheKey = answerKey(name, firstValue(q, "moves"), depth,
+				budget.Milliseconds(), beName, includeIterations)
+			if out, ok := s.cache.get(cacheKey); ok {
+				s.writeJSON(w, http.StatusOK, out)
+				return
+			}
+			fl, flightLeader = s.cache.join(cacheKey)
+			if !flightLeader {
+				select {
+				case <-fl.done:
+					if fl.err != nil {
+						if fl.code == http.StatusServiceUnavailable {
+							w.Header().Set("Retry-After", "1")
+						}
+						s.fail(w, fl.code, "%s", fl.err.Error())
+						return
+					}
+					s.writeJSON(w, http.StatusOK, fl.out)
+				case <-r.Context().Done():
+					s.fail(w, http.StatusServiceUnavailable, "request cancelled while awaiting a coalesced search")
+				}
+				return
+			}
+		}
 		// The session stops at the budget or when the client disconnects,
 		// whichever comes first, and still answers with the deepest
 		// completed iteration. For SSE the disconnect path is the one that
@@ -334,6 +387,12 @@ func (s *server) handleAnalyze(includeIterations bool) http.HandlerFunc {
 			case errors.Is(err, context.Canceled):
 				code, msg = http.StatusServiceUnavailable, "request cancelled while queued"
 			}
+			if flightLeader {
+				// Waiters asked the same question under the same budget;
+				// they replay this outcome. Errors are never retained, so
+				// the next request searches afresh.
+				s.cache.settle(cacheKey, fl, analysisJSON{}, errors.New(msg), code)
+			}
 			if sse != nil {
 				// The 200 and the event-stream header are already on the
 				// wire; the error becomes the stream's terminal event.
@@ -368,6 +427,9 @@ func (s *server) handleAnalyze(includeIterations bool) http.HandlerFunc {
 			for _, it := range an.Iterations {
 				out.Iterations = append(out.Iterations, wireIteration(it))
 			}
+		}
+		if flightLeader {
+			s.cache.settle(cacheKey, fl, out, nil, 0)
 		}
 		if sse != nil {
 			sse.event("done", out)
@@ -407,16 +469,18 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // statsJSON is the /stats response: the admission pool plus per-game engine
 // counters.
 type statsJSON struct {
-	UptimeMS int64                   `json:"uptime_ms"`
-	Capacity int                     `json:"capacity"`
-	Active   int                     `json:"active"`
-	Games    map[string]engine.Stats `json:"games"`
+	UptimeMS    int64                   `json:"uptime_ms"`
+	Capacity    int                     `json:"capacity"`
+	Active      int                     `json:"active"`
+	AnswerCache answerCacheStats        `json:"answer_cache"`
+	Games       map[string]engine.Stats `json:"games"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	out := statsJSON{
-		UptimeMS: time.Since(s.start).Milliseconds(),
-		Games:    make(map[string]engine.Stats, len(s.engines)),
+		UptimeMS:    time.Since(s.start).Milliseconds(),
+		AnswerCache: s.cache.stats(),
+		Games:       make(map[string]engine.Stats, len(s.engines)),
 	}
 	for name, e := range s.engines {
 		st := e.Stats()

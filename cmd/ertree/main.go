@@ -50,11 +50,16 @@ func main() {
 		traceOut    = flag.String("trace", "", "with er-par/er-real: write a Chrome trace_event JSON (open in Perfetto) to this file")
 		bestLine    = flag.Bool("bestmove", false, "also print the best move and principal variation (parallel ER)")
 		tableBits   = flag.Int("table-bits", 0, "with er-real: back serial tasks with a shared transposition table of 2^bits slots (0 disables)")
+		tableImpl   = flag.String("table-impl", "", "shared table implementation: "+joinTables()+" (empty consults ERTREE_TABLE, then the default)")
 		flightOn    = flag.Bool("flight", false, "with er-real: record the search flight log and print the speculation-waste report")
 		mutexProf   = flag.String("mutexprofile", "", "write a mutex-contention profile to this file (er-real lock interference)")
 		blockProf   = flag.String("blockprofile", "", "write a blocking profile to this file")
 	)
 	flag.Parse()
+	if !ertree.ValidTableImpl(*tableImpl) {
+		fmt.Fprintf(os.Stderr, "ertree: unknown table implementation %q (valid: %s)\n", *tableImpl, joinTables())
+		os.Exit(2)
+	}
 	if *mutexProf != "" {
 		runtime.SetMutexProfileFraction(1)
 		defer writeProfile("mutex", *mutexProf)
@@ -87,7 +92,7 @@ func main() {
 			os.Exit(2)
 		}
 		if *tableBits > 0 {
-			cfg.Table = ertree.NewSharedTranspositionTable(*tableBits, 0)
+			cfg.Table = mustTable(*tableImpl, *tableBits)
 		}
 		res, err := ertree.SearchWith(*backendName, pos, *depth, cfg)
 		if err != nil {
@@ -162,7 +167,7 @@ func main() {
 		}
 	case "er-real":
 		if *tableBits > 0 {
-			cfg.Table = ertree.NewSharedTranspositionTable(*tableBits, 0)
+			cfg.Table = mustTable(*tableImpl, *tableBits)
 		}
 		var sink *traceSink
 		if *traceOut != "" || *flightOn {
@@ -288,6 +293,21 @@ func buildPosition(gameName, rootName string, seed uint64, degree, treeDepth int
 
 // joinBackends lists the registered backend names for flag help and errors.
 func joinBackends() string { return strings.Join(ertree.Backends(), ", ") }
+
+// joinTables lists the shared-table implementation names for flag help.
+func joinTables() string { return strings.Join(ertree.TableImpls(), ", ") }
+
+// mustTable builds the selected shared-table implementation. The impl name
+// was validated right after flag.Parse, so a failure here means the
+// ERTREE_TABLE environment fallback named an unknown implementation.
+func mustTable(impl string, bits int) ertree.SearchTable {
+	t, err := ertree.NewSearchTable(impl, bits, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ertree:", err)
+		os.Exit(2)
+	}
+	return t
+}
 
 // heightFor returns the binary processor-tree height closest to the
 // requested worker count from below.

@@ -105,11 +105,40 @@ func NewTranspositionTable(bits int) *TranspositionTable { return tt.New(bits) }
 // other's subtree work. Exactness is preserved (probes match exact depth).
 type SharedTranspositionTable = tt.Shared
 
-// NewSharedTranspositionTable creates a shared table with 2^bits slots split
-// across the given number of mutex stripes (zero picks a default).
+// NewSharedTranspositionTable creates a striped shared table with 2^bits
+// slots split across the given number of mutex stripes (zero picks a
+// default). For implementation selection (lock-free vs striped) use
+// NewSearchTable.
 func NewSharedTranspositionTable(bits, shards int) *SharedTranspositionTable {
 	return tt.NewShared(bits, shards)
 }
+
+// SearchTable is the concurrent transposition-table seam every search
+// accepts: the mutex-striped baseline (SharedTranspositionTable) and the
+// lock-free bucketed table both implement it.
+type SearchTable = tt.SharedTable
+
+// Shared-table implementation names accepted by NewSearchTable.
+const (
+	TableStriped  = tt.ImplStriped  // mutex-striped direct-mapped baseline
+	TableLockFree = tt.ImplLockFree // atomic cache-line buckets, aging replacement
+)
+
+// NewSearchTable creates a shared table of the named implementation with
+// 2^bits slots ("" consults the ERTREE_TABLE environment variable, then the
+// default, lock-free). shards stripes the striped implementation and is
+// ignored by the lock-free one. Unknown names return an error listing the
+// valid set.
+func NewSearchTable(impl string, bits, shards int) (SearchTable, error) {
+	return tt.NewSharedTable(impl, bits, shards)
+}
+
+// TableImpls returns the shared-table implementation names, sorted.
+func TableImpls() []string { return tt.Impls() }
+
+// ValidTableImpl reports whether impl names a shared-table implementation
+// ("" selects the default and is valid).
+func ValidTableImpl(impl string) bool { return tt.ValidImpl(impl) }
 
 // Config configures a parallel ER search.
 type Config struct {
@@ -156,9 +185,11 @@ type Config struct {
 	// Stats, if non-nil, receives node accounting.
 	Stats *Stats
 	// Table, if non-nil, backs the serial subtree tasks of Search with a
-	// concurrent transposition table (see SharedTranspositionTable). Ignored
-	// by Simulate, whose model of the paper's machine has no table.
-	Table *SharedTranspositionTable
+	// concurrent transposition table — any SearchTable implementation (see
+	// NewSearchTable; NewSharedTranspositionTable builds the striped
+	// baseline). Ignored by Simulate, whose model of the paper's machine has
+	// no table.
+	Table SearchTable
 	// Hooks, if non-nil, arms per-worker telemetry on Search: busy spans by
 	// task kind, the speculative-vs-primary work split, heap samples, and —
 	// with Hooks.Events set — the bounded flight-recorder event log,
@@ -220,8 +251,8 @@ func (c Config) options() core.Options {
 		Hooks:              c.Hooks,
 		ProfileLabels:      c.ProfileLabels,
 	}
-	if c.Table != nil {
-		// Assign only when non-nil: a nil *tt.Shared wrapped in the Prober
+	if !tt.IsNil(c.Table) {
+		// Assign only when non-nil: a typed-nil table wrapped in the Prober
 		// interface would read as attached.
 		opt.Table = c.Table
 	}

@@ -55,16 +55,18 @@ type Config struct {
 	Order game.Orderer
 	// Table is the shared transposition table, or nil to search without
 	// memory. All backends probe and store through the same keying policy,
-	// so a table warmed by one backend answers the others.
-	Table *tt.Shared
+	// so a table warmed by one backend answers the others. Any
+	// tt.SharedTable implementation works (tt.NewSharedTable selects one by
+	// name); New normalizes a typed-nil table to a nil interface.
+	Table tt.SharedTable
 	// DeeperHits accepts entries searched deeper than probed (Plaat-style
 	// memory reuse): better reuse, weaker exact-depth semantics.
 	DeeperHits bool
 
 	// ER scheduler knobs (er backend only).
-	ParallelRefutation bool   // refute an e-node's children concurrently
-	MultipleENodes     bool   // keep offering additional e-children
-	EarlyChoice        bool   // pick an e-child before the last elder grandchild finishes
+	ParallelRefutation bool // refute an e-node's children concurrently
+	MultipleENodes     bool // keep offering additional e-children
+	EarlyChoice        bool // pick an e-child before the last elder grandchild finishes
 	SpecRank           core.SpecRank
 	EagerSpec          bool
 	Sharded            bool   // per-worker work-stealing problem heap
@@ -211,6 +213,11 @@ func New(name string, cfg Config) (Backend, error) {
 	if !ok {
 		return nil, fmt.Errorf("backend: unknown backend %q (registered: %s)", name, NamesString())
 	}
+	// Normalize a typed-nil table (a nil *tt.Shared stored in the interface
+	// field) to a plain nil interface, so backends can test cfg.Table == nil.
+	if tt.IsNil(cfg.Table) {
+		cfg.Table = nil
+	}
 	return f(cfg), nil
 }
 
@@ -308,7 +315,7 @@ func RootScout(kids []game.Position, depth int, w game.Window, order []int, sear
 // coexist; deeper-hits mode keys by position alone and accepts deeper
 // entries (Plaat-style reuse).
 type ttPolicy struct {
-	table  *tt.Shared
+	table  tt.SharedTable
 	deeper bool
 }
 
@@ -320,7 +327,7 @@ const depthSalt = 0x9E3779B97F4A7C15
 // resolves the search outright, and always returns the store key and whether
 // the position is hashable at all.
 func (p ttPolicy) probeChild(child game.Position, depth int, w *game.Window, tot *Totals) (game.Value, bool, uint64, bool) {
-	if p.table == nil {
+	if tt.IsNil(p.table) {
 		return 0, false, 0, false
 	}
 	h, ok := child.(tt.Hashable)

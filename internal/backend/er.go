@@ -27,10 +27,10 @@ func newER(cfg Config) Backend {
 func (b *erBackend) Name() string { return "er" }
 
 // coreTable returns the shared table as the prober handed to core.Search, or
-// a nil interface when the backend runs without a table (a nil *tt.Shared
+// a nil interface when the backend runs without a table (a typed-nil table
 // wrapped in tt.Prober would read as attached).
 func (b *erBackend) coreTable() tt.Prober {
-	if b.cfg.Table == nil {
+	if tt.IsNil(b.cfg.Table) {
 		return nil
 	}
 	return b.cfg.Table

@@ -57,7 +57,7 @@ func (b *serialBackend) Search(req Request) (Response, error) {
 // Not safe for concurrent use; each worker owns one.
 type TTScout struct {
 	Order      game.Orderer
-	Table      *tt.Shared // nil searches without memory
+	Table      tt.SharedTable // nil (or typed nil) searches without memory
 	DeeperHits bool
 	Cancel     <-chan struct{}
 	// Totals receives the node and table accounting. Must be non-nil.
@@ -102,7 +102,7 @@ func (s *TTScout) search(pos game.Position, depth, ply int, w game.Window) (game
 	}
 	var key uint64
 	hashable := false
-	if s.Table != nil {
+	if !tt.IsNil(s.Table) {
 		if h, ok := pos.(tt.Hashable); ok {
 			hashable = true
 			key = h.Hash()

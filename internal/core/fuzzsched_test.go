@@ -105,7 +105,7 @@ func decodeFuzzCase(seed uint64, shape uint16, sched uint32, stealSeed uint64) f
 	c.sharded = c.opt.Sharded
 	c.withTT = sched>>12&1 == 1
 	if c.withTT {
-		c.opt.Table = tt.NewShared(10, 4)
+		c.opt.Table = tt.NewDefault(10, 4)
 	}
 	if sched>>13&1 == 1 {
 		c.jitter = stealSeed | 1

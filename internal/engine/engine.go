@@ -84,8 +84,16 @@ type Config struct {
 	// concurrently and across iterations.
 	TableBits int
 	// TableShards is the stripe count of the shared table; zero picks
-	// tt.DefaultShards.
+	// tt.DefaultShards. Only the striped implementation stripes; the
+	// lock-free table ignores it.
 	TableShards int
+	// TableImpl selects the shared-table implementation: "lockfree" (atomic
+	// cache-line buckets with XOR key validation and aging replacement) or
+	// "striped" (the mutex-striped direct-mapped baseline). Empty consults
+	// the ERTREE_TABLE environment variable, then falls back to
+	// tt.DefaultImpl. Unknown names panic in New — validate user input with
+	// tt.ValidImpl first.
+	TableImpl string
 	// DeeperHits accepts transposition entries searched deeper than
 	// requested (Plaat-style memory reuse). Off, probes match equal depth
 	// only and every reported value is the exact depth-d value; on, values
@@ -130,7 +138,7 @@ func NewPool(n int) Pool {
 // pool of session slots. All methods are safe for concurrent use.
 type Engine struct {
 	cfg   Config
-	table *tt.Shared
+	table tt.SharedTable
 	sem   chan struct{}
 	// backends holds one instance of every registered backend, built against
 	// this engine's table and scheduler knobs at New, so per-session backend
@@ -218,7 +226,11 @@ func New(cfg Config) *Engine {
 		e.sem = make(chan struct{}, cfg.MaxConcurrent)
 	}
 	if cfg.TableBits > 0 {
-		e.table = tt.NewShared(cfg.TableBits, cfg.TableShards)
+		table, err := tt.NewSharedTable(cfg.TableImpl, cfg.TableBits, cfg.TableShards)
+		if err != nil {
+			panic(fmt.Sprintf("engine: %v", err))
+		}
+		e.table = table
 	}
 	bcfg := backend.Config{
 		Workers:     cfg.Workers,
@@ -340,6 +352,11 @@ type Stats struct {
 	TableHitRate float64
 	TableFill    int
 	TableLen     int
+	// TableImpl names the table implementation ("striped" or "lockfree");
+	// TableGeneration is its current aging generation (bumped once per
+	// admitted session, wraps at 256).
+	TableImpl       string
+	TableGeneration uint8
 }
 
 // Stats returns the engine's current counters. Counters are atomics; the
@@ -384,11 +401,12 @@ func (e *Engine) Stats() Stats {
 		s.TableHitRate = e.table.HitRate()
 		s.TableFill = e.table.Fill()
 		s.TableLen = e.table.Len()
+		s.TableImpl = e.table.Impl()
+		s.TableGeneration = e.table.Generation()
 	}
 	return s
 }
 
 // Table exposes the engine's shared transposition table (nil when disabled);
 // tests use it to assert cross-session reuse.
-func (e *Engine) Table() *tt.Shared { return e.table }
-
+func (e *Engine) Table() tt.SharedTable { return e.table }

@@ -126,6 +126,12 @@ func (e *Engine) AnalyzeSession(ctx context.Context, pos game.Position, maxDepth
 	e.started.Add(1)
 	e.countBackendSession(be.Name())
 	e.cfg.Telemetry.recordBackendSession(e.name(), be.Name())
+	if e.table != nil {
+		// One admitted session = one aging tick: entries untouched since
+		// earlier sessions lose replacement priority in the lock-free table
+		// (the striped baseline records the generation but does not age).
+		e.table.NewSearch()
+	}
 
 	start := time.Now()
 	s := &session{
@@ -218,7 +224,7 @@ func (s *session) finish(outcome string, elapsed time.Duration, depth, researche
 	tel.recordSession(e.name(), outcome, elapsed, depth, researches, s.nodes)
 	tel.recordCore(e.name(), &s.core)
 	if e.table != nil {
-		tel.recordTableFill(e.name(), e.table.Fill())
+		tel.recordTable(e.name(), e.table)
 	}
 }
 

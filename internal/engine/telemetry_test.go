@@ -11,6 +11,7 @@ import (
 
 	"ertree/internal/randtree"
 	"ertree/internal/telemetry"
+	"ertree/internal/tt"
 )
 
 // TestTelemetryRecordsSessions: an engine wired to a Telemetry exposes the
@@ -42,6 +43,8 @@ func TestTelemetryRecordsSessions(t *testing.T) {
 		`core_tasks_total{game="randtree",kind="serial"}`,
 		`core_tt_ops_total{game="randtree",op="probe"}`,
 		`core_tt_fill_slots{game="randtree"}`,
+		`core_tt_hit_rate{game="randtree"}`,
+		`core_tt_generation{game="randtree"} 1`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("exposition missing %q\n%s", want, text)
@@ -68,7 +71,7 @@ func TestTelemetryNilIsSafe(t *testing.T) {
 	tel.recordSession("x", outcomeCompleted, time.Second, 3, 0, 10)
 	tel.recordRejection("x")
 	tel.recordCore("x", &coreTotals{serialTasks: 1})
-	tel.recordTableFill("x", 5)
+	tel.recordTable("x", tt.NewDefault(8, 0))
 }
 
 // TestAnalyzeTraceCollectsWorkerSpans: a traced session returns merged

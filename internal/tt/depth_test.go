@@ -1,6 +1,7 @@
 package tt
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -8,14 +9,30 @@ import (
 )
 
 // Concurrent depth-preferred replacement: StoreDeep never lets a shallower
-// result evict a deeper one for the same position, so under any interleaving
-// of same-key stores the slot's depth is monotonically non-decreasing, and a
-// reader that once observed depth d can never later observe a shallower
-// entry. Entries are written with Value == Depth so torn or stale reads are
-// also detectable as a value/depth mismatch. Run with -race (as CI does)
-// this doubles as the data-race check on the striped-lock slot access.
+// result evict a deeper one for the same position. Under the striped table's
+// per-slot mutex that is a strict guarantee — the slot's depth is
+// monotonically non-decreasing, and a reader that once observed depth d can
+// never later observe a shallower entry. The lock-free table is lossy by
+// design: two unlocked writers can each pass the keep-deeper check against
+// the same old entry and the shallower one can land last, so readers may see
+// depth retreat across a race window. What it does guarantee, always: a
+// ProbeDeep at floor f never returns an entry shallower than f, and no hit
+// is ever corrupt (entries are written with Value == Depth so torn or mixed
+// reads are detectable as a value/depth mismatch). Run with -race (as CI
+// does) this doubles as the data-race check on both slot-access paths.
 
-func TestSharedStoreDeepConcurrentSameKey(t *testing.T) {
+func TestStoreDeepConcurrentSameKey(t *testing.T) {
+	for name, table := range impls(10, 4) {
+		// Strict reader-visible monotonicity is the locked table's promise;
+		// the lock-free table promises the floor contract and no corruption.
+		strict := name == ImplStriped
+		t.Run(fmt.Sprintf("%s/strict=%v", name, strict), func(t *testing.T) {
+			testStoreDeepConcurrentSameKey(t, table, strict)
+		})
+	}
+}
+
+func testStoreDeepConcurrentSameKey(t *testing.T, table SharedTable, strict bool) {
 	const (
 		key     = uint64(0xABCDEF123456)
 		writers = 8
@@ -23,7 +40,6 @@ func TestSharedStoreDeepConcurrentSameKey(t *testing.T) {
 		rounds  = 2000
 		maxD    = 32
 	)
-	table := NewShared(10, 4)
 
 	var writerWG, readerWG sync.WaitGroup
 	stop := make(chan struct{})
@@ -47,13 +63,13 @@ func TestSharedStoreDeepConcurrentSameKey(t *testing.T) {
 					t.Errorf("torn entry: depth %d value %d", e.Depth, e.Value)
 					return
 				}
-				if int(e.Depth) < seen {
+				if strict && int(e.Depth) < seen {
 					t.Errorf("depth went backwards: saw %d after %d", e.Depth, seen)
 					return
 				}
 				seen = int(e.Depth)
 				// ProbeDeep at a positive floor must never hand back a
-				// shallower entry than asked for.
+				// shallower entry than asked for — on any implementation.
 				if e2, ok2 := table.ProbeDeep(key, seen); ok2 && int(e2.Depth) < seen {
 					t.Errorf("ProbeDeep(depth=%d) returned depth %d", seen, e2.Depth)
 					return
@@ -89,7 +105,8 @@ func TestSharedStoreDeepConcurrentSameKey(t *testing.T) {
 	if int(e.Value) != int(e.Depth) || int(e.Depth) >= maxD {
 		t.Fatalf("final entry inconsistent: depth %d value %d", e.Depth, e.Value)
 	}
-	// A deeper StoreDeep still wins, and a shallower one still loses.
+	// Once the writers quiesce, the sequential semantics hold on every
+	// implementation: a deeper StoreDeep wins, a shallower one loses.
 	table.StoreDeep(key, maxD, game.Value(maxD), Exact)
 	table.StoreDeep(key, 1, 1, Exact)
 	if e, _ := table.ProbeDeep(key, 0); int(e.Depth) != maxD {

@@ -32,6 +32,12 @@ type Shared struct {
 	slotMask  uint64
 	slotBits  uint
 
+	// gen is the aging generation of the SharedTable contract. The striped
+	// table's direct-mapped replacement has no bucket to age within, so the
+	// counter only feeds introspection (Stats gauges, head-to-head
+	// comparisons with the lock-free table's aging policy).
+	gen atomic.Uint32
+
 	probes, hits, stores, replacements atomic.Int64
 }
 
@@ -173,20 +179,55 @@ func (t *Shared) Len() int {
 // Shards returns the stripe count.
 func (t *Shared) Shards() int { return len(t.shards) }
 
-// Fill returns the number of used slots.
+// NewSearch bumps the aging generation (see the field comment: tracked for
+// the SharedTable contract, not consulted by the direct-mapped replacement).
+func (t *Shared) NewSearch() { t.gen.Add(1) }
+
+// Generation returns the current generation (wraps at 256).
+func (t *Shared) Generation() uint8 { return uint8(t.gen.Load()) }
+
+// Impl names the implementation.
+func (t *Shared) Impl() string { return ImplStriped }
+
+// fillSampleBudget bounds the slots Fill visits across all stripes: the slot
+// index is the low bits of a 64-bit hash, so occupancy is uniform and a few
+// thousand slots estimate the fill of millions.
+const fillSampleBudget = 4096
+
+// Fill estimates the number of used slots. Tables at or under the sample
+// budget are counted exactly; larger ones sample a prefix of each stripe
+// under that stripe's lock and extrapolate, so a /stats scrape holds each
+// shard mutex for at most budget/shards slots instead of a full-stripe scan
+// blocking that stripe's writers for the whole sweep.
 func (t *Shared) Fill() int {
+	perShard := fillSampleBudget / len(t.shards)
+	if perShard < 1 {
+		perShard = 1
+	}
+	exact := perShard >= len(t.shards[0].slots)
+	if exact {
+		perShard = len(t.shards[0].slots)
+	}
 	n := 0
 	for i := range t.shards {
 		s := &t.shards[i]
 		s.mu.Lock()
-		for j := range s.slots {
+		for j := 0; j < perShard; j++ {
 			if s.slots[j].used {
 				n++
 			}
 		}
 		s.mu.Unlock()
 	}
-	return n
+	if exact {
+		return n
+	}
+	sampled := perShard * len(t.shards)
+	est := int(int64(n) * int64(t.Len()) / int64(sampled))
+	if max := t.Len(); est > max {
+		est = max
+	}
+	return est
 }
 
 // SharedStats is an atomic snapshot of a Shared table's counters.
