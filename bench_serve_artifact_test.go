@@ -1,0 +1,105 @@
+package ertree_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestBenchServeArtifactPhases guards the committed BENCH_serve.json produced
+// by cmd/erload: every phase must carry a coherent latency summary
+// (p50<=p95<=p99), nonzero throughput, shed/error/cache rates in range, and
+// the file must keep the host metadata that makes serving-latency numbers
+// interpretable. CI's erload smoke regenerates the artifact before this runs,
+// so a harness change that drops a field or emits garbage fails here.
+func TestBenchServeArtifactPhases(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_serve.json")
+	if err != nil {
+		t.Fatalf("missing load-test artifact: %v", err)
+	}
+	var art struct {
+		GoVersion  string `json:"go_version"`
+		GOOS       string `json:"goos"`
+		GOARCH     string `json:"goarch"`
+		NumCPU     int    `json:"num_cpu"`
+		GOMAXPROCS int    `json:"gomaxprocs"`
+		Scenario   string `json:"scenario"`
+		Target     string `json:"target"`
+		Server     struct {
+			Backend  string `json:"backend"`
+			Capacity int    `json:"capacity"`
+		} `json:"server"`
+		Phases []struct {
+			Name          string  `json:"name"`
+			DurationMS    int64   `json:"duration_ms"`
+			Offered       int     `json:"offered"`
+			Completed     int     `json:"completed"`
+			ThroughputRPS float64 `json:"throughput_rps"`
+			ShedRate      float64 `json:"shed_rate"`
+			ErrorRate     float64 `json:"error_rate"`
+			Latency       struct {
+				P50 float64 `json:"p50"`
+				P95 float64 `json:"p95"`
+				P99 float64 `json:"p99"`
+			} `json:"latency_ms"`
+			Cache struct {
+				HitRate float64 `json:"hit_rate"`
+			} `json:"answer_cache"`
+		} `json:"phases"`
+	}
+	if err := json.Unmarshal(raw, &art); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+
+	if art.GoVersion == "" || art.GOOS == "" || art.GOARCH == "" {
+		t.Fatalf("artifact missing toolchain metadata: %+v", art)
+	}
+	if art.NumCPU < 1 || art.GOMAXPROCS < 1 {
+		t.Fatalf("artifact missing host metadata: num_cpu=%d gomaxprocs=%d", art.NumCPU, art.GOMAXPROCS)
+	}
+	if art.Scenario == "" || art.Target == "" {
+		t.Fatalf("artifact missing scenario/target identity: %+v", art)
+	}
+	if art.Server.Backend == "" || art.Server.Capacity < 1 {
+		t.Fatalf("artifact missing server identity: %+v", art.Server)
+	}
+	if art.NumCPU == 1 {
+		t.Logf("warning: artifact was produced on a 1-CPU host; latency quantiles " +
+			"under overload measure single-core scheduling, not the parallel " +
+			"serving path — regenerate on a multi-core machine before quoting them")
+	}
+
+	if len(art.Phases) < 2 {
+		t.Fatalf("artifact has %d phases, want >= 2 (a ramp needs at least two points)", len(art.Phases))
+	}
+	sawCacheHits := false
+	for _, p := range art.Phases {
+		if p.Name == "" || p.DurationMS <= 0 {
+			t.Fatalf("phase missing identity: %+v", p)
+		}
+		if p.Offered <= 0 || p.Completed <= 0 {
+			t.Fatalf("phase %q completed no load: offered=%d completed=%d", p.Name, p.Offered, p.Completed)
+		}
+		if p.ThroughputRPS <= 0 {
+			t.Fatalf("phase %q has no throughput", p.Name)
+		}
+		l := p.Latency
+		if !(l.P50 > 0 && l.P50 <= l.P95 && l.P95 <= l.P99) {
+			t.Fatalf("phase %q latency quantiles incoherent: p50=%.3f p95=%.3f p99=%.3f", p.Name, l.P50, l.P95, l.P99)
+		}
+		if p.ShedRate < 0 || p.ShedRate > 1 || p.ErrorRate < 0 || p.ErrorRate > 1 {
+			t.Fatalf("phase %q rates out of range: shed=%.3f err=%.3f", p.Name, p.ShedRate, p.ErrorRate)
+		}
+		if p.Cache.HitRate < 0 || p.Cache.HitRate > 1 {
+			t.Fatalf("phase %q cache hit rate out of range: %.3f", p.Name, p.Cache.HitRate)
+		}
+		if p.Cache.HitRate > 0 {
+			sawCacheHits = true
+		}
+	}
+	// The scenario always carries a duplicate-mix phase; a run where no phase
+	// ever hit the answer cache means the cache or the hot set is broken.
+	if !sawCacheHits {
+		t.Fatalf("no phase recorded an answer-cache hit rate > 0")
+	}
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ertree/internal/serve"
+)
+
+// TestCorpusCoversAllStages: every registered game yields non-terminal
+// positions for every stage, and the walks are reproducible under a seed.
+func TestCorpusCoversAllStages(t *testing.T) {
+	c1 := buildCorpus(rand.New(rand.NewSource(7)), 8)
+	c2 := buildCorpus(rand.New(rand.NewSource(7)), 8)
+	for game := range gameRoots {
+		for _, stage := range []string{stageOpen, stageMid, stageEnd} {
+			p1, p2 := c1.paths(game, stage), c2.paths(game, stage)
+			if len(p1) == 0 {
+				t.Errorf("%s/%s: empty pool", game, stage)
+			}
+			if len(p1) != len(p2) {
+				t.Fatalf("%s/%s: corpus not reproducible under a fixed seed", game, stage)
+			}
+			for i := range p1 {
+				if p1[i] != p2[i] {
+					t.Fatalf("%s/%s: path %d differs across same-seed builds", game, stage, i)
+				}
+			}
+		}
+	}
+}
+
+// TestSmokeScenarioInProcess runs the CI smoke scenario against an in-process
+// server and checks the resulting artifact phases are well-formed: nonzero
+// throughput, coherent quantiles, rates in range, and a lit-up answer cache
+// in the duplicate-mix phase.
+func TestSmokeScenarioInProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second load run")
+	}
+	srv := serve.New(serve.Config{
+		Workers: 2, SerialDepth: 4, TableBits: 14, CacheSize: 64,
+		MaxConcurrent: 4, QueueTimeout: 100 * time.Millisecond,
+		WindowTick: time.Second, WindowSlots: 30,
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	rng := rand.New(rand.NewSource(42))
+	r := &runner{
+		base:        ts.URL,
+		client:      ts.Client(),
+		rng:         rng,
+		corpus:      buildCorpus(rng, 8),
+		sampleEvery: 50 * time.Millisecond,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if _, err := r.awaitReady(ctx, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	sc := scenarios["smoke"]
+	if err := sc.validate(); err != nil {
+		t.Fatal(err)
+	}
+	phases, err := r.run(ctx, sc)
+	if err != nil {
+		t.Fatalf("run: %v (phases so far: %+v)", err, phases)
+	}
+	if len(phases) != len(sc.Phases) {
+		t.Fatalf("got %d phase results, want %d", len(phases), len(sc.Phases))
+	}
+	for _, p := range phases {
+		if p.Offered == 0 || p.Completed == 0 {
+			t.Errorf("phase %s: offered=%d completed=%d", p.Name, p.Offered, p.Completed)
+		}
+		if p.ThroughputRPS <= 0 {
+			t.Errorf("phase %s: throughput %.3f", p.Name, p.ThroughputRPS)
+		}
+		l := p.Latency
+		if !(l.P50 > 0 && l.P50 <= l.P95 && l.P95 <= l.P99 && l.P99 <= l.Max) {
+			t.Errorf("phase %s: incoherent latency summary %+v", p.Name, l)
+		}
+		if p.ShedRate < 0 || p.ShedRate > 1 || p.ErrorRate < 0 || p.ErrorRate > 1 {
+			t.Errorf("phase %s: rates out of range: shed=%.3f err=%.3f", p.Name, p.ShedRate, p.ErrorRate)
+		}
+		if p.Errors > p.Offered/2 {
+			t.Errorf("phase %s: %d/%d requests errored (last server state suspect)", p.Name, p.Errors, p.Offered)
+		}
+	}
+	// The duplicate phase must have exercised the answer cache...
+	if dup := phases[0]; dup.Cache.HitRate <= 0 {
+		t.Errorf("duplicate phase cache hit rate %.3f, want > 0 (hits=%d misses=%d)",
+			dup.Cache.HitRate, dup.Cache.Hits, dup.Cache.Misses)
+	}
+	// ...and the churn phase must have actually churned.
+	churn := phases[1]
+	if churn.SSE == 0 {
+		t.Errorf("churn phase saw no SSE subscribers")
+	}
+	if churn.Cancelled == 0 {
+		t.Errorf("churn phase saw no cancellations")
+	}
+	// The sampler must have observed the server under load.
+	if phases[0].Load.Samples == 0 {
+		t.Errorf("gauge sampler took no samples")
+	}
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ertree/internal/checkers"
+	"ertree/internal/connect4"
+	"ertree/internal/game"
+	"ertree/internal/othello"
+	"ertree/internal/ttt"
+)
+
+// Game phases a scenario can mix. The serving claim is about traffic shape:
+// opening positions hit the answer cache and transposition table hard (few
+// distinct lines), midgame positions are the expensive wide searches, and
+// endgames are deep but narrow. A load phase weights the three.
+const (
+	stageOpen = "open"
+	stageMid  = "mid"
+	stageEnd  = "end"
+)
+
+// stagePlies is how many plies into a random playout each stage sits, per
+// game — rough thirds of a typical game length.
+var stagePlies = map[string]map[string]int{
+	"ttt":      {stageOpen: 0, stageMid: 3, stageEnd: 5},
+	"connect4": {stageOpen: 1, stageMid: 8, stageEnd: 20},
+	"othello":  {stageOpen: 2, stageMid: 16, stageEnd: 40},
+	"checkers": {stageOpen: 1, stageMid: 10, stageEnd: 24},
+}
+
+// gameRoots mirrors the server's registered games (the wire protocol
+// addresses positions as child-index paths from these roots).
+var gameRoots = map[string]func() game.Position{
+	"ttt":      func() game.Position { return ttt.New() },
+	"connect4": func() game.Position { return connect4.New() },
+	"othello":  func() game.Position { return othello.Start() },
+	"checkers": func() game.Position { return checkers.Start() },
+}
+
+// corpus holds pre-walked request positions: game -> stage -> move paths
+// (comma-joined child indices, the server's position addressing).
+type corpus map[string]map[string][]string
+
+// paths returns the pool for (game, stage), falling back to the opening
+// position when a stage has no entries.
+func (c corpus) paths(game, stage string) []string {
+	if p := c[game][stage]; len(p) > 0 {
+		return p
+	}
+	return []string{""}
+}
+
+// buildCorpus random-walks each game to its stage plies, keeping only
+// non-terminal positions so every generated request is searchable. The walk
+// is seeded, so a fixed seed reproduces the exact same traffic.
+func buildCorpus(rng *rand.Rand, perStage int) corpus {
+	// Fixed game and stage order: map iteration would reorder the rng draws
+	// and break same-seed reproducibility.
+	names := make([]string, 0, len(gameRoots))
+	for name := range gameRoots {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	c := make(corpus, len(gameRoots))
+	for _, name := range names {
+		root := gameRoots[name]
+		c[name] = make(map[string][]string, len(stagePlies[name]))
+		for _, stage := range []string{stageOpen, stageMid, stageEnd} {
+			plies := stagePlies[name][stage]
+			pool := make([]string, 0, perStage)
+			for len(pool) < perStage {
+				if path, ok := walk(rng, root(), plies); ok {
+					pool = append(pool, path)
+				} else {
+					// Playout died before reaching the stage (possible in
+					// short games); retry caps keep this from spinning.
+					plies--
+					if plies < 0 {
+						break
+					}
+				}
+			}
+			c[name][stage] = pool
+		}
+	}
+	return c
+}
+
+// walk plays plies random moves from pos and returns the child-index path if
+// the resulting position still has legal moves.
+func walk(rng *rand.Rand, pos game.Position, plies int) (string, bool) {
+	var b strings.Builder
+	for i := 0; i < plies; i++ {
+		kids := pos.Children()
+		if len(kids) == 0 {
+			return "", false
+		}
+		idx := rng.Intn(len(kids))
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(idx))
+		pos = kids[idx]
+	}
+	if len(pos.Children()) == 0 {
+		return "", false
+	}
+	return b.String(), true
+}

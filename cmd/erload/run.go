@@ -1,0 +1,516 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+)
+
+// request is one fully-determined unit of load. Every random choice (game,
+// position, SSE, duplicate, cancellation point) is made on the arrival loop's
+// goroutine with the seeded rng, so a fixed seed replays the same traffic.
+type request struct {
+	game, moves string
+	depth       int
+	budgetMS    int
+	sse         bool
+	dup         bool
+	cancelAfter time.Duration // 0 = patient client
+}
+
+// runner drives one server through a scenario.
+type runner struct {
+	base        string
+	client      *http.Client
+	rng         *rand.Rand
+	corpus      corpus
+	sampleEvery time.Duration
+	verbose     bool
+}
+
+// collector accumulates one phase's outcomes. Latencies are recorded for
+// successful requests only — shed responses return in microseconds and would
+// make the latency quantiles look better the worse the overload gets.
+type collector struct {
+	mu          sync.Mutex
+	latenciesMS []float64
+	ok, shed    int
+	errors      int
+	cancelled   int
+	sse, dups   int
+	lastErr     string
+}
+
+func (c *collector) record(req request, latency time.Duration, outcome string, errMsg string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if req.sse {
+		c.sse++
+	}
+	if req.dup {
+		c.dups++
+	}
+	switch outcome {
+	case "ok":
+		c.ok++
+		c.latenciesMS = append(c.latenciesMS, float64(latency)/float64(time.Millisecond))
+	case "shed":
+		c.shed++
+	case "cancelled":
+		c.cancelled++
+	default:
+		c.errors++
+		if errMsg != "" {
+			c.lastErr = errMsg
+		}
+	}
+}
+
+// healthz mirrors the server's /healthz body (the readiness and load fields
+// the harness gates and samples on).
+type healthz struct {
+	Status    string `json:"status"`
+	Backend   string `json:"backend"`
+	TableImpl string `json:"table_impl"`
+	InFlight  int    `json:"in_flight"`
+	Capacity  int    `json:"capacity"`
+	Waiting   int64  `json:"waiting"`
+}
+
+// statsView decodes the /stats fields the harness differences across a phase.
+type statsView struct {
+	AnswerCache struct {
+		Hits   int64 `json:"hits"`
+		Misses int64 `json:"misses"`
+	} `json:"answer_cache"`
+}
+
+// Artifact schema — what lands in BENCH_serve.json.
+
+type latencyMS struct {
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+type cacheDelta struct {
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+type loadGauges struct {
+	Samples      int     `json:"samples"`
+	MaxInFlight  int     `json:"max_in_flight"`
+	MaxWaiting   int64   `json:"max_waiting"`
+	MeanInFlight float64 `json:"mean_in_flight"`
+}
+
+type phaseResult struct {
+	Name          string     `json:"name"`
+	DurationMS    int64      `json:"duration_ms"`
+	TargetRate    float64    `json:"target_rate"`
+	Offered       int        `json:"offered"`
+	Completed     int        `json:"completed"`
+	Shed          int        `json:"shed"`
+	Errors        int        `json:"errors"`
+	Cancelled     int        `json:"cancelled"`
+	SSE           int        `json:"sse"`
+	Duplicates    int        `json:"duplicates"`
+	ThroughputRPS float64    `json:"throughput_rps"`
+	ShedRate      float64    `json:"shed_rate"`
+	ErrorRate     float64    `json:"error_rate"`
+	Latency       latencyMS  `json:"latency_ms"`
+	Cache         cacheDelta `json:"answer_cache"`
+	Load          loadGauges `json:"load"`
+}
+
+type serverInfo struct {
+	Backend   string `json:"backend"`
+	TableImpl string `json:"table_impl"`
+	Capacity  int    `json:"capacity"`
+}
+
+// benchServe is the committed BENCH_serve.json: host metadata so numbers are
+// interpretable, then one entry per phase.
+type benchServe struct {
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	NumCPU     int           `json:"num_cpu"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Scenario   string        `json:"scenario"`
+	Target     string        `json:"target"` // "in-process" or the -url value
+	Seed       int64         `json:"seed"`
+	Server     serverInfo    `json:"server"`
+	Phases     []phaseResult `json:"phases"`
+}
+
+// awaitReady polls /healthz until the server reports ok — the readiness gate
+// before any load is offered.
+func (r *runner) awaitReady(ctx context.Context, timeout time.Duration) (healthz, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		var h healthz
+		if err := r.getJSON(ctx, "/healthz", &h); err == nil && h.Status == "ok" {
+			return h, nil
+		}
+		if time.Now().After(deadline) {
+			return healthz{}, fmt.Errorf("server not ready after %v", timeout)
+		}
+		select {
+		case <-ctx.Done():
+			return healthz{}, ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+func (r *runner) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("%s: status %d", path, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// run executes the scenario phase by phase, draining each phase's in-flight
+// requests before sampling its closing cache counters.
+func (r *runner) run(ctx context.Context, sc Scenario) ([]phaseResult, error) {
+	results := make([]phaseResult, 0, len(sc.Phases))
+	for _, p := range sc.Phases {
+		res, err := r.runPhase(ctx, p)
+		if err != nil {
+			return results, fmt.Errorf("phase %q: %w", p.Name, err)
+		}
+		results = append(results, res)
+		if r.verbose {
+			fmt.Printf("phase %-16s offered=%d ok=%d shed=%d err=%d cancel=%d p50=%.1fms p99=%.1fms thr=%.1f/s cache=%.0f%%\n",
+				res.Name, res.Offered, res.Completed, res.Shed, res.Errors, res.Cancelled,
+				res.Latency.P50, res.Latency.P99, res.ThroughputRPS, res.Cache.HitRate*100)
+		}
+		if p.AssertCacheHits && res.Cache.HitRate == 0 {
+			return results, fmt.Errorf("duplicate-mix phase ended with zero answer-cache hit rate (hits=%d misses=%d) — cache disabled or duplicates not coalescing", res.Cache.Hits, res.Cache.Misses)
+		}
+	}
+	return results, nil
+}
+
+// runPhase offers open-loop Poisson load: arrivals follow the clock, not the
+// completions, so when the server falls behind, the queue (and the shed rate)
+// grows — exactly the overload behaviour a closed loop would mask.
+func (r *runner) runPhase(ctx context.Context, p Phase) (phaseResult, error) {
+	var before statsView
+	if err := r.getJSON(ctx, "/stats", &before); err != nil {
+		return phaseResult{}, fmt.Errorf("reading /stats: %w", err)
+	}
+
+	hot := r.buildHotSet(p)
+	col := &collector{}
+	var wg sync.WaitGroup
+
+	// Sampler: poll the in-flight and queue-depth gauges during the phase.
+	sampleDone := make(chan loadGauges, 1)
+	sampleStop := make(chan struct{})
+	go r.sample(ctx, sampleStop, sampleDone)
+
+	start := time.Now()
+	offered := 0
+	for {
+		elapsed := time.Since(start)
+		if elapsed >= p.Duration || ctx.Err() != nil {
+			break
+		}
+		// Exponential inter-arrival gap: a Poisson process at p.Rate.
+		gap := time.Duration(r.rng.ExpFloat64() / p.Rate * float64(time.Second))
+		if remaining := p.Duration - elapsed; gap > remaining {
+			gap = remaining
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(gap):
+		}
+		if time.Since(start) >= p.Duration || ctx.Err() != nil {
+			break
+		}
+		req := r.draw(p, hot)
+		offered++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.do(ctx, req, col)
+		}()
+	}
+	wg.Wait()
+	close(sampleStop)
+	load := <-sampleDone
+	wall := time.Since(start)
+
+	var after statsView
+	if err := r.getJSON(ctx, "/stats", &after); err != nil {
+		return phaseResult{}, fmt.Errorf("reading /stats: %w", err)
+	}
+	if ctx.Err() != nil {
+		return phaseResult{}, ctx.Err()
+	}
+
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	res := phaseResult{
+		Name:       p.Name,
+		DurationMS: wall.Milliseconds(),
+		TargetRate: p.Rate,
+		Offered:    offered,
+		Completed:  col.ok,
+		Shed:       col.shed,
+		Errors:     col.errors,
+		Cancelled:  col.cancelled,
+		SSE:        col.sse,
+		Duplicates: col.dups,
+		Latency:    summarize(col.latenciesMS),
+		Load:       load,
+	}
+	if wall > 0 {
+		res.ThroughputRPS = float64(col.ok) / wall.Seconds()
+	}
+	if offered > 0 {
+		res.ShedRate = float64(col.shed) / float64(offered)
+		res.ErrorRate = float64(col.errors) / float64(offered)
+	}
+	res.Cache.Hits = after.AnswerCache.Hits - before.AnswerCache.Hits
+	res.Cache.Misses = after.AnswerCache.Misses - before.AnswerCache.Misses
+	if lookups := res.Cache.Hits + res.Cache.Misses; lookups > 0 {
+		res.Cache.HitRate = float64(res.Cache.Hits) / float64(lookups)
+	}
+	if col.errors > 0 && col.lastErr != "" && r.verbose {
+		fmt.Printf("phase %s: last error: %s\n", p.Name, col.lastErr)
+	}
+	return res, nil
+}
+
+// buildHotSet pre-draws the small set of requests the duplicate fraction
+// replays. Hot requests are plain (non-SSE, patient) so their answers are
+// cacheable and repeat hits are unambiguous.
+func (r *runner) buildHotSet(p Phase) []request {
+	if p.DupFraction <= 0 || p.HotSet <= 0 {
+		return nil
+	}
+	hot := make([]request, p.HotSet)
+	for i := range hot {
+		hot[i] = r.drawFresh(p)
+		hot[i].dup = true
+	}
+	return hot
+}
+
+// draw picks the next arrival's request: a replay from the hot set with
+// probability DupFraction, otherwise a fresh position, with SSE and
+// cancellation rolled independently.
+func (r *runner) draw(p Phase, hot []request) request {
+	if len(hot) > 0 && r.rng.Float64() < p.DupFraction {
+		return hot[r.rng.Intn(len(hot))]
+	}
+	req := r.drawFresh(p)
+	if r.rng.Float64() < p.SSEFraction {
+		req.sse = true
+	}
+	if r.rng.Float64() < p.CancelFraction {
+		// Give up somewhere in the middle 60% of the budget — late enough to
+		// land mid-search, early enough to actually pre-empt the answer.
+		frac := 0.2 + 0.6*r.rng.Float64()
+		req.cancelAfter = time.Duration(frac * float64(p.BudgetMS) * float64(time.Millisecond))
+	}
+	return req
+}
+
+func (r *runner) drawFresh(p Phase) request {
+	game := p.Games[r.rng.Intn(len(p.Games))]
+	total := p.Mix.Open + p.Mix.Mid + p.Mix.End
+	roll := r.rng.Float64() * total
+	stage := stageOpen
+	switch {
+	case roll < p.Mix.Open:
+	case roll < p.Mix.Open+p.Mix.Mid:
+		stage = stageMid
+	default:
+		stage = stageEnd
+	}
+	paths := r.corpus.paths(game, stage)
+	return request{
+		game:     game,
+		moves:    paths[r.rng.Intn(len(paths))],
+		depth:    p.Depth,
+		budgetMS: p.BudgetMS,
+	}
+}
+
+// do issues one request and classifies its outcome. SSE requests subscribe to
+// the progress stream and read it to completion; latency covers the full
+// stream. A cancellation fires a context cancel mid-budget, modelling a
+// client that navigated away.
+func (r *runner) do(ctx context.Context, req request, col *collector) {
+	q := url.Values{}
+	q.Set("game", req.game)
+	if req.moves != "" {
+		q.Set("moves", req.moves)
+	}
+	q.Set("depth", fmt.Sprint(req.depth))
+	q.Set("budget_ms", fmt.Sprint(req.budgetMS))
+	path := "/bestmove"
+	if req.sse {
+		path = "/analyze"
+		q.Set("stream", "1")
+	}
+
+	rctx := ctx
+	if req.cancelAfter > 0 {
+		var cancel context.CancelFunc
+		rctx, cancel = context.WithCancel(ctx)
+		defer cancel()
+		t := time.AfterFunc(req.cancelAfter, cancel)
+		defer t.Stop()
+	}
+	// The impatient-client cancel is the only way rctx dies while the run's
+	// own context is still live.
+	wasCancelled := func() bool { return req.cancelAfter > 0 && rctx.Err() != nil && ctx.Err() == nil }
+
+	start := time.Now()
+	httpReq, err := http.NewRequestWithContext(rctx, http.MethodGet, r.base+path+"?"+q.Encode(), nil)
+	if err != nil {
+		col.record(req, 0, "error", err.Error())
+		return
+	}
+	resp, err := r.client.Do(httpReq)
+	if err != nil {
+		if wasCancelled() {
+			col.record(req, 0, "cancelled", "")
+		} else {
+			col.record(req, 0, "error", err.Error())
+		}
+		return
+	}
+	defer resp.Body.Close()
+
+	switch {
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		io.Copy(io.Discard, resp.Body)
+		col.record(req, 0, "shed", "")
+		return
+	case resp.StatusCode != http.StatusOK:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		col.record(req, 0, "error", fmt.Sprintf("status %d: %s", resp.StatusCode, body))
+		return
+	}
+	// Drain the body — for SSE that means reading events until the server
+	// finishes (or our cancel disconnects mid-stream).
+	var readErr error
+	if req.sse {
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+		for sc.Scan() {
+		}
+		readErr = sc.Err()
+	} else {
+		_, readErr = io.Copy(io.Discard, resp.Body)
+	}
+	latency := time.Since(start)
+	if readErr != nil || wasCancelled() {
+		if wasCancelled() {
+			col.record(req, latency, "cancelled", "")
+		} else {
+			col.record(req, latency, "error", readErr.Error())
+		}
+		return
+	}
+	col.record(req, latency, "ok", "")
+}
+
+// sample polls /healthz for the in-flight and queue-depth gauges until
+// stopped, then delivers the aggregate.
+func (r *runner) sample(ctx context.Context, stop <-chan struct{}, done chan<- loadGauges) {
+	var g loadGauges
+	var sumInFlight int
+	t := time.NewTicker(r.sampleEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			if g.Samples > 0 {
+				g.MeanInFlight = float64(sumInFlight) / float64(g.Samples)
+			}
+			done <- g
+			return
+		case <-ctx.Done():
+			done <- g
+			return
+		case <-t.C:
+			var h healthz
+			if err := r.getJSON(ctx, "/healthz", &h); err != nil {
+				continue
+			}
+			g.Samples++
+			sumInFlight += h.InFlight
+			if h.InFlight > g.MaxInFlight {
+				g.MaxInFlight = h.InFlight
+			}
+			if h.Waiting > g.MaxWaiting {
+				g.MaxWaiting = h.Waiting
+			}
+		}
+	}
+}
+
+// summarize computes the latency summary over a phase's successes.
+func summarize(ms []float64) latencyMS {
+	if len(ms) == 0 {
+		return latencyMS{}
+	}
+	sorted := append([]float64(nil), ms...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	return latencyMS{
+		P50:  percentile(sorted, 0.50),
+		P95:  percentile(sorted, 0.95),
+		P99:  percentile(sorted, 0.99),
+		Mean: sum / float64(len(sorted)),
+		Max:  sorted[len(sorted)-1],
+	}
+}
+
+// percentile is nearest-rank on a sorted slice.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+// stageMix weights the position stages a phase draws from. Weights need not
+// sum to 1; they are normalised at draw time.
+type stageMix struct {
+	Open, Mid, End float64
+}
+
+// Phase is one segment of a load scenario: an open-loop Poisson arrival
+// process at Rate requests/sec for Duration, drawing positions from Games
+// under Mix, with configurable fractions of SSE subscribers, duplicate
+// requests (a small hot set, exercising the answer cache), and mid-flight
+// client cancellations.
+type Phase struct {
+	Name     string
+	Duration time.Duration
+	Rate     float64 // target arrivals per second (Poisson)
+
+	Games []string // games to draw from, uniformly
+	Mix   stageMix // open/mid/end position weights
+
+	Depth    int // requested search depth
+	BudgetMS int // per-request search budget
+
+	SSEFraction    float64 // fraction using /analyze?stream=1 and reading events
+	DupFraction    float64 // fraction drawn from the hot set instead of fresh
+	CancelFraction float64 // fraction whose client gives up mid-budget
+	HotSet         int     // distinct requests in the duplicate hot set
+
+	// AssertCacheHits makes the run fail if the phase ends with a zero
+	// answer-cache hit rate — the duplicate-mix phase's self-check.
+	AssertCacheHits bool
+}
+
+// Scenario is a named sequence of phases, run back to back against one server.
+type Scenario struct {
+	Name   string
+	Phases []Phase
+}
+
+// scenarios holds the built-in scenarios, selectable with -scenario.
+var scenarios = map[string]Scenario{
+	"default": defaultScenario(),
+	"smoke":   smokeScenario(),
+}
+
+// defaultScenario is the full traffic shape: a warmup of cheap openings, a
+// duplicate-heavy phase aimed at the answer cache, a Poisson rate ramp into
+// overload across all four games, and a churn phase of SSE subscribers and
+// cancelling clients.
+func defaultScenario() Scenario {
+	return Scenario{Name: "default", Phases: []Phase{
+		{
+			Name: "warmup-open", Duration: 5 * time.Second, Rate: 12,
+			Games: []string{"ttt", "connect4"}, Mix: stageMix{Open: 1},
+			Depth: 6, BudgetMS: 400,
+		},
+		{
+			Name: "duplicate-mix", Duration: 6 * time.Second, Rate: 20,
+			Games: []string{"ttt", "connect4"}, Mix: stageMix{Open: 1, Mid: 1},
+			Depth: 6, BudgetMS: 400,
+			DupFraction: 0.6, HotSet: 4, AssertCacheHits: true,
+		},
+		{
+			Name: "ramp-overload", Duration: 8 * time.Second, Rate: 40,
+			Games: []string{"ttt", "connect4", "othello", "checkers"},
+			Mix:   stageMix{Open: 1, Mid: 2, End: 1},
+			Depth: 10, BudgetMS: 300,
+		},
+		{
+			// Deep budget-bound searches so a mid-budget cancel actually
+			// pre-empts the answer instead of arriving after it.
+			Name: "sse-cancel-churn", Duration: 6 * time.Second, Rate: 15,
+			Games: []string{"connect4", "othello"}, Mix: stageMix{Mid: 2, End: 1},
+			Depth: 20, BudgetMS: 500,
+			SSEFraction: 0.35, CancelFraction: 0.3,
+		},
+	}}
+}
+
+// smokeScenario is the CI shape: two short phases — a duplicate-heavy one
+// that must light up the answer cache, and an SSE/cancel churn one — sized to
+// finish in under ten seconds on one core.
+func smokeScenario() Scenario {
+	return Scenario{Name: "smoke", Phases: []Phase{
+		{
+			Name: "smoke-dup", Duration: 3 * time.Second, Rate: 15,
+			Games: []string{"ttt"}, Mix: stageMix{Open: 1, Mid: 1},
+			Depth: 5, BudgetMS: 300,
+			DupFraction: 0.6, HotSet: 3, AssertCacheHits: true,
+		},
+		{
+			// Depth far past what the budget allows: every search is
+			// budget-bound, so cancels land mid-search.
+			Name: "smoke-churn", Duration: 3 * time.Second, Rate: 10,
+			Games: []string{"connect4"}, Mix: stageMix{Mid: 1},
+			Depth: 20, BudgetMS: 300,
+			SSEFraction: 0.25, CancelFraction: 0.3,
+		},
+	}}
+}
+
+// validate rejects phases the runner cannot execute sensibly.
+func (s Scenario) validate() error {
+	if len(s.Phases) == 0 {
+		return fmt.Errorf("scenario %q has no phases", s.Name)
+	}
+	for _, p := range s.Phases {
+		if p.Rate <= 0 || p.Duration <= 0 {
+			return fmt.Errorf("phase %q: rate and duration must be positive", p.Name)
+		}
+		if len(p.Games) == 0 {
+			return fmt.Errorf("phase %q: no games", p.Name)
+		}
+		for _, g := range p.Games {
+			if _, ok := gameRoots[g]; !ok {
+				return fmt.Errorf("phase %q: unknown game %q", p.Name, g)
+			}
+		}
+		if p.Mix.Open+p.Mix.Mid+p.Mix.End <= 0 {
+			return fmt.Errorf("phase %q: empty stage mix", p.Name)
+		}
+		if p.DupFraction > 0 && p.HotSet <= 0 {
+			return fmt.Errorf("phase %q: duplicate fraction without a hot set", p.Name)
+		}
+	}
+	return nil
+}

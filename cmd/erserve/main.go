@@ -1,6 +1,7 @@
 // Command erserve is an HTTP/JSON analysis service over the repository's
 // parallel ER engine: cancellable, time-managed search sessions with a
 // bounded concurrent-session pool and per-game shared transposition tables.
+// The service itself lives in internal/serve; this command is the flag shell.
 //
 // Endpoints:
 //
@@ -11,8 +12,8 @@
 //	GET /analyze?game=othello&depth=6&stream=1 (SSE per-iteration progress)
 //	GET /analyze?game=othello&depth=6&flight=1 (record a flight report)
 //	GET /debug/flight                        (retained reports; ?id=<request id>)
-//	GET /healthz
-//	GET /stats
+//	GET /healthz                             (readiness + uptime/backend/table/in-flight)
+//	GET /stats                               (counters + windowed latency quantiles)
 //	GET /metrics                             (Prometheus text; ?format=json)
 //
 // A position is the list of child indices (natural move order) from the
@@ -32,6 +33,7 @@ import (
 
 	"ertree/internal/backend"
 	"ertree/internal/engine"
+	"ertree/internal/serve"
 	"ertree/internal/tt"
 )
 
@@ -49,6 +51,8 @@ func main() {
 		queueTimeout  = flag.Duration("queue-timeout", time.Second, "how long an over-capacity request waits for a slot before 503")
 		maxDepth      = flag.Int("max-depth", 32, "cap on the requested search depth")
 		defaultBudget = flag.Duration("default-budget", 5*time.Second, "search budget when the request has no budget_ms")
+		windowTick    = flag.Duration("slo-window-tick", serve.DefaultWindowTick, "interval between windowed-quantile snapshots")
+		windowSlots   = flag.Int("slo-window-slots", serve.DefaultWindowSlots, "snapshots retained per windowed quantile (window ≈ tick × slots)")
 		pprofOn       = flag.Bool("pprof", false, "serve /debug/pprof/ profiling endpoints (enables mutex and block profiling)")
 	)
 	flag.Parse()
@@ -63,7 +67,7 @@ func main() {
 			*tableImpl, tt.ImplsString())
 		os.Exit(2)
 	}
-	s := newServer(serverConfig{
+	s := serve.New(serve.Config{
 		Workers:       *workers,
 		Backend:       *backendName,
 		SerialDepth:   *serialDepth,
@@ -75,8 +79,10 @@ func main() {
 		QueueTimeout:  *queueTimeout,
 		MaxDepth:      *maxDepth,
 		DefaultBudget: *defaultBudget,
+		WindowTick:    *windowTick,
+		WindowSlots:   *windowSlots,
 	})
-	var h http.Handler = s.handler()
+	var h http.Handler = s.Handler()
 	if *pprofOn {
 		// Contention on the engine lock is the quantity the paper measures;
 		// sample it so /debug/pprof/mutex and /debug/pprof/block show where

@@ -159,6 +159,12 @@ type Engine struct {
 	nodes       atomic.Int64
 	researches  atomic.Int64
 
+	// Shed-by-cause breakdown of rejected: immediate refusals (no queue),
+	// queue-timeout expiries, and callers that cancelled while queued.
+	shedFull      atomic.Int64
+	shedTimeout   atomic.Int64
+	shedCancelled atomic.Int64
+
 	// Core-search aggregates, folded in once per session (see coreTotals).
 	serialTasks atomic.Int64
 	leafTasks   atomic.Int64
@@ -281,16 +287,33 @@ func (e *Engine) countBackendSession(name string) {
 	e.bmu.Unlock()
 }
 
+// Shed-cause labels: why an admission was refused. "full" is an immediate
+// rejection (no queue configured), "timeout" a queue wait that expired, and
+// "cancelled" a caller that gave up while queued.
+const (
+	ShedFull      = "full"
+	ShedTimeout   = "timeout"
+	ShedCancelled = "cancelled"
+)
+
 // acquire claims a session slot, waiting up to QueueTimeout when the pool is
-// full. ctx expiry during the wait is reported as the context's error.
+// full. ctx expiry during the wait is reported as the context's error. Every
+// outcome records how long the caller waited (the admission-wait histogram —
+// under load, queueing is where serving latency hides), and refusals count by
+// cause.
 func (e *Engine) acquire(ctx context.Context) error {
+	start := time.Now()
 	select {
 	case e.sem <- struct{}{}:
+		e.cfg.Telemetry.recordAdmissionWait(e.name(), time.Since(start))
 		return nil
 	default:
 	}
 	if e.cfg.QueueTimeout <= 0 {
 		e.rejected.Add(1)
+		e.shedFull.Add(1)
+		e.cfg.Telemetry.recordAdmissionWait(e.name(), time.Since(start))
+		e.cfg.Telemetry.recordShed(e.name(), ShedFull)
 		return ErrBusy
 	}
 	e.waiting.Add(1)
@@ -299,12 +322,19 @@ func (e *Engine) acquire(ctx context.Context) error {
 	defer timer.Stop()
 	select {
 	case e.sem <- struct{}{}:
+		e.cfg.Telemetry.recordAdmissionWait(e.name(), time.Since(start))
 		return nil
 	case <-timer.C:
 		e.rejected.Add(1)
+		e.shedTimeout.Add(1)
+		e.cfg.Telemetry.recordAdmissionWait(e.name(), time.Since(start))
+		e.cfg.Telemetry.recordShed(e.name(), ShedTimeout)
 		return ErrBusy
 	case <-ctx.Done():
 		e.rejected.Add(1)
+		e.shedCancelled.Add(1)
+		e.cfg.Telemetry.recordAdmissionWait(e.name(), time.Since(start))
+		e.cfg.Telemetry.recordShed(e.name(), ShedCancelled)
 		return ctx.Err()
 	}
 }
@@ -321,8 +351,14 @@ type Stats struct {
 	DeadlineCut int64 // sessions cut short by their deadline
 	Rejected    int64 // admissions refused (queue timeout or caller gave up)
 	Failed      int64 // sessions that errored
-	Nodes       int64 // total tree nodes generated across all sessions
-	Researches  int64 // aspiration-window re-searches across all sessions
+
+	// Rejected broken down by cause: "full" (immediate, no queue configured),
+	// "timeout" (queue wait expired), "cancelled" (caller gave up queued).
+	ShedFull      int64
+	ShedTimeout   int64
+	ShedCancelled int64
+	Nodes         int64 // total tree nodes generated across all sessions
+	Researches    int64 // aspiration-window re-searches across all sessions
 
 	// Backend is the engine's default search backend; BackendSessions counts
 	// admitted sessions per backend actually used (per-request overrides make
@@ -363,29 +399,32 @@ type Stats struct {
 // snapshot is approximate while sessions are running.
 func (e *Engine) Stats() Stats {
 	s := Stats{
-		Capacity:    cap(e.sem),
-		Active:      len(e.sem),
-		Waiting:     e.waiting.Load(),
-		Started:     e.started.Load(),
-		Completed:   e.completed.Load(),
-		DeadlineCut: e.deadlineCut.Load(),
-		Rejected:    e.rejected.Load(),
-		Failed:      e.failed.Load(),
-		Nodes:       e.nodes.Load(),
-		Researches:  e.researches.Load(),
-		SerialTasks: e.serialTasks.Load(),
-		LeafTasks:   e.leafTasks.Load(),
-		SpecPops:    e.specPops.Load(),
-		Dropped:     e.dropped.Load(),
-		CutoffDrops: e.cutoffDrops.Load(),
-		HeapOps:     e.heapOps.Load(),
-		Steals:      e.steals.Load(),
-		StealFails:  e.stealFails.Load(),
-		TTProbes:    e.ttProbes.Load(),
-		TTHits:      e.ttHits.Load(),
-		TTStores:    e.ttStores.Load(),
-		TTCutoffs:   e.ttCutoffs.Load(),
-		Backend:     e.cfg.Backend,
+		Capacity:      cap(e.sem),
+		Active:        len(e.sem),
+		Waiting:       e.waiting.Load(),
+		Started:       e.started.Load(),
+		Completed:     e.completed.Load(),
+		DeadlineCut:   e.deadlineCut.Load(),
+		Rejected:      e.rejected.Load(),
+		Failed:        e.failed.Load(),
+		ShedFull:      e.shedFull.Load(),
+		ShedTimeout:   e.shedTimeout.Load(),
+		ShedCancelled: e.shedCancelled.Load(),
+		Nodes:         e.nodes.Load(),
+		Researches:    e.researches.Load(),
+		SerialTasks:   e.serialTasks.Load(),
+		LeafTasks:     e.leafTasks.Load(),
+		SpecPops:      e.specPops.Load(),
+		Dropped:       e.dropped.Load(),
+		CutoffDrops:   e.cutoffDrops.Load(),
+		HeapOps:       e.heapOps.Load(),
+		Steals:        e.steals.Load(),
+		StealFails:    e.stealFails.Load(),
+		TTProbes:      e.ttProbes.Load(),
+		TTHits:        e.ttHits.Load(),
+		TTStores:      e.ttStores.Load(),
+		TTCutoffs:     e.ttCutoffs.Load(),
+		Backend:       e.cfg.Backend,
 	}
 	e.bmu.Lock()
 	if len(e.backendSessions) > 0 {
@@ -410,3 +449,8 @@ func (e *Engine) Stats() Stats {
 // Table exposes the engine's shared transposition table (nil when disabled);
 // tests use it to assert cross-session reuse.
 func (e *Engine) Table() tt.SharedTable { return e.table }
+
+// Waiting returns the number of requests currently queued for a session slot
+// — the admission queue depth. Cheaper than Stats() (one atomic load), so
+// exposition-time gauges and load-test samplers can poll it freely.
+func (e *Engine) Waiting() int64 { return e.waiting.Load() }

@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"encoding/json"
@@ -13,7 +13,7 @@ import (
 // ?backend= parameter and checks the responses agree and are attributed to
 // the backend that served them, in both the response body and /stats.
 func TestBackendPerRequest(t *testing.T) {
-	ts := testServer(t, serverConfig{Workers: 2, SerialDepth: 2, TableBits: 16, MaxConcurrent: 2})
+	ts := testServer(t, Config{Workers: 2, SerialDepth: 2, TableBits: 16, MaxConcurrent: 2})
 	client := &http.Client{Timeout: 30 * time.Second}
 
 	values := map[string]int{}
@@ -58,7 +58,7 @@ func TestBackendPerRequest(t *testing.T) {
 // TestBackendValidation: an unknown ?backend= is a 400 naming the valid
 // options — never a silent fallback to the default.
 func TestBackendValidation(t *testing.T) {
-	ts := testServer(t, serverConfig{Workers: 1, MaxConcurrent: 1})
+	ts := testServer(t, Config{Workers: 1, MaxConcurrent: 1})
 	resp, err := http.Get(ts.URL + "/bestmove?game=ttt&depth=3&backend=alphago")
 	if err != nil {
 		t.Fatal(err)
@@ -81,7 +81,7 @@ func TestBackendValidation(t *testing.T) {
 // TestBackendMetricsLabel: mixed-backend traffic shows up in /metrics under
 // engine_backend_sessions_total with the backend label.
 func TestBackendMetricsLabel(t *testing.T) {
-	ts := testServer(t, serverConfig{Workers: 1, TableBits: 12, MaxConcurrent: 1})
+	ts := testServer(t, Config{Workers: 1, TableBits: 12, MaxConcurrent: 1})
 	client := &http.Client{Timeout: 30 * time.Second}
 	var an analysisJSON
 	getJSON(t, client, ts.URL+"/bestmove?game=ttt&depth=4&budget_ms=25000&backend=lazysmp", http.StatusOK, &an)

@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"container/list"
@@ -175,23 +175,27 @@ func (c *answerCache) size() int {
 	return c.lru.Len()
 }
 
-// answerCacheStats is the /stats view of the cache.
+// answerCacheStats is the /stats view of the cache. HitRate is
+// hits/(hits+misses) — the fraction of cacheable requests answered without a
+// search; coalesced waiters are counted separately because they also skipped
+// a search without being LRU hits.
 type answerCacheStats struct {
-	Enabled   bool  `json:"enabled"`
-	Capacity  int   `json:"capacity"`
-	Size      int   `json:"size"`
-	Hits      int64 `json:"hits"`
-	Misses    int64 `json:"misses"`
-	Coalesced int64 `json:"coalesced"`
-	Stores    int64 `json:"stores"`
-	Evictions int64 `json:"evictions"`
+	Enabled   bool    `json:"enabled"`
+	Capacity  int     `json:"capacity"`
+	Size      int     `json:"size"`
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	HitRate   float64 `json:"hit_rate"`
+	Coalesced int64   `json:"coalesced"`
+	Stores    int64   `json:"stores"`
+	Evictions int64   `json:"evictions"`
 }
 
 func (c *answerCache) stats() answerCacheStats {
 	if c == nil {
 		return answerCacheStats{}
 	}
-	return answerCacheStats{
+	st := answerCacheStats{
 		Enabled:   true,
 		Capacity:  c.capacity,
 		Size:      c.size(),
@@ -201,4 +205,8 @@ func (c *answerCache) stats() answerCacheStats {
 		Stores:    c.stores.Load(),
 		Evictions: c.evictions.Load(),
 	}
+	if lookups := st.Hits + st.Misses; lookups > 0 {
+		st.HitRate = float64(st.Hits) / float64(lookups)
+	}
+	return st
 }

@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"context"
@@ -86,7 +86,7 @@ func TestAnswerKeyDiscriminates(t *testing.T) {
 // request as the one leader plus cache hits and coalesced waiters.
 func TestSingleFlightCoalescing(t *testing.T) {
 	const k = 8
-	ts := testServer(t, serverConfig{
+	ts := testServer(t, Config{
 		Workers: 2, SerialDepth: 3, TableBits: 16,
 		MaxConcurrent: 2, CacheSize: 32,
 	})
@@ -177,7 +177,7 @@ func TestSingleFlightCoalescing(t *testing.T) {
 // replaying a stale rejection. The error here is a deterministic 503: the
 // single session slot is pinned by a long search and QueueTimeout is zero.
 func TestSingleFlightErrorNotCached(t *testing.T) {
-	ts := testServer(t, serverConfig{
+	ts := testServer(t, Config{
 		Workers: 1, SerialDepth: 2, TableBits: 12,
 		MaxConcurrent: 1, CacheSize: 8,
 	})

@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"encoding/json"
@@ -76,7 +76,7 @@ func (r *flightRing) summaries() []flightSummary {
 
 // handleDebugFlight serves the retained flight reports: a listing without
 // parameters, the full report with ?id=<X-Request-ID>.
-func (s *server) handleDebugFlight(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleDebugFlight(w http.ResponseWriter, r *http.Request) {
 	if id := firstValue(r.URL.Query(), "id"); id != "" {
 		rep, ok := s.flights.get(id)
 		if !ok {

@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"encoding/hex"
@@ -121,7 +121,7 @@ func formatUint(n uint64) string {
 // ids (honoring a client-sent X-Request-ID, minting one otherwise), in-flight
 // and per-path counters, latency histograms, a shed counter for 503s, and one
 // structured access-log line per request.
-func (s *server) instrument(next http.Handler) http.Handler {
+func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := r.Header.Get("X-Request-ID")
 		if id == "" {

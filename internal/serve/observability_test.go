@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"bytes"
@@ -16,7 +16,7 @@ import (
 // /metrics answers Prometheus text covering the request, session, core-search,
 // and transposition-table families.
 func TestMetricsEndpoint(t *testing.T) {
-	ts := testServer(t, serverConfig{Workers: 2, SerialDepth: 3, TableBits: 14, MaxConcurrent: 2})
+	ts := testServer(t, Config{Workers: 2, SerialDepth: 3, TableBits: 14, MaxConcurrent: 2})
 	client := &http.Client{Timeout: 20 * time.Second}
 
 	var an analysisJSON
@@ -82,7 +82,7 @@ func TestMetricsEndpoint(t *testing.T) {
 // TestRequestIDs: every response carries an X-Request-ID; a client-supplied
 // one is preserved.
 func TestRequestIDs(t *testing.T) {
-	ts := testServer(t, serverConfig{Workers: 1, MaxConcurrent: 1})
+	ts := testServer(t, Config{Workers: 1, MaxConcurrent: 1})
 	client := &http.Client{Timeout: 5 * time.Second}
 
 	resp, err := client.Get(ts.URL + "/healthz")
@@ -110,11 +110,11 @@ func TestRequestIDs(t *testing.T) {
 // with the request id and status code.
 func TestAccessLogLines(t *testing.T) {
 	var logBuf bytes.Buffer
-	srv := newServer(serverConfig{
+	srv := New(Config{
 		Workers: 1, MaxConcurrent: 1,
 		Logger: slog.New(slog.NewJSONHandler(&logBuf, nil)),
 	})
-	h := srv.handler()
+	h := srv.Handler()
 
 	rec := newRecorder()
 	req, _ := http.NewRequest("GET", "/healthz", nil)
@@ -145,7 +145,7 @@ func (w *failingWriter) Write([]byte) (int, error) { return 0, errors.New("clien
 // discarded Encode error: a failing writer must surface in the server log.
 func TestWriteJSONLogsEncodeErrors(t *testing.T) {
 	var logBuf bytes.Buffer
-	srv := newServer(serverConfig{
+	srv := New(Config{
 		Workers: 1, MaxConcurrent: 1,
 		Logger: slog.New(slog.NewJSONHandler(&logBuf, nil)),
 	})
@@ -191,7 +191,7 @@ func (r *recorder) Write(b []byte) (int, error) {
 // traceEvents a valid event array with per-worker thread names — with the
 // analysis embedded, and /bestmove ignores the flag.
 func TestAnalyzeTraceEndpoint(t *testing.T) {
-	ts := testServer(t, serverConfig{Workers: 2, SerialDepth: 2, TableBits: 12, MaxConcurrent: 2})
+	ts := testServer(t, Config{Workers: 2, SerialDepth: 2, TableBits: 12, MaxConcurrent: 2})
 	client := &http.Client{Timeout: 20 * time.Second}
 
 	var out struct {

@@ -1,4 +1,11 @@
-package main
+// Package serve implements the erserve HTTP analysis service as a library:
+// one engine per game over a shared admission pool, the single-flight answer
+// cache, request instrumentation, SSE progress streaming, flight-report
+// retention, and the SLO observability surface (/healthz, /stats, /metrics
+// with windowed latency quantiles). cmd/erserve is a thin flag-parsing shell
+// around it; cmd/erload starts an in-process instance through the same API
+// when asked to bring its own server.
+package serve
 
 import (
 	"bytes"
@@ -40,8 +47,8 @@ var games = map[string]gameSpec{
 	"checkers": {root: func() game.Position { return checkers.Start() }, order: game.StaticOrder{MaxPly: 5}},
 }
 
-// serverConfig configures a server; flag parsing in main fills it.
-type serverConfig struct {
+// Config configures a server; flag parsing in main fills it.
+type Config struct {
 	Workers       int           // parallel-ER workers per search
 	Backend       string        // default search backend; empty means the engine default
 	SerialDepth   int           // serial work grain
@@ -53,6 +60,8 @@ type serverConfig struct {
 	QueueTimeout  time.Duration // admission-queue wait before 503
 	MaxDepth      int           // cap on requested depth
 	DefaultBudget time.Duration // search budget when the client sends none
+	WindowTick    time.Duration // windowed-quantile snapshot interval; 0 = DefaultWindowTick
+	WindowSlots   int           // snapshots retained per window; 0 = DefaultWindowSlots
 	Logger        *slog.Logger  // structured logs; nil logs JSON to stderr
 }
 
@@ -60,8 +69,8 @@ type serverConfig struct {
 // session-slot pool, so the whole server runs at most MaxConcurrent searches
 // with queued admission. All engines record into one telemetry registry,
 // exposed at /metrics alongside the server's own request instrumentation.
-type server struct {
-	cfg     serverConfig
+type Server struct {
+	cfg     Config
 	engines map[string]*engine.Engine
 	pool    engine.Pool
 	start   time.Time
@@ -71,9 +80,10 @@ type server struct {
 	ids     *requestIDs
 	flights *flightRing
 	cache   *answerCache
+	slo     *sloTracker
 }
 
-func newServer(cfg serverConfig) *server {
+func New(cfg Config) *Server {
 	if cfg.MaxDepth <= 0 {
 		cfg.MaxDepth = 32
 	}
@@ -86,7 +96,7 @@ func newServer(cfg serverConfig) *server {
 	}
 	pool := engine.NewPool(cfg.MaxConcurrent)
 	reg := telemetry.NewRegistry()
-	s := &server{
+	s := &Server{
 		cfg:     cfg,
 		engines: make(map[string]*engine.Engine),
 		pool:    pool,
@@ -98,6 +108,7 @@ func newServer(cfg serverConfig) *server {
 		flights: newFlightRing(),
 		cache:   newAnswerCache(cfg.CacheSize),
 	}
+	s.slo = newSLOTracker(reg, s.metrics, cfg.WindowTick, cfg.WindowSlots)
 	tel := engine.NewTelemetry(reg)
 	for name, spec := range games {
 		s.engines[name] = engine.New(engine.Config{
@@ -121,6 +132,9 @@ func newServer(cfg serverConfig) *server {
 	reg.GaugeFunc("engine_pool_active",
 		"Sessions currently holding a slot.",
 		func() float64 { return float64(len(pool)) })
+	reg.GaugeFunc("engine_pool_waiting",
+		"Requests queued for a session slot across all games (admission queue depth).",
+		func() float64 { return float64(s.queueDepth()) })
 	reg.GaugeFunc("process_uptime_seconds",
 		"Seconds since the server started.",
 		func() float64 { return time.Since(s.start).Seconds() })
@@ -137,18 +151,28 @@ func newServer(cfg serverConfig) *server {
 		reg.GaugeFunc("server_answer_cache_coalesced_total",
 			"Requests that waited on another request's identical search (monotone).",
 			func() float64 { return float64(s.cache.coalesced.Load()) })
+		reg.GaugeFunc("server_answer_cache_hit_rate",
+			"Fraction of cacheable requests answered from the completed-answer LRU.",
+			func() float64 { return s.cache.stats().HitRate })
 	}
 	return s
 }
 
-func (s *server) handler() http.Handler {
+func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/bestmove", s.handleAnalyze(false))
 	mux.HandleFunc("/analyze", s.handleAnalyze(true))
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/debug/flight", s.handleDebugFlight)
-	mux.Handle("/metrics", s.reg.Handler())
+	// /metrics advances the quantile windows before exposition, so the
+	// slo_latency_window_seconds gauges a scraper reads are at most one
+	// scrape interval stale.
+	metricsH := s.reg.Handler()
+	mux.Handle("/metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.slo.maybeTick()
+		metricsH.ServeHTTP(w, r)
+	}))
 	return s.instrument(mux)
 }
 
@@ -161,7 +185,7 @@ type httpError struct {
 // logged, not swallowed: after WriteHeader the status is already on the wire,
 // so the log line (keyed by the response's request id) is the only place a
 // half-written body becomes visible.
-func (s *server) writeJSON(w http.ResponseWriter, code int, v any) {
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
@@ -175,7 +199,7 @@ func (s *server) writeJSON(w http.ResponseWriter, code int, v any) {
 	}
 }
 
-func (s *server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
 	s.writeJSON(w, code, httpError{Error: fmt.Sprintf(format, args...)})
 }
 
@@ -268,7 +292,7 @@ func firstValue(q map[string][]string, key string) string {
 // analysis or "error"); flight=1 runs the session with the core flight
 // recorder armed and retains the resulting speculation-waste report under the
 // request id for /debug/flight.
-func (s *server) handleAnalyze(includeIterations bool) http.HandlerFunc {
+func (s *Server) handleAnalyze(includeIterations bool) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query()
 		name, pos, err := parsePosition(q)
@@ -405,6 +429,7 @@ func (s *server) handleAnalyze(includeIterations bool) http.HandlerFunc {
 			s.fail(w, code, "%s", msg)
 			return
 		}
+		s.slo.observeBackend(an.Backend, an.Elapsed)
 		if recordFlight {
 			s.flights.add(an.Label, flight.Build(an.Trace, flight.Options{
 				Label:   an.Label,
@@ -458,27 +483,69 @@ type tracedAnalysisJSON struct {
 	Analysis    analysisJSON    `json:"analysis"`
 }
 
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, map[string]any{
-		"status":    "ok",
-		"uptime_ms": time.Since(s.start).Milliseconds(),
-		"games":     len(s.engines),
-	})
+// queueDepth sums the engines' admission-queue occupancy: how many requests
+// are waiting for one of the shared session slots right now.
+func (s *Server) queueDepth() int64 {
+	var n int64
+	for _, e := range s.engines {
+		n += e.Waiting()
+	}
+	return n
 }
 
-// statsJSON is the /stats response: the admission pool plus per-game engine
-// counters.
+// healthzJSON is the /healthz body: enough identity and load state for a
+// readiness gate (erload polls it before opening traffic) and for a human to
+// tell which configuration is answering.
+type healthzJSON struct {
+	Status    string `json:"status"`
+	UptimeMS  int64  `json:"uptime_ms"`
+	Games     int    `json:"games"`
+	Backend   string `json:"backend"`    // resolved default search backend
+	TableImpl string `json:"table_impl"` // shared-table implementation; "none" when disabled
+	InFlight  int    `json:"in_flight"`  // sessions currently holding a slot
+	Capacity  int    `json:"capacity"`   // session slots
+	Waiting   int64  `json:"waiting"`    // admission queue depth
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	out := healthzJSON{
+		Status:    "ok",
+		UptimeMS:  time.Since(s.start).Milliseconds(),
+		Games:     len(s.engines),
+		TableImpl: "none",
+		InFlight:  len(s.pool),
+		Capacity:  cap(s.pool),
+		Waiting:   s.queueDepth(),
+	}
+	for _, e := range s.engines {
+		// All engines share the same configuration; any one identifies it.
+		out.Backend = e.Backend()
+		if t := e.Table(); t != nil {
+			out.TableImpl = t.Impl()
+		}
+		break
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+// statsJSON is the /stats response: the admission pool, windowed latency
+// quantiles, the answer cache, and per-game engine counters.
 type statsJSON struct {
 	UptimeMS    int64                   `json:"uptime_ms"`
 	Capacity    int                     `json:"capacity"`
 	Active      int                     `json:"active"`
+	Waiting     int64                   `json:"waiting"`
+	SLO         sloJSON                 `json:"slo"`
 	AnswerCache answerCacheStats        `json:"answer_cache"`
 	Games       map[string]engine.Stats `json:"games"`
 }
 
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.slo.maybeTick()
 	out := statsJSON{
 		UptimeMS:    time.Since(s.start).Milliseconds(),
+		Waiting:     s.queueDepth(),
+		SLO:         s.slo.snapshot(),
 		AnswerCache: s.cache.stats(),
 		Games:       make(map[string]engine.Stats, len(s.engines)),
 	}

@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"encoding/json"
@@ -11,14 +11,14 @@ import (
 	"time"
 )
 
-func testServer(t *testing.T, cfg serverConfig) *httptest.Server {
+func testServer(t *testing.T, cfg Config) *httptest.Server {
 	t.Helper()
 	if cfg.Logger == nil {
 		// Keep access logs out of the test output; log-asserting tests
 		// inject their own buffer-backed logger.
 		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
-	ts := httptest.NewServer(newServer(cfg).handler())
+	ts := httptest.NewServer(New(cfg).Handler())
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -50,7 +50,7 @@ func getJSON(t *testing.T, client *http.Client, url string, wantStatus int, out 
 // generous budget lets the search complete; the client deadline proves the
 // answer arrived in time.
 func TestBestMoveDepth8Connect4(t *testing.T) {
-	ts := testServer(t, serverConfig{Workers: 4, SerialDepth: 4, TableBits: 18, MaxConcurrent: 2})
+	ts := testServer(t, Config{Workers: 4, SerialDepth: 4, TableBits: 18, MaxConcurrent: 2})
 	client := &http.Client{Timeout: 30 * time.Second}
 	var an analysisJSON
 	getJSON(t, client, ts.URL+"/bestmove?game=connect4&moves=3,3&depth=8&budget_ms=25000", http.StatusOK, &an)
@@ -72,7 +72,7 @@ func TestBestMoveDepth8Connect4(t *testing.T) {
 // the budget cuts a deep search short, the server still answers 200 with the
 // deepest completed iteration's move and completed=false.
 func TestBestMoveDeadlineCut(t *testing.T) {
-	ts := testServer(t, serverConfig{Workers: 4, SerialDepth: 4, TableBits: 18, MaxConcurrent: 2})
+	ts := testServer(t, Config{Workers: 4, SerialDepth: 4, TableBits: 18, MaxConcurrent: 2})
 	client := &http.Client{Timeout: 10 * time.Second}
 	var an analysisJSON
 	getJSON(t, client, ts.URL+"/bestmove?game=connect4&depth=32&budget_ms=300", http.StatusOK, &an)
@@ -87,7 +87,7 @@ func TestBestMoveDeadlineCut(t *testing.T) {
 // TestAnalyzeIterations checks that /analyze includes the per-iteration
 // history, each iteration one ply deeper than the last.
 func TestAnalyzeIterations(t *testing.T) {
-	ts := testServer(t, serverConfig{Workers: 2, SerialDepth: 3, TableBits: 16, MaxConcurrent: 2})
+	ts := testServer(t, Config{Workers: 2, SerialDepth: 3, TableBits: 16, MaxConcurrent: 2})
 	client := &http.Client{Timeout: 10 * time.Second}
 	var an analysisJSON
 	getJSON(t, client, ts.URL+"/analyze?game=ttt&depth=9&budget_ms=20000", http.StatusOK, &an)
@@ -110,7 +110,7 @@ func TestAnalyzeIterations(t *testing.T) {
 
 // TestAllGamesAnswer smoke-tests every registered game end to end.
 func TestAllGamesAnswer(t *testing.T) {
-	ts := testServer(t, serverConfig{Workers: 2, SerialDepth: 2, TableBits: 14, MaxConcurrent: 4})
+	ts := testServer(t, Config{Workers: 2, SerialDepth: 2, TableBits: 14, MaxConcurrent: 4})
 	client := &http.Client{Timeout: 20 * time.Second}
 	for name := range games {
 		var an analysisJSON
@@ -122,7 +122,7 @@ func TestAllGamesAnswer(t *testing.T) {
 }
 
 func TestBadRequests(t *testing.T) {
-	ts := testServer(t, serverConfig{Workers: 1, MaxConcurrent: 1})
+	ts := testServer(t, Config{Workers: 1, MaxConcurrent: 1})
 	client := &http.Client{Timeout: 5 * time.Second}
 	for _, tc := range []struct {
 		url  string
@@ -143,7 +143,7 @@ func TestBadRequests(t *testing.T) {
 // TestBusyReturns503 fills the single session slot with a long search and
 // verifies the next request is shed with 503 and a Retry-After header.
 func TestBusyReturns503(t *testing.T) {
-	ts := testServer(t, serverConfig{Workers: 2, SerialDepth: 4, MaxConcurrent: 1, QueueTimeout: 50 * time.Millisecond})
+	ts := testServer(t, Config{Workers: 2, SerialDepth: 4, MaxConcurrent: 1, QueueTimeout: 50 * time.Millisecond})
 	client := &http.Client{Timeout: 10 * time.Second}
 
 	done := make(chan struct{})
@@ -182,7 +182,7 @@ func TestBusyReturns503(t *testing.T) {
 }
 
 func TestHealthzAndStats(t *testing.T) {
-	ts := testServer(t, serverConfig{Workers: 1, MaxConcurrent: 3, TableBits: 12})
+	ts := testServer(t, Config{Workers: 1, MaxConcurrent: 3, TableBits: 12})
 	client := &http.Client{Timeout: 5 * time.Second}
 
 	var health map[string]any
@@ -211,7 +211,7 @@ func TestHealthzAndStats(t *testing.T) {
 // TestTerminalPositionRejected asserts the no-moves mapping: a finished game
 // cannot be searched.
 func TestTerminalPositionRejected(t *testing.T) {
-	ts := testServer(t, serverConfig{Workers: 1, MaxConcurrent: 1})
+	ts := testServer(t, Config{Workers: 1, MaxConcurrent: 1})
 	client := &http.Client{Timeout: 5 * time.Second}
 	// Child indices walking X to a top-row win (cells 0,3,1,4,2): the
 	// position after the last move is terminal.

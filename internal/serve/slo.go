@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"ertree/internal/backend"
+	"ertree/internal/telemetry"
+)
+
+// Defaults for the windowed-quantile ring: a snapshot every 5s, 12 retained —
+// the classic "last minute" window.
+const (
+	DefaultWindowTick  = 5 * time.Second
+	DefaultWindowSlots = 12
+)
+
+// sloEntry is one tracked latency surface: a cumulative histogram plus its
+// sliding window.
+type sloEntry struct {
+	hist *telemetry.Histogram
+	win  *telemetry.HistWindow
+}
+
+// sloTracker maintains windowed latency quantiles per endpoint and per search
+// backend. The cumulative histograms (the /metrics families) answer "since
+// boot"; the windows answer "right now", which is what a load test's ramp
+// phases and an operator's dashboard actually need.
+//
+// Windows advance lazily: every exposition (/stats, /metrics) calls maybeTick,
+// which snapshots at most once per tick interval. A server nobody scrapes
+// keeps no windows current — and needs none.
+type sloTracker struct {
+	tick  time.Duration
+	slots int
+
+	mu       sync.Mutex
+	lastTick time.Time
+
+	endpoints map[string]*sloEntry // by path label, the instrumented surface
+	backends  map[string]*sloEntry // by search backend name
+
+	// backendHist is the per-backend session latency family; endpoint
+	// entries window the existing http_request_duration_seconds children.
+	backendHist *telemetry.HistogramVec
+	// windowGauge mirrors the windowed quantiles into /metrics:
+	// slo_latency_window_seconds{kind,name,quantile}, updated at each tick.
+	windowGauge *telemetry.GaugeVec
+}
+
+func newSLOTracker(reg *telemetry.Registry, m *httpMetrics, tick time.Duration, slots int) *sloTracker {
+	if tick <= 0 {
+		tick = DefaultWindowTick
+	}
+	if slots <= 0 {
+		slots = DefaultWindowSlots
+	}
+	t := &sloTracker{
+		tick:      tick,
+		slots:     slots,
+		endpoints: make(map[string]*sloEntry),
+		backends:  make(map[string]*sloEntry),
+		backendHist: reg.HistogramVec("server_backend_latency_seconds",
+			"Analysis session latency by search backend (server-side view).",
+			telemetry.LatencyBuckets(), "backend"),
+		windowGauge: reg.GaugeVec("slo_latency_window_seconds",
+			"Windowed latency quantiles per endpoint and backend, updated at each window tick.",
+			"kind", "name", "quantile"),
+	}
+	// The label sets are closed (known paths, registered backends), so every
+	// window exists up front and the serving path never allocates one.
+	for path := range knownPaths {
+		h := m.latency.With(path)
+		t.endpoints[path] = &sloEntry{hist: h, win: telemetry.NewHistWindow(h, slots)}
+	}
+	for _, name := range backend.Names() {
+		h := t.backendHist.With(name)
+		t.backends[name] = &sloEntry{hist: h, win: telemetry.NewHistWindow(h, slots)}
+	}
+	return t
+}
+
+// observeBackend records one finished session's latency against the backend
+// that served it. Unknown names (future backends registered after server
+// construction) are dropped rather than growing the label set at serve time.
+func (t *sloTracker) observeBackend(name string, elapsed time.Duration) {
+	if e, ok := t.backends[name]; ok {
+		e.hist.Observe(elapsed.Seconds())
+	}
+}
+
+// maybeTick advances every window if at least one tick interval has passed
+// since the last advance, and refreshes the /metrics quantile gauges. Called
+// from the exposition handlers; concurrent calls collapse to one tick.
+func (t *sloTracker) maybeTick() {
+	now := time.Now()
+	t.mu.Lock()
+	if !t.lastTick.IsZero() && now.Sub(t.lastTick) < t.tick {
+		t.mu.Unlock()
+		return
+	}
+	t.lastTick = now
+	t.mu.Unlock()
+
+	for name, e := range t.endpoints {
+		e.win.Tick()
+		t.setGauges("endpoint", name, e.win)
+	}
+	for name, e := range t.backends {
+		e.win.Tick()
+		t.setGauges("backend", name, e.win)
+	}
+}
+
+// setGauges publishes one window's quantiles to /metrics. Empty windows set 0
+// (NaN would poison the JSON exposition format).
+func (t *sloTracker) setGauges(kind, name string, w *telemetry.HistWindow) {
+	for _, q := range [...]struct {
+		label string
+		q     float64
+	}{{"p50", 0.5}, {"p95", 0.95}, {"p99", 0.99}} {
+		v := w.Quantile(q.q)
+		if math.IsNaN(v) {
+			v = 0
+		}
+		t.windowGauge.With(kind, name, q.label).Set(v)
+	}
+}
+
+// sloQuantilesJSON is one windowed latency summary in /stats.
+type sloQuantilesJSON struct {
+	Count      int64   `json:"count"`
+	RatePerSec float64 `json:"rate_per_sec"`
+	P50MS      float64 `json:"p50_ms"`
+	P95MS      float64 `json:"p95_ms"`
+	P99MS      float64 `json:"p99_ms"`
+}
+
+// sloJSON is the /stats "slo" section: windowed quantiles per endpoint and
+// backend, with the window's nominal size for interpretation.
+type sloJSON struct {
+	WindowMS  int64                       `json:"window_ms"`
+	Endpoints map[string]sloQuantilesJSON `json:"endpoints"`
+	Backends  map[string]sloQuantilesJSON `json:"backends"`
+}
+
+func windowSummary(w *telemetry.HistWindow) sloQuantilesJSON {
+	ms := func(q float64) float64 {
+		v := w.Quantile(q)
+		if math.IsNaN(v) {
+			return 0
+		}
+		return v * 1000
+	}
+	return sloQuantilesJSON{
+		Count:      w.Count(),
+		RatePerSec: w.Rate(),
+		P50MS:      ms(0.5),
+		P95MS:      ms(0.95),
+		P99MS:      ms(0.99),
+	}
+}
+
+// snapshot builds the /stats view. The quantiles difference the live counts
+// against the oldest retained snapshot, so they include traffic since the
+// last tick — a burst is visible on the very next /stats read.
+func (t *sloTracker) snapshot() sloJSON {
+	out := sloJSON{
+		WindowMS:  (t.tick * time.Duration(t.slots)).Milliseconds(),
+		Endpoints: make(map[string]sloQuantilesJSON, len(t.endpoints)),
+		Backends:  make(map[string]sloQuantilesJSON, len(t.backends)),
+	}
+	for name, e := range t.endpoints {
+		out.Endpoints[name] = windowSummary(e.win)
+	}
+	for name, e := range t.backends {
+		out.Backends[name] = windowSummary(e.win)
+	}
+	return out
+}

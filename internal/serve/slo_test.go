@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// sloStats decodes the /stats fields the SLO tests care about.
+type sloStats struct {
+	Waiting     int64            `json:"waiting"`
+	SLO         sloJSON          `json:"slo"`
+	AnswerCache answerCacheStats `json:"answer_cache"`
+}
+
+// TestStatsWindowedQuantilesTrackBursts is the windowed-quantile acceptance
+// check: /stats reports per-endpoint p50/p95/p99 over a sliding window, and
+// the numbers move when the traffic does — a burst of slow requests after a
+// burst of fast ones must drag the windowed p99 up, which the cumulative
+// histogram alone could never show this promptly.
+func TestStatsWindowedQuantilesTrackBursts(t *testing.T) {
+	ts := testServer(t, Config{
+		Workers: 1, SerialDepth: 2, TableBits: 14, MaxConcurrent: 2,
+		// Tick on every exposition so the test controls window advancement;
+		// plenty of slots so nothing ages out mid-test.
+		WindowTick: time.Nanosecond, WindowSlots: 32,
+	})
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// Burst A: trivial depth-2 tic-tac-toe requests, each a few ms at most.
+	// Distinct positions so the answer cache cannot collapse them.
+	for i := 0; i < 5; i++ {
+		getJSON(t, client, fmt.Sprintf("%s/bestmove?game=ttt&moves=%d&depth=2&budget_ms=10000", ts.URL, i), http.StatusOK, nil)
+	}
+	var st1 sloStats
+	getJSON(t, client, ts.URL+"/stats", http.StatusOK, &st1)
+	ep1, ok := st1.SLO.Endpoints["/bestmove"]
+	if !ok {
+		t.Fatalf("/stats slo has no /bestmove endpoint: %+v", st1.SLO)
+	}
+	if ep1.Count < 5 {
+		t.Fatalf("windowed count %d after 5 requests", ep1.Count)
+	}
+	if ep1.P99MS <= 0 || ep1.P50MS > ep1.P99MS {
+		t.Fatalf("degenerate quantiles after burst A: %+v", ep1)
+	}
+	if ep1.P99MS > 100 {
+		t.Fatalf("burst A p99 %.1fms for depth-2 ttt — too slow to separate the bursts", ep1.P99MS)
+	}
+
+	// Burst B: deadline-cut Connect Four searches pinned at ~250ms each.
+	for i := 0; i < 5; i++ {
+		getJSON(t, client, fmt.Sprintf("%s/bestmove?game=connect4&moves=%d&depth=30&budget_ms=250", ts.URL, i), http.StatusOK, nil)
+	}
+	var st2 sloStats
+	getJSON(t, client, ts.URL+"/stats", http.StatusOK, &st2)
+	ep2 := st2.SLO.Endpoints["/bestmove"]
+	if ep2.Count < ep1.Count+5 {
+		t.Fatalf("windowed count did not grow across bursts: %d -> %d", ep1.Count, ep2.Count)
+	}
+	if ep2.P99MS <= ep1.P99MS {
+		t.Fatalf("windowed p99 did not move with the slow burst: %.2fms -> %.2fms", ep1.P99MS, ep2.P99MS)
+	}
+	if ep2.P99MS < 100 {
+		t.Fatalf("windowed p99 %.1fms after five ~250ms requests", ep2.P99MS)
+	}
+
+	// The sessions behind the bursts also land in the per-backend window.
+	be := st2.SLO.Backends
+	var sessions int64
+	for _, q := range be {
+		sessions += q.Count
+	}
+	if sessions < 10 {
+		t.Fatalf("backend windows saw %d sessions, want >= 10: %+v", sessions, be)
+	}
+}
+
+// TestMetricsExposeWindowGauges: /metrics carries the windowed quantiles as
+// slo_latency_window_seconds gauges and the per-backend latency family.
+func TestMetricsExposeWindowGauges(t *testing.T) {
+	ts := testServer(t, Config{
+		Workers: 1, SerialDepth: 2, TableBits: 12, MaxConcurrent: 2, CacheSize: 8,
+		WindowTick: time.Nanosecond, WindowSlots: 8,
+	})
+	client := &http.Client{Timeout: 20 * time.Second}
+	getJSON(t, client, ts.URL+"/bestmove?game=ttt&depth=3&budget_ms=15000", http.StatusOK, nil)
+
+	resp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	for _, want := range []string{
+		`slo_latency_window_seconds{kind="endpoint",name="/bestmove",quantile="p99"}`,
+		`slo_latency_window_seconds{kind="backend",name="er",quantile="p50"}`,
+		`server_backend_latency_seconds_count{backend=`,
+		"engine_pool_waiting",
+		"engine_admission_wait_seconds_count",
+		"server_answer_cache_hit_rate",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// JSON exposition must survive the window gauges (NaN would break it).
+	resp2, err := client.Get(ts.URL + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics?format=json status %d", resp2.StatusCode)
+	}
+	if b, _ := io.ReadAll(resp2.Body); len(b) == 0 {
+		t.Fatal("empty JSON metrics body")
+	}
+}
+
+// TestHealthzReadinessBody: /healthz carries the identity and load fields the
+// load harness gates on.
+func TestHealthzReadinessBody(t *testing.T) {
+	ts := testServer(t, Config{Workers: 1, MaxConcurrent: 3, TableBits: 12, Backend: "er"})
+	client := &http.Client{Timeout: 5 * time.Second}
+	var h healthzJSON
+	getJSON(t, client, ts.URL+"/healthz", http.StatusOK, &h)
+	if h.Status != "ok" || h.Games != len(games) {
+		t.Fatalf("healthz identity: %+v", h)
+	}
+	if h.Backend != "er" {
+		t.Fatalf("healthz backend %q", h.Backend)
+	}
+	if h.TableImpl == "" || h.TableImpl == "none" {
+		t.Fatalf("healthz table_impl %q with TableBits set", h.TableImpl)
+	}
+	if h.Capacity != 3 || h.InFlight != 0 || h.Waiting != 0 {
+		t.Fatalf("healthz load state: %+v", h)
+	}
+	if h.UptimeMS < 0 {
+		t.Fatalf("healthz uptime: %+v", h)
+	}
+}
+
+// TestShedByCauseSurfaced: a queue-timeout shed shows up in the per-game shed
+// breakdown and in the admission-wait histogram.
+func TestShedByCauseSurfaced(t *testing.T) {
+	ts := testServer(t, Config{Workers: 1, SerialDepth: 4, MaxConcurrent: 1, QueueTimeout: 30 * time.Millisecond})
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := client.Get(ts.URL + "/bestmove?game=connect4&depth=32&budget_ms=2500")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	// Wait for the long request to own the slot, then overload.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var h healthzJSON
+		getJSON(t, client, ts.URL+"/healthz", http.StatusOK, &h)
+		if h.InFlight == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("long request never occupied the slot")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp, err := client.Get(ts.URL + "/bestmove?game=connect4&depth=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-capacity request: %d", resp.StatusCode)
+	}
+	wg.Wait()
+
+	var st struct {
+		Games map[string]struct {
+			Rejected    int64
+			ShedTimeout int64
+		} `json:"games"`
+	}
+	getJSON(t, client, ts.URL+"/stats", http.StatusOK, &st)
+	g := st.Games["connect4"]
+	if g.ShedTimeout != 1 || g.Rejected != 1 {
+		t.Fatalf("shed breakdown: %+v", g)
+	}
+
+	resp2, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	body, _ := io.ReadAll(resp2.Body)
+	if !strings.Contains(string(body), `engine_shed_total{game="connect4",cause="timeout"} 1`) {
+		t.Fatalf("metrics missing the shed-by-cause counter")
+	}
+}

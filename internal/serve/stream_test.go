@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"bufio"
@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -52,7 +53,7 @@ func readSSE(t *testing.T, r io.Reader, n int) []sseEvent {
 // deepening order, then a terminal "done" event carrying the same analysis
 // the non-streaming endpoint would have returned.
 func TestAnalyzeStreamSSE(t *testing.T) {
-	ts := testServer(t, serverConfig{Workers: 2, SerialDepth: 2, TableBits: 14, MaxConcurrent: 2})
+	ts := testServer(t, Config{Workers: 2, SerialDepth: 2, TableBits: 14, MaxConcurrent: 2})
 	client := &http.Client{Timeout: 30 * time.Second}
 
 	resp, err := client.Get(ts.URL + "/analyze?game=ttt&depth=6&budget_ms=20000&stream=1")
@@ -105,11 +106,11 @@ func TestAnalyzeStreamSSE(t *testing.T) {
 // request context, so the disconnect surfaces as a deadline-cut session in
 // the engine's counters — the observable proof the search stopped early.
 func TestStreamDisconnectCancelsSession(t *testing.T) {
-	srv := newServer(serverConfig{
+	srv := New(Config{
 		Workers: 2, SerialDepth: 4, MaxConcurrent: 1,
 		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
 	})
-	ts := httptest.NewServer(srv.handler())
+	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	client := &http.Client{Timeout: 30 * time.Second}
 
@@ -142,7 +143,7 @@ func TestStreamDisconnectCancelsSession(t *testing.T) {
 // from /debug/flight by the request id, with the busy-time buckets forming an
 // exact partition, and the listing shows it.
 func TestDebugFlightEndpoint(t *testing.T) {
-	ts := testServer(t, serverConfig{Workers: 2, SerialDepth: 2, TableBits: 14, MaxConcurrent: 2})
+	ts := testServer(t, Config{Workers: 2, SerialDepth: 2, TableBits: 14, MaxConcurrent: 2})
 	client := &http.Client{Timeout: 30 * time.Second}
 
 	req, _ := http.NewRequest("GET", ts.URL+"/analyze?game=ttt&depth=6&budget_ms=20000&flight=1", nil)
@@ -202,7 +203,7 @@ func TestDebugFlightEndpoint(t *testing.T) {
 // the per-game steal counters; the end-of-search drain guarantees at least
 // the steal-fail sweeps fired.
 func TestStatsExposeSteals(t *testing.T) {
-	ts := testServer(t, serverConfig{Workers: 4, SerialDepth: 2, Sharded: true, TableBits: 14, MaxConcurrent: 2})
+	ts := testServer(t, Config{Workers: 4, SerialDepth: 2, Sharded: true, TableBits: 14, MaxConcurrent: 2})
 	client := &http.Client{Timeout: 30 * time.Second}
 
 	var an analysisJSON
@@ -229,5 +230,67 @@ func TestStatsExposeSteals(t *testing.T) {
 	}
 	if steals+fails == 0 {
 		t.Fatal("sharded 4-worker session recorded no steal activity at all")
+	}
+}
+
+// TestSSEChurnFreesAdmissionSlots is the cancellation-churn regression: waves
+// of SSE clients that hang up mid-search must cancel their sessions and
+// return their admission slots, so the pool never leaks capacity under
+// disconnect churn. Each round fills every slot with a deliberately
+// unfinishable streaming search, disconnects them all, and proves the slots
+// came back by running a normal request to completion.
+func TestSSEChurnFreesAdmissionSlots(t *testing.T) {
+	const slots = 2
+	srv := New(Config{
+		Workers: 2, SerialDepth: 4, MaxConcurrent: slots,
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	var cut int64
+	for round := 1; round <= 3; round++ {
+		var wg sync.WaitGroup
+		for i := 0; i < slots; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// Depth 32 cannot finish before the hangup; the first
+				// iteration event proves the session holds a slot.
+				resp, err := client.Get(ts.URL + "/analyze?game=connect4&depth=32&budget_ms=25000&stream=1")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				defer resp.Body.Close()
+				if got := readSSE(t, resp.Body, 1); len(got) != 1 || got[0].name != "iteration" {
+					t.Errorf("round %d: first stream event %+v", round, got)
+				}
+			}()
+		}
+		wg.Wait() // every stream started and then hung up
+		cut += slots
+
+		// The disconnects must surface as deadline-cut sessions with every
+		// slot released.
+		deadline := time.Now().Add(20 * time.Second)
+		for {
+			st := srv.engines["connect4"].Stats()
+			if st.DeadlineCut == cut && st.Active == 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("round %d: churned sessions not reaped: %+v", round, st)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+
+		// Freed capacity is usable immediately: a plain request completes.
+		var an analysisJSON
+		getJSON(t, client, ts.URL+"/bestmove?game=ttt&depth=3&budget_ms=15000", http.StatusOK, &an)
+		if !an.Completed {
+			t.Fatalf("round %d: post-churn request did not complete: %+v", round, an)
+		}
 	}
 }

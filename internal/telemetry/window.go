@@ -1,0 +1,201 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// HistSnapshot is a point-in-time copy of one histogram child's state:
+// per-bucket counts (last slot is the +Inf overflow bucket), total count, and
+// value sum. Snapshots of the same histogram are comparable: counts only grow,
+// so the element-wise difference of two snapshots is itself a histogram — the
+// observations made between the two instants. That difference is what turns
+// the cumulative-since-boot histograms of a long-lived server into "what was
+// p99 during the last window".
+type HistSnapshot struct {
+	Counts []int64
+	Count  int64
+	Sum    float64
+}
+
+// Snapshot copies the histogram's current bucket counts, count, and sum.
+// Concurrent observers may land between individual bucket reads, so a
+// snapshot taken under load can be off by the few in-flight observations —
+// fine for quantile estimation, which is already bucket-approximate.
+func (h *Histogram) Snapshot() HistSnapshot {
+	hv := h.m.hist
+	s := HistSnapshot{Counts: make([]int64, len(hv.counts))}
+	for i := range hv.counts {
+		c := hv.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	s.Sum = math.Float64frombits(hv.sum.Load())
+	return s
+}
+
+// BucketBounds returns the histogram's finite upper bounds (the +Inf overflow
+// bucket is implicit), shared with the family — callers must not mutate.
+func (h *Histogram) BucketBounds() []float64 { return h.f.buckets }
+
+// Sub returns the observations made between older and newer as a snapshot
+// (newer minus older, element-wise). Negative deltas — an older snapshot from
+// a different histogram, or arguments swapped — clamp to zero bucket by
+// bucket, so the result is always a valid (possibly empty) histogram.
+func (newer HistSnapshot) Sub(older HistSnapshot) HistSnapshot {
+	d := HistSnapshot{Counts: make([]int64, len(newer.Counts))}
+	for i, c := range newer.Counts {
+		var o int64
+		if i < len(older.Counts) {
+			o = older.Counts[i]
+		}
+		if c > o {
+			d.Counts[i] = c - o
+			d.Count += c - o
+		}
+	}
+	if s := newer.Sum - older.Sum; s > 0 && d.Count > 0 {
+		d.Sum = s
+	}
+	return d
+}
+
+// Quantile estimates the q-quantile of the snapshot's observations with the
+// same interpolation as Histogram.Quantile. upper must be the histogram's
+// finite bucket bounds (BucketBounds). Returns NaN when the snapshot is
+// empty.
+func (s HistSnapshot) Quantile(upper []float64, q float64) float64 {
+	if s.Count == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for i, n := range s.Counts {
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i >= len(upper) {
+				if len(upper) == 0 {
+					return math.NaN()
+				}
+				return upper[len(upper)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = upper[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			return lo + (upper[i]-lo)*frac
+		}
+		cum += n
+	}
+	return upper[len(upper)-1]
+}
+
+// DeltaQuantile estimates the q-quantile of the observations made between
+// older and newer. NaN when nothing was observed in between.
+func DeltaQuantile(upper []float64, older, newer HistSnapshot, q float64) float64 {
+	return newer.Sub(older).Quantile(upper, q)
+}
+
+// HistWindow turns one cumulative histogram into a sliding-window view: a
+// ring of up to slots snapshots, advanced by Tick, against which the live
+// counts are differenced. With a tick every T and N slots the window covers
+// between (N-1)×T and N×T of history — the standard snapshot-ring
+// approximation of "the last minute" (T=5s, N=12).
+//
+// The ring is seeded with one snapshot at construction, so a window younger
+// than its first eviction reports since-construction quantiles rather than
+// nothing. All methods are safe for concurrent use.
+type HistWindow struct {
+	h     *Histogram
+	mu    sync.Mutex
+	snaps []HistSnapshot // ring, oldest at head
+	times []time.Time
+	head  int // index of the oldest retained snapshot
+	n     int // retained snapshots
+}
+
+// NewHistWindow creates a window of up to slots snapshots over h (minimum 1),
+// seeded with the histogram's current state.
+func NewHistWindow(h *Histogram, slots int) *HistWindow {
+	if slots < 1 {
+		slots = 1
+	}
+	w := &HistWindow{
+		h:     h,
+		snaps: make([]HistSnapshot, slots),
+		times: make([]time.Time, slots),
+	}
+	w.push(h.Snapshot(), time.Now())
+	return w
+}
+
+func (w *HistWindow) push(s HistSnapshot, at time.Time) {
+	i := (w.head + w.n) % len(w.snaps)
+	w.snaps[i] = s
+	w.times[i] = at
+	if w.n < len(w.snaps) {
+		w.n++
+	} else {
+		w.head = (w.head + 1) % len(w.snaps) // overwrite the oldest
+	}
+}
+
+// Tick records the histogram's current state into the ring, evicting the
+// oldest snapshot when full. Call it on a steady cadence; the window's age is
+// the tick interval times the slot count.
+func (w *HistWindow) Tick() {
+	s := w.h.Snapshot()
+	w.mu.Lock()
+	w.push(s, time.Now())
+	w.mu.Unlock()
+}
+
+// delta returns the observations since the oldest retained snapshot and the
+// wall-clock span they cover.
+func (w *HistWindow) delta() (HistSnapshot, time.Duration) {
+	live := w.h.Snapshot()
+	w.mu.Lock()
+	oldest := w.snaps[w.head]
+	at := w.times[w.head]
+	w.mu.Unlock()
+	return live.Sub(oldest), time.Since(at)
+}
+
+// Quantile estimates the q-quantile of the observations inside the window
+// (since the oldest retained snapshot). NaN when the window saw nothing.
+func (w *HistWindow) Quantile(q float64) float64 {
+	d, _ := w.delta()
+	return d.Quantile(w.h.BucketBounds(), q)
+}
+
+// Count returns the number of observations inside the window.
+func (w *HistWindow) Count() int64 {
+	d, _ := w.delta()
+	return d.Count
+}
+
+// Rate returns observations per second inside the window (0 for an empty or
+// zero-age window).
+func (w *HistWindow) Rate() float64 {
+	d, span := w.delta()
+	if d.Count == 0 || span <= 0 {
+		return 0
+	}
+	return float64(d.Count) / span.Seconds()
+}
+
+// Span reports how much history the window currently covers.
+func (w *HistWindow) Span() time.Duration {
+	_, span := w.delta()
+	return span
+}

@@ -1,0 +1,183 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestSnapshotDeltaQuantile: differencing two snapshots isolates the
+// observations made in between, and the delta quantile reflects only those.
+func TestSnapshotDeltaQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("d", "", LinearBuckets(10, 10, 10)) // 10..100
+	for i := 0; i < 100; i++ {
+		h.Observe(5) // all in the first bucket
+	}
+	older := h.Snapshot()
+	for i := 0; i < 100; i++ {
+		h.Observe(95) // all near the top
+	}
+	newer := h.Snapshot()
+
+	// Cumulative median straddles both bursts; the delta sees only the second.
+	if q := h.Quantile(0.5); q > 50 {
+		t.Fatalf("cumulative p50 %v should be pulled down by the first burst", q)
+	}
+	if q := DeltaQuantile(h.BucketBounds(), older, newer, 0.5); q < 80 {
+		t.Fatalf("delta p50 %v, want only the 95-valued burst", q)
+	}
+	if n := newer.Sub(older).Count; n != 100 {
+		t.Fatalf("delta count %d, want 100", n)
+	}
+}
+
+// TestDeltaQuantileEmptyWindow: an empty delta (no observations between the
+// snapshots) is NaN, exactly like an empty histogram.
+func TestDeltaQuantileEmptyWindow(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("e", "", LinearBuckets(1, 1, 4))
+	h.Observe(2)
+	s := h.Snapshot()
+	if q := DeltaQuantile(h.BucketBounds(), s, s, 0.9); !math.IsNaN(q) {
+		t.Fatalf("empty delta quantile %v, want NaN", q)
+	}
+	w := NewHistWindow(h, 4)
+	// The seed snapshot already contains the one observation, so the window
+	// starts empty.
+	if q := w.Quantile(0.5); !math.IsNaN(q) {
+		t.Fatalf("fresh window quantile %v, want NaN", q)
+	}
+	if n := w.Count(); n != 0 {
+		t.Fatalf("fresh window count %d, want 0", n)
+	}
+	if r := w.Rate(); r != 0 {
+		t.Fatalf("fresh window rate %v, want 0", r)
+	}
+}
+
+// TestDeltaMonotoneCounts: snapshots of a live histogram only grow, and Sub
+// clamps any inverted pair instead of producing negative buckets.
+func TestDeltaMonotoneCounts(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("m", "", LinearBuckets(1, 1, 8))
+	var prev HistSnapshot
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				h.Observe(float64(i % 10))
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		s := h.Snapshot()
+		if s.Count < prev.Count {
+			t.Errorf("snapshot count went backwards: %d -> %d", prev.Count, s.Count)
+		}
+		if len(prev.Counts) == len(s.Counts) {
+			for j := range s.Counts {
+				if s.Counts[j] < prev.Counts[j] {
+					t.Errorf("bucket %d went backwards", j)
+				}
+			}
+		}
+		prev = s
+	}
+	close(stop)
+	wg.Wait()
+
+	// Swapped arguments clamp to an empty delta, never negative counts.
+	newer := h.Snapshot()
+	inverted := HistSnapshot{Counts: make([]int64, len(newer.Counts))}.Sub(newer)
+	if inverted.Count != 0 {
+		t.Fatalf("inverted Sub produced count %d, want 0", inverted.Count)
+	}
+	for i, c := range inverted.Counts {
+		if c < 0 {
+			t.Fatalf("inverted Sub produced negative bucket %d: %d", i, c)
+		}
+	}
+}
+
+// TestHistWindowWraparound: once the ring is full, ticking evicts the oldest
+// snapshot, so observations older than the window fall out of the quantile.
+func TestHistWindowWraparound(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("w", "", LinearBuckets(10, 10, 10))
+	w := NewHistWindow(h, 3)
+
+	// Burst of small values, then enough ticks to push it out of the ring.
+	for i := 0; i < 50; i++ {
+		h.Observe(15)
+	}
+	w.Tick()
+	if n := w.Count(); n != 50 {
+		t.Fatalf("window count %d after first burst, want 50", n)
+	}
+	if q := w.Quantile(0.99); q > 30 {
+		t.Fatalf("window p99 %v, want inside the 10-20 bucket region", q)
+	}
+
+	w.Tick()
+	w.Tick() // ring full: [burst, post-burst, post-burst]
+	w.Tick() // evicts the pre-burst seed AND the post-burst duplicates shift
+	w.Tick() // oldest retained snapshot now includes the burst
+	if n := w.Count(); n != 0 {
+		t.Fatalf("window count %d after the burst aged out, want 0", n)
+	}
+	if q := w.Quantile(0.5); !math.IsNaN(q) {
+		t.Fatalf("aged-out window quantile %v, want NaN", q)
+	}
+
+	// New traffic after wraparound is visible again.
+	for i := 0; i < 20; i++ {
+		h.Observe(95)
+	}
+	if n := w.Count(); n != 20 {
+		t.Fatalf("window count %d after new burst, want 20", n)
+	}
+	if q := w.Quantile(0.5); q < 80 {
+		t.Fatalf("window p50 %v after new burst, want near 95", q)
+	}
+}
+
+// TestHistWindowConcurrent: ticking and reading while observing races nothing
+// (run under -race) and never yields negative counts.
+func TestHistWindowConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("c", "", ExponentialBuckets(0.001, 2, 12))
+	w := NewHistWindow(h, 4)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(float64(i%100) * 0.001)
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 100; i++ {
+		w.Tick()
+		if n := w.Count(); n < 0 {
+			t.Fatalf("negative window count %d", n)
+		}
+		w.Quantile(0.99)
+		w.Rate()
+	}
+	close(stop)
+	wg.Wait()
+}
