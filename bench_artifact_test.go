@@ -2,8 +2,11 @@ package ertree_test
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"testing"
+
+	"ertree"
 )
 
 // TestBenchArtifactBackendCurves guards the committed BENCH_core.json: the
@@ -25,6 +28,7 @@ func TestBenchArtifactBackendCurves(t *testing.T) {
 		GOMAXPROCS int     `json:"gomaxprocs"`
 		LazyVsER   float64 `json:"lazysmp_vs_er_at_max_p"`
 		LFvsStripe float64 `json:"lockfree_vs_striped_at_max_p"`
+		MTDFvsAsp  float64 `json:"mtdf_vs_aspiration_at_max_p"`
 		Points     []struct {
 			Backend string `json:"backend"`
 			Table   string `json:"table"`
@@ -32,6 +36,15 @@ func TestBenchArtifactBackendCurves(t *testing.T) {
 			Value   int    `json:"value"`
 			Nodes   int64  `json:"nodes"`
 		} `json:"points"`
+		DriverSweep []struct {
+			Workload   string `json:"workload"`
+			Driver     string `json:"driver"`
+			Workers    int    `json:"workers"`
+			Value      int    `json:"value"`
+			Nodes      int64  `json:"nodes"`
+			Probes     int64  `json:"probes"`
+			Researches int64  `json:"researches"`
+		} `json:"driver_sweep"`
 	}
 	if err := json.Unmarshal(raw, &art); err != nil {
 		t.Fatalf("artifact is not valid JSON: %v", err)
@@ -49,12 +62,12 @@ func TestBenchArtifactBackendCurves(t *testing.T) {
 	if art.LFvsStripe <= 0 {
 		t.Fatalf("artifact missing lockfree_vs_striped_at_max_p ratio: %v", art.LFvsStripe)
 	}
-	if art.NumCPU == 1 {
-		t.Logf("warning: artifact was produced on a 1-CPU host; parallel speedups "+
-			"and the lockfree-vs-striped ratio (%.2f) measure scheduling overhead, "+
-			"not contention relief — regenerate on a multi-core machine before "+
-			"quoting them", art.LFvsStripe)
+	if art.MTDFvsAsp <= 0 {
+		t.Fatalf("artifact missing mtdf_vs_aspiration_at_max_p ratio: %v", art.MTDFvsAsp)
 	}
+	warnSingleCPUArtifact(t, art.NumCPU, fmt.Sprintf(
+		"parallel speedups and the lockfree-vs-striped (%.2f) and "+
+			"mtdf-vs-aspiration (%.2f) ratios", art.LFvsStripe, art.MTDFvsAsp))
 
 	perBackend := map[string]int{}
 	erPerTable := map[string]int{}
@@ -80,6 +93,50 @@ func TestBenchArtifactBackendCurves(t *testing.T) {
 	for _, impl := range []string{"lockfree", "striped"} {
 		if erPerTable[impl] == 0 {
 			t.Fatalf("artifact has no er curve for table=%q (er points per table: %v)", impl, erPerTable)
+		}
+	}
+
+	// The driver sweep must carry every registered root driver, each point
+	// with the probe/re-search split that distinguishes the drivers —
+	// aspiration never spends null-window probes, mtdf and bns always do —
+	// and all drivers on one workload must have found the same exact value
+	// (they resolve the same fixed-depth trees).
+	perDriver := map[string]int{}
+	valueByWorkload := map[string]map[string]int{}
+	for _, p := range art.DriverSweep {
+		perDriver[p.Driver]++
+		if p.Workload == "" || p.Workers < 1 {
+			t.Fatalf("driver point missing identity: %+v", p)
+		}
+		if p.Nodes <= 0 {
+			t.Fatalf("driver point with no node count: %+v", p)
+		}
+		if p.Driver == "aspiration" {
+			if p.Probes != 0 {
+				t.Fatalf("aspiration point reports null-window probes: %+v", p)
+			}
+		} else if p.Probes <= 0 {
+			t.Fatalf("%s point reports no null-window probes: %+v", p.Driver, p)
+		}
+		if valueByWorkload[p.Workload] == nil {
+			valueByWorkload[p.Workload] = map[string]int{}
+		}
+		valueByWorkload[p.Workload][p.Driver] = p.Value
+	}
+	for _, d := range ertree.Drivers() {
+		if perDriver[d] == 0 {
+			t.Fatalf("artifact has no %q driver curve (points per driver: %v)", d, perDriver)
+		}
+	}
+	for wl, vals := range valueByWorkload {
+		want, ok := vals["aspiration"]
+		if !ok {
+			t.Fatalf("workload %q has no aspiration reference point", wl)
+		}
+		for d, v := range vals {
+			if v != want {
+				t.Fatalf("workload %q: driver %q found %d, aspiration found %d", wl, d, v, want)
+			}
 		}
 	}
 }

@@ -9,6 +9,7 @@
 package ertree_test
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"ertree"
+	"ertree/internal/engine"
 	"ertree/internal/experiments"
 	"ertree/internal/flight"
 	"ertree/internal/telemetry"
@@ -42,6 +44,25 @@ type realSpeedupPoint struct {
 	TTStores  int64   `json:"tt_stores"`
 	TTCutoffs int64   `json:"tt_cutoffs"`
 	TTHitRate float64 `json:"tt_hit_rate"`
+}
+
+// driverSweepPoint is one (workload, root-driver) deepening measurement at
+// the highest worker count: a full engine session (iterative deepening to the
+// workload's depth on a fresh shared table) resolved by the named driver,
+// with the driver's probe/re-search spend and the table pressure it induced.
+type driverSweepPoint struct {
+	Workload   string  `json:"workload"`
+	Driver     string  `json:"driver"` // root driver: aspiration, mtdf, bns
+	Workers    int     `json:"workers"`
+	ElapsedNS  int64   `json:"elapsed_ns"`
+	Speedup    float64 `json:"speedup"` // T(aspiration) / T(driver), same workload
+	Value      int     `json:"value"`
+	Nodes      int64   `json:"nodes"`
+	Probes     int64   `json:"probes"`     // null-window probes spent (mtdf/bns)
+	Researches int64   `json:"researches"` // wide-window re-searches (reopens + fallbacks)
+	TTProbes   int64   `json:"tt_probes"`
+	TTHits     int64   `json:"tt_hits"`
+	TTHitRate  float64 `json:"tt_hit_rate"`
 }
 
 // taskLatencySummary condenses the per-worker-count task-latency histogram:
@@ -88,10 +109,16 @@ type realSpeedupArtifact struct {
 	// er global-heap points at the highest measured worker count, averaged
 	// over workloads: >1 means the lock-free table wins where probe/store
 	// contention is worst.
-	LockfreeVsStriped float64              `json:"lockfree_vs_striped_at_max_p"`
-	Points            []realSpeedupPoint   `json:"points"`
-	TaskLatency       []taskLatencySummary `json:"task_latency"`
-	SpecWaste         []specWasteSummary   `json:"spec_waste"`
+	LockfreeVsStriped float64 `json:"lockfree_vs_striped_at_max_p"`
+	// MTDFVsAspiration is the deepening-throughput ratio
+	// T(aspiration)/T(mtdf) at the highest measured worker count, averaged
+	// over workloads: >1 means MTD(f)'s null-window probes against the shared
+	// table beat the classic wide-window loop on this host.
+	MTDFVsAspiration float64              `json:"mtdf_vs_aspiration_at_max_p"`
+	Points           []realSpeedupPoint   `json:"points"`
+	DriverSweep      []driverSweepPoint   `json:"driver_sweep"`
+	TaskLatency      []taskLatencySummary `json:"task_latency"`
+	SpecWaste        []specWasteSummary   `json:"spec_waste"`
 }
 
 // backendSweepPoint selects one (backend, worker-count) measurement of the
@@ -188,6 +215,9 @@ func BenchmarkRealSpeedup(b *testing.B) {
 	var lazyRatioN int
 	var lfRatioSum float64
 	var lfRatioN int
+	var mtdfRatioSum float64
+	var mtdfRatioN int
+	driverPoints := []driverSweepPoint{}
 	// erModes are the (heap, table) variants measured per worker count: the
 	// lock-free table on both heap modes (the serving default and its
 	// work-stealing variant) plus the striped-table baseline on the global
@@ -214,6 +244,8 @@ func BenchmarkRealSpeedup(b *testing.B) {
 		ratioSum, ratioN = 0, 0
 		lazyRatioSum, lazyRatioN = 0, 0
 		lfRatioSum, lfRatioN = 0, 0
+		mtdfRatioSum, mtdfRatioN = 0, 0
+		driverPoints = driverPoints[:0]
 		waste = map[int]*wasteAccum{}
 		for _, w := range workloads {
 			base := int64(0)
@@ -358,6 +390,76 @@ func BenchmarkRealSpeedup(b *testing.B) {
 				}
 				points = append(points, pt)
 			}
+			// Root-driver head-to-head at max P: full deepening sessions (the
+			// unit the drivers actually steer) on the default er backend, one
+			// fresh engine-owned table per repetition so every driver pays the
+			// same cold-table cost and the mtdf probes only ever hit entries
+			// the session itself stored. Drivers() is sorted, so aspiration —
+			// the Speedup denominator and the reference side of
+			// mtdf_vs_aspiration_at_max_p — always runs first.
+			var aspAtMaxP int64
+			for _, dName := range ertree.Drivers() {
+				var bestAn *engine.Analysis
+				var bestStats engine.Stats
+				for r := 0; r < reps; r++ {
+					eng := engine.New(engine.Config{
+						Driver:      dName,
+						Workers:     maxP,
+						SerialDepth: w.SerialDepth,
+						Order:       w.Order,
+						TableBits:   tableBits,
+						// The ertree CLI's default half-window, so the
+						// aspiration baseline matches what -driver users see.
+						Delta: 25,
+					})
+					an, err := eng.Analyze(context.Background(), w.Root, w.Depth)
+					if err != nil {
+						b.Fatalf("%s driver %s P=%d: %v", w.Name, dName, maxP, err)
+					}
+					if !an.Completed {
+						b.Fatalf("%s driver %s P=%d: session cut short", w.Name, dName, maxP)
+					}
+					if r == 0 || an.Elapsed < bestAn.Elapsed {
+						bestAn, bestStats = an, eng.Stats()
+					}
+				}
+				if int(bestAn.Value) != erValue {
+					b.Fatalf("%s driver %s P=%d: value %d, er found %d",
+						w.Name, dName, maxP, bestAn.Value, erValue)
+				}
+				var probes, researches int64
+				for _, it := range bestAn.Iterations {
+					probes += int64(it.Probes)
+					researches += int64(it.Researches)
+				}
+				pt := driverSweepPoint{
+					Workload:   w.Name,
+					Driver:     dName,
+					Workers:    maxP,
+					ElapsedNS:  bestAn.Elapsed.Nanoseconds(),
+					Value:      int(bestAn.Value),
+					Nodes:      bestAn.Nodes,
+					Probes:     probes,
+					Researches: researches,
+					TTProbes:   bestStats.TTProbes,
+					TTHits:     bestStats.TTHits,
+				}
+				if bestStats.TTProbes > 0 {
+					pt.TTHitRate = float64(bestStats.TTHits) / float64(bestStats.TTProbes)
+				}
+				switch {
+				case dName == engine.DefaultDriver:
+					aspAtMaxP = bestAn.Elapsed.Nanoseconds()
+					pt.Speedup = 1
+				case bestAn.Elapsed > 0 && aspAtMaxP > 0:
+					pt.Speedup = float64(aspAtMaxP) / float64(bestAn.Elapsed.Nanoseconds())
+					if dName == "mtdf" {
+						mtdfRatioSum += pt.Speedup
+						mtdfRatioN++
+					}
+				}
+				driverPoints = append(driverPoints, pt)
+			}
 		}
 	}
 	b.ReportMetric(lastSpeedup, "speedup@maxP")
@@ -376,6 +478,11 @@ func BenchmarkRealSpeedup(b *testing.B) {
 		lockfreeVsStriped = lfRatioSum / float64(lfRatioN)
 	}
 	b.ReportMetric(lockfreeVsStriped, "lockfree/striped@maxP")
+	mtdfVsAspiration := 0.0
+	if mtdfRatioN > 0 {
+		mtdfVsAspiration = mtdfRatioSum / float64(mtdfRatioN)
+	}
+	b.ReportMetric(mtdfVsAspiration, "mtdf/aspiration@maxP")
 
 	art := realSpeedupArtifact{
 		GoVersion:         runtime.Version(),
@@ -387,7 +494,9 @@ func BenchmarkRealSpeedup(b *testing.B) {
 		ShardedVsGlobal:   shardedVsGlobal,
 		LazySMPVsER:       lazyVsER,
 		LockfreeVsStriped: lockfreeVsStriped,
+		MTDFVsAspiration:  mtdfVsAspiration,
 		Points:            points,
+		DriverSweep:       driverPoints,
 	}
 	for _, p := range realSpeedupWorkers() {
 		h := histFor(p)

@@ -63,11 +63,7 @@ func TestBenchServeArtifactPhases(t *testing.T) {
 	if art.Server.Backend == "" || art.Server.Capacity < 1 {
 		t.Fatalf("artifact missing server identity: %+v", art.Server)
 	}
-	if art.NumCPU == 1 {
-		t.Logf("warning: artifact was produced on a 1-CPU host; latency quantiles " +
-			"under overload measure single-core scheduling, not the parallel " +
-			"serving path — regenerate on a multi-core machine before quoting them")
-	}
+	warnSingleCPUArtifact(t, art.NumCPU, "latency quantiles under overload")
 
 	if len(art.Phases) < 2 {
 		t.Fatalf("artifact has %d phases, want >= 2 (a ramp needs at least two points)", len(art.Phases))

@@ -7,6 +7,7 @@
 //
 //	GET /bestmove?game=connect4&moves=3,3&depth=8&budget_ms=500
 //	GET /bestmove?game=connect4&depth=8&backend=lazysmp (per-request backend)
+//	GET /bestmove?game=connect4&depth=8&driver=mtdf (per-request root driver)
 //	GET /analyze?game=othello&depth=6        (adds per-iteration history)
 //	GET /analyze?game=othello&depth=6&trace=1  (Perfetto-loadable worker trace)
 //	GET /analyze?game=othello&depth=6&stream=1 (SSE per-iteration progress)
@@ -32,6 +33,7 @@ import (
 	"time"
 
 	"ertree/internal/backend"
+	"ertree/internal/driver"
 	"ertree/internal/engine"
 	"ertree/internal/serve"
 	"ertree/internal/tt"
@@ -42,6 +44,7 @@ func main() {
 		addr          = flag.String("addr", ":8080", "listen address")
 		workers       = flag.Int("workers", 4, "parallel-ER workers per search")
 		backendName   = flag.String("backend", engine.DefaultBackend, "default search backend: "+backend.NamesString())
+		driverName    = flag.String("driver", engine.DefaultDriver, "default root driver: "+driver.NamesString())
 		serialDepth   = flag.Int("serial-depth", 3, "depth at or below which subtrees are searched serially")
 		sharded       = flag.Bool("sharded", false, "use the per-worker work-stealing problem heap")
 		tableBits     = flag.Int("table-bits", 20, "per-game transposition table size (2^bits slots, 0 disables)")
@@ -62,6 +65,11 @@ func main() {
 			*backendName, backend.NamesString())
 		os.Exit(2)
 	}
+	if !driver.Valid(*driverName) {
+		fmt.Fprintf(os.Stderr, "erserve: unknown driver %q (valid: %s)\n",
+			*driverName, driver.NamesString())
+		os.Exit(2)
+	}
 	if !tt.ValidImpl(*tableImpl) {
 		fmt.Fprintf(os.Stderr, "erserve: unknown table implementation %q (valid: %s)\n",
 			*tableImpl, tt.ImplsString())
@@ -70,6 +78,7 @@ func main() {
 	s := serve.New(serve.Config{
 		Workers:       *workers,
 		Backend:       *backendName,
+		Driver:        *driverName,
 		SerialDepth:   *serialDepth,
 		Sharded:       *sharded,
 		TableBits:     *tableBits,
@@ -98,8 +107,8 @@ func main() {
 		mux.Handle("/", h)
 		h = mux
 	}
-	fmt.Printf("erserve: listening on %s (%s backend, %d workers/search, %d concurrent sessions)\n",
-		*addr, *backendName, *workers, *maxConcurrent)
+	fmt.Printf("erserve: listening on %s (%s backend, %s driver, %d workers/search, %d concurrent sessions)\n",
+		*addr, *backendName, *driverName, *workers, *maxConcurrent)
 	if err := http.ListenAndServe(*addr, h); err != nil {
 		fmt.Fprintln(os.Stderr, "erserve:", err)
 		os.Exit(1)

@@ -18,9 +18,16 @@
 // -algo, comparing schedulers on identical terms:
 //
 //	ertree -game connect4 -depth 9 -backend lazysmp -workers 4 -table-bits 20
+//
+// -driver runs a full deepening session through the engine's root-driver
+// seam (aspiration, mtdf, bns), printing one line per iteration with the
+// driver's probe and re-search counts:
+//
+//	ertree -game othello -depth 8 -driver mtdf -workers 4 -table-bits 20
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +36,7 @@ import (
 	"strings"
 
 	"ertree"
+	"ertree/internal/engine"
 	"ertree/internal/metrics"
 )
 
@@ -42,6 +50,8 @@ func main() {
 		depth       = flag.Int("depth", 6, "search depth (plies)")
 		algo        = flag.String("algo", "er-par", "algorithm")
 		backendName = flag.String("backend", "", "search via a named backend instead of -algo: "+joinBackends())
+		driverName  = flag.String("driver", "", "run engine deepening with a named root driver instead of -algo: "+joinDrivers())
+		delta       = flag.Int("delta", 25, "with -driver: aspiration half-window around the previous iteration's value (0 = full window)")
 		workers     = flag.Int("workers", 4, "processors for parallel algorithms")
 		serialDepth = flag.Int("serial-depth", 3, "depth at or below which subtrees are searched serially")
 		sortPly     = flag.Int("sort-ply", 5, "statically sort children above this ply (0 disables)")
@@ -85,6 +95,45 @@ func main() {
 	var stats ertree.Stats
 	cfg := ertree.Config{Workers: *workers, SerialDepth: *serialDepth, Order: order, Stats: &stats}
 	cost := ertree.DefaultCostModel()
+
+	if *driverName != "" {
+		if !ertree.ValidDriver(*driverName) {
+			fmt.Fprintf(os.Stderr, "ertree: unknown driver %q (valid: %s)\n", *driverName, joinDrivers())
+			os.Exit(2)
+		}
+		if *backendName != "" && !ertree.ValidBackend(*backendName) {
+			fmt.Fprintf(os.Stderr, "ertree: unknown backend %q (valid: %s)\n", *backendName, joinBackends())
+			os.Exit(2)
+		}
+		eng := engine.New(engine.Config{
+			Backend:     *backendName,
+			Driver:      *driverName,
+			Workers:     *workers,
+			SerialDepth: *serialDepth,
+			Order:       order,
+			TableBits:   *tableBits,
+			TableImpl:   *tableImpl,
+			Delta:       ertree.Value(*delta),
+		})
+		an, err := eng.Analyze(context.Background(), pos, *depth)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ertree:", err)
+			os.Exit(1)
+		}
+		for _, it := range an.Iterations {
+			fmt.Printf("depth %2d: value %6d move %d (%d probes, %d re-searches) in %v\n",
+				it.Depth, it.Value, it.Move, it.Probes, it.Researches, it.Elapsed)
+		}
+		fmt.Printf("driver %s on backend %s: best move %d (natural order), value %d, %d nodes in %v\n",
+			an.Driver, an.Backend, an.Move, an.Value, an.Nodes, an.Elapsed)
+		if st := eng.Stats(); st.HasTable && st.TTProbes > 0 {
+			fmt.Printf("table: %d probes, %d hits (%.1f%%), %d stores, %d searches answered without searching\n",
+				st.TTProbes, st.TTHits,
+				100*float64(st.TTHits)/float64(st.TTProbes),
+				st.TTStores, st.TTCutoffs)
+		}
+		return
+	}
 
 	if *backendName != "" {
 		if !ertree.ValidBackend(*backendName) {
@@ -293,6 +342,9 @@ func buildPosition(gameName, rootName string, seed uint64, degree, treeDepth int
 
 // joinBackends lists the registered backend names for flag help and errors.
 func joinBackends() string { return strings.Join(ertree.Backends(), ", ") }
+
+// joinDrivers lists the registered root-driver names for flag help and errors.
+func joinDrivers() string { return strings.Join(ertree.Drivers(), ", ") }
 
 // joinTables lists the shared-table implementation names for flag help.
 func joinTables() string { return strings.Join(ertree.TableImpls(), ", ") }

@@ -26,3 +26,18 @@ func mustSimulate(t testing.TB, pos ertree.Position, depth int, cfg ertree.Confi
 	}
 	return res
 }
+
+// warnSingleCPUArtifact is the one caveat both committed-artifact guards
+// (BENCH_core.json, BENCH_serve.json) attach to numbers measured on a 1-CPU
+// host: every parallel comparison there measures single-core scheduling, not
+// contention relief or the parallel serving path. `what` names the numbers
+// the specific artifact should not be quoted for.
+func warnSingleCPUArtifact(t testing.TB, numCPU int, what string) {
+	t.Helper()
+	if numCPU != 1 {
+		return
+	}
+	t.Logf("warning: artifact was produced on a 1-CPU host; %s measure "+
+		"single-core scheduling, not parallel behavior — regenerate on a "+
+		"multi-core machine before quoting them", what)
+}

@@ -8,6 +8,8 @@ import (
 	"testing"
 	"time"
 
+	"ertree/internal/driver"
+	"ertree/internal/game"
 	"ertree/internal/randtree"
 	"ertree/internal/tt"
 )
@@ -72,6 +74,11 @@ type fuzzCase struct {
 	jitter  uint64
 	withTT  bool
 	sharded bool
+	// drv, when non-empty, additionally deepens 1..depth through the named
+	// root driver (aspiration/mtdf/bns), each iteration resolved by
+	// RootWindow-bounded searches of this same configuration — the driver
+	// dimension of the fuzz space.
+	drv string
 }
 
 // decodeFuzzCase maps raw fuzz inputs onto a bounded search configuration:
@@ -110,6 +117,7 @@ func decodeFuzzCase(seed uint64, shape uint16, sched uint32, stealSeed uint64) f
 	if sched>>13&1 == 1 {
 		c.jitter = stealSeed | 1
 	}
+	c.drv = [...]string{"", "aspiration", "mtdf", "bns"}[(sched>>14)&3]
 	return c
 }
 
@@ -193,20 +201,71 @@ func runFuzzCase(t testing.TB, c fuzzCase) {
 	if res.Sharded != c.sharded {
 		t.Fatalf("Result.Sharded = %v, want %v", res.Sharded, c.sharded)
 	}
+
+	if c.drv != "" {
+		runFuzzDriver(t, c)
+	}
+}
+
+// runFuzzDriver deepens 1..depth through the configured root driver, every
+// iteration resolved by RootWindow-bounded searches of the fuzzed scheduler
+// configuration. Each depth's resolved value must match the oracle — the
+// driver must converge through whatever fail-soft bounds the fuzzed schedule
+// produces, with or without a table (the no-table mtdf degradation path is
+// half the fuzz space). Core searches report no root move, so resolution is
+// value-only (move -1 throughout).
+func runFuzzDriver(t testing.TB, c fuzzCase) {
+	t.Helper()
+	d, err := driver.New(c.drv, driver.Config{Delta: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := game.NoValue
+	for depth := 1; depth <= c.depth; depth++ {
+		want := oracle(c.tree.Root(), depth)
+		r, err := d.Resolve(func(w game.Window) (int, game.Value, error) {
+			opt := c.opt
+			opt.RootWindow = &w
+			res, err := Search(c.tree.Root(), depth, opt)
+			if err != nil {
+				return -1, 0, err
+			}
+			return -1, res.Value, nil
+		}, prev)
+		if err != nil {
+			t.Fatalf("driver %s depth %d: %v", c.drv, depth, err)
+		}
+		if r.Value != want {
+			t.Fatalf("driver divergence: %s on tree %v depth %d opt %+v: resolved %d, oracle %d",
+				c.drv, c.tree, depth, c.opt, r.Value, want)
+		}
+		if r.Probes > driver.DefaultMaxProbes {
+			t.Fatalf("driver %s depth %d: %d probes exceeds the budget", c.drv, depth, r.Probes)
+		}
+		prev = r.Value
+	}
 }
 
 // FuzzSearchEquivalence is the native fuzz target: `go test
 // -fuzz=FuzzSearchEquivalence ./internal/core/` explores tree shapes, worker
-// counts, heap modes, steal seeds and pop-delays, failing on any divergence
-// from the serial oracle or any invariant violation. The committed corpus
-// under testdata/fuzz/ pins the interesting region (sharded × jitter ×
-// spec-rank × TT) so plain `go test` replays it on every run.
+// counts, heap modes, steal seeds, pop-delays and root drivers, failing on
+// any divergence from the serial oracle or any invariant violation. The
+// committed corpus under testdata/fuzz/ pins the interesting region (sharded
+// × jitter × spec-rank × TT × driver) so plain `go test` replays it on every
+// run.
 func FuzzSearchEquivalence(f *testing.F) {
 	f.Add(uint64(1), uint16(0x0F), uint32(0xFFFF), uint64(42))
 	f.Add(uint64(0x60_0D), uint16(0x1B), uint32(0x2FE1), uint64(7))
 	f.Add(uint64(3), uint16(0x2A7), uint32(0x3AE5), uint64(0))
 	f.Add(uint64(99), uint16(0x13), uint32(0x0820), uint64(123456789))
 	f.Add(uint64(424242), uint16(0x3FF), uint32(0x1FFF), uint64(0xDEADBEEF))
+	// Driver-dimension seeds (sched bits 14-15): aspiration over the sharded
+	// heap, mtdf with the table, mtdf without the table (the degradation
+	// path), and bns with jitter armed.
+	f.Add(uint64(0x60_0E), uint16(0x1B), uint32(0x6FE1), uint64(17))
+	f.Add(uint64(5), uint16(0x2A7), uint32(0xBAE5), uint64(3))
+	f.Add(uint64(77), uint16(0x153), uint32(0x8FE1), uint64(9))
+	f.Add(uint64(2024), uint16(0x3F), uint32(0xFFFF), uint64(0xFEED))
 	f.Fuzz(func(t *testing.T, seed uint64, shape uint16, sched uint32, stealSeed uint64) {
 		runFuzzCase(t, decodeFuzzCase(seed, shape, sched, stealSeed))
 	})

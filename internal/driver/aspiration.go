@@ -1,0 +1,46 @@
+package driver
+
+import "ertree/internal/game"
+
+func init() { Register("aspiration", newAspiration) }
+
+// aspiration is the classic wide-window deepening policy: search a window of
+// ±Delta around the previous iteration's value; on a fail-low reopen the
+// lower half, on a fail-high the upper half, and repeat until the value is
+// interior. Each search is wide, so the fail-soft result it returns is
+// usually exact on the first try and at worst after one re-search per side.
+type aspiration struct {
+	delta game.Value
+}
+
+func newAspiration(cfg Config) Driver { return &aspiration{delta: cfg.Delta} }
+
+func (d *aspiration) Name() string { return "aspiration" }
+
+func (d *aspiration) Resolve(search Search, prev game.Value) (Result, error) {
+	r := Result{Move: -1}
+	w := game.FullWindow()
+	if d.delta > 0 && prev != game.NoValue {
+		w = game.Window{Alpha: prev - d.delta, Beta: prev + d.delta}
+	}
+	for {
+		move, v, err := search(w)
+		if err != nil {
+			return r, err
+		}
+		if v <= w.Alpha && w.Alpha > -game.Inf {
+			// Fail low: true value <= v; reopen the lower half.
+			r.Researches++
+			w = game.Window{Alpha: -game.Inf, Beta: v + 1}
+			continue
+		}
+		if v >= w.Beta && w.Beta < game.Inf {
+			// Fail high: true value >= v; reopen the upper half.
+			r.Researches++
+			w = game.Window{Alpha: v - 1, Beta: game.Inf}
+			continue
+		}
+		r.Move, r.Value = move, v
+		return r, nil
+	}
+}

@@ -1,0 +1,161 @@
+package driver
+
+import "ertree/internal/game"
+
+func init() {
+	Register("mtdf", newMTDF)
+	Register("bns", newBNS)
+}
+
+// mtdf is Plaat et al.'s MTD(f): only null-window probes, each one a cheap
+// fail-soft test "is the value at least γ?", converging a monotone
+// [lower, upper] envelope onto the exact value. The first guess is the
+// previous iteration's value — which is why MTD(f) belongs to a deepening
+// engine with a memory-rich transposition table: the probes keep re-visiting
+// the same tree, and the table turns those re-visits into lookups.
+//
+// Two guards keep the pathological cases bounded. After bisectAfter
+// adjacent-step probes (the classic "test next to the last result" step,
+// which can creep one unit per probe when value estimates drift), the test
+// point switches to bisection of the envelope, which converges in O(log
+// range) probes no matter how the estimates jump. And when maxProbes is
+// spent without convergence — the Plaat pathology: a table too small or too
+// lossy to keep the probes' bounds stable — the driver abandons probing and
+// runs one wide-window search, exact by construction. Termination never
+// depends on the table.
+type mtdf struct {
+	maxProbes   int
+	bisectAfter int
+}
+
+func newMTDF(cfg Config) Driver {
+	d := &mtdf{maxProbes: cfg.MaxProbes, bisectAfter: cfg.BisectAfter}
+	if d.maxProbes <= 0 {
+		d.maxProbes = DefaultMaxProbes
+	}
+	if d.bisectAfter <= 0 {
+		d.bisectAfter = DefaultBisectAfter
+	}
+	return d
+}
+
+func (d *mtdf) Name() string { return "mtdf" }
+
+func (d *mtdf) Resolve(search Search, prev game.Value) (Result, error) {
+	r := Result{Move: -1}
+	g := prev
+	if g == game.NoValue {
+		g = 0 // no previous iteration: probe around the draw score first
+	}
+	lower, upper := -game.Inf, game.Inf
+	for lower < upper {
+		if r.Probes >= d.maxProbes {
+			return wideFallback(r, search)
+		}
+		var gamma game.Value
+		if r.Probes < d.bisectAfter {
+			// Adjacent step: test at the last result, nudged inside the
+			// envelope (g == lower means "test whether it is even better").
+			gamma = g
+			if gamma <= lower {
+				gamma = lower + 1
+			}
+			if gamma > upper {
+				gamma = upper
+			}
+		} else {
+			gamma = bisect(lower, upper)
+		}
+		move, v, err := search(game.Window{Alpha: gamma - 1, Beta: gamma})
+		if err != nil {
+			return r, err
+		}
+		r.Probes++
+		g = v
+		if v >= gamma {
+			// Fail high: v is a lower bound, and move witnesses it. γ > lower
+			// always, so the envelope strictly shrinks on every probe — the
+			// loop terminates even against an inconsistent table.
+			if v > lower {
+				lower = v
+			}
+			r.Move = move
+		} else if v < upper {
+			// Fail low: v is an upper bound. No move can prove an upper
+			// bound, so the witness from the last fail-high stands.
+			upper = v
+		}
+	}
+	// lower met upper: lower is the last proven bound and r.Move witnesses a
+	// child achieving it, so it is the exact value with a proving move.
+	r.Value = lower
+	return r, nil
+}
+
+// bns is the best-first member of the MT family: null-window probes pinned to
+// the current upper bound, descending from +Inf. Probing at γ = f+ is exactly
+// Plaat's MT-SSS* formulation — each probe expands the best (highest upper
+// bound) line first, so the probe sequence enumerates the same nodes SSS*
+// would pop off its OPEN list, with the transposition table standing in for
+// the list. Converges when one probe finally proves a move reaches the
+// current upper bound. Shares mtdf's probe budget and wide-window fallback.
+type bns struct {
+	maxProbes int
+}
+
+func newBNS(cfg Config) Driver {
+	d := &bns{maxProbes: cfg.MaxProbes}
+	if d.maxProbes <= 0 {
+		d.maxProbes = DefaultMaxProbes
+	}
+	return d
+}
+
+func (d *bns) Name() string { return "bns" }
+
+func (d *bns) Resolve(search Search, prev game.Value) (Result, error) {
+	r := Result{Move: -1}
+	lower, upper := -game.Inf, game.Inf
+	for lower < upper {
+		if r.Probes >= d.maxProbes {
+			return wideFallback(r, search)
+		}
+		gamma := upper // the SSS* test point: the best upper bound so far
+		move, v, err := search(game.Window{Alpha: gamma - 1, Beta: gamma})
+		if err != nil {
+			return r, err
+		}
+		r.Probes++
+		if v >= gamma {
+			if v > lower {
+				lower = v
+			}
+			r.Move = move
+		} else if v < upper {
+			upper = v
+		}
+	}
+	r.Value = lower
+	return r, nil
+}
+
+// bisect picks the next test point strictly inside (lower, upper]: the
+// ceiling midpoint, computed in 64 bits because upper-lower can exceed the
+// 32-bit value range when the envelope is still (-Inf, Inf).
+func bisect(lower, upper game.Value) game.Value {
+	return lower + game.Value((int64(upper)-int64(lower)+1)/2)
+}
+
+// wideFallback resolves an iteration whose probe budget ran out: one
+// full-window search, exact by construction regardless of what the table
+// holds. Counted as a re-search, so the telemetry shows pathological
+// iterations as "probes maxed + one re-search".
+func wideFallback(r Result, search Search) (Result, error) {
+	move, v, err := search(game.FullWindow())
+	if err != nil {
+		return r, err
+	}
+	r.Researches++
+	r.Move, r.Value = move, v
+	return r, nil
+}

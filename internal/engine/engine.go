@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"ertree/internal/backend"
+	"ertree/internal/driver"
 	"ertree/internal/game"
 	"ertree/internal/tt"
 
@@ -37,6 +38,9 @@ var (
 	// ErrUnknownBackend reports a SessionOptions.Backend that names no
 	// registered search backend; the wrapped message lists the valid set.
 	ErrUnknownBackend = errors.New("engine: unknown search backend")
+	// ErrUnknownDriver reports a SessionOptions.Driver that names no
+	// registered root driver; the wrapped message lists the valid set.
+	ErrUnknownDriver = errors.New("engine: unknown root driver")
 )
 
 // EnvBackend is the environment variable consulted when Config.Backend is
@@ -48,6 +52,16 @@ const EnvBackend = "ERTREE_BACKEND"
 // Config.Backend nor EnvBackend selects one: the paper's parallel ER
 // scheduler, the behavior engines had before backends were selectable.
 const DefaultBackend = "er"
+
+// EnvDriver is the environment variable consulted when Config.Driver is
+// empty, so a test matrix (CI's driver leg) can force every engine in the
+// process onto one root driver without threading a flag through each test.
+const EnvDriver = "ERTREE_DRIVER"
+
+// DefaultDriver is the root driver engines use when neither Config.Driver
+// nor EnvDriver selects one: the classic aspiration deepening loop, the
+// behavior engines had before drivers were selectable.
+const DefaultDriver = driver.Default
 
 // Config configures an Engine.
 type Config struct {
@@ -62,6 +76,14 @@ type Config struct {
 	// backend.Valid first. Per-session overrides go through
 	// SessionOptions.Backend.
 	Backend string
+	// Driver selects the root driver that resolves each deepening iteration:
+	// "aspiration" (wide window around the previous value, the classic
+	// loop), "mtdf" (null-window probes against the shared table), or "bns"
+	// (the best-first SSS*-equivalent probe order). Empty consults the
+	// ERTREE_DRIVER environment variable, then falls back to DefaultDriver.
+	// Unknown names panic in New — validate user input with driver.Valid
+	// first. Per-session overrides go through SessionOptions.Driver.
+	Driver string
 	// Workers is the parallel-ER worker count used by each search.
 	// Defaults to 1.
 	Workers int
@@ -142,13 +164,16 @@ type Engine struct {
 	sem   chan struct{}
 	// backends holds one instance of every registered backend, built against
 	// this engine's table and scheduler knobs at New, so per-session backend
-	// switches (?backend=) are map lookups, not constructions.
+	// switches (?backend=) are map lookups, not constructions. drivers is
+	// the same arrangement for the root drivers (?driver=).
 	backends map[string]backend.Backend
+	drivers  map[string]driver.Driver
 
-	// backendSessions counts admitted sessions per backend name (the Stats
-	// attribution of mixed-backend traffic).
+	// backendSessions and driverSessions count admitted sessions per backend
+	// and driver name (the Stats attribution of mixed traffic).
 	bmu             sync.Mutex
 	backendSessions map[string]int64
+	driverSessions  map[string]int64
 
 	waiting     atomic.Int64
 	started     atomic.Int64
@@ -158,6 +183,7 @@ type Engine struct {
 	failed      atomic.Int64
 	nodes       atomic.Int64
 	researches  atomic.Int64
+	probes      atomic.Int64
 
 	// Shed-by-cause breakdown of rejected: immediate refusals (no queue),
 	// queue-timeout expiries, and callers that cancelled while queued.
@@ -227,7 +253,22 @@ func New(cfg Config) *Engine {
 		panic(fmt.Sprintf("engine: unknown backend %q (registered: %s)",
 			cfg.Backend, backend.NamesString()))
 	}
-	e := &Engine{cfg: cfg, sem: cfg.Pool, backendSessions: make(map[string]int64)}
+	if cfg.Driver == "" {
+		cfg.Driver = os.Getenv(EnvDriver)
+	}
+	if cfg.Driver == "" {
+		cfg.Driver = DefaultDriver
+	}
+	if !driver.Valid(cfg.Driver) {
+		panic(fmt.Sprintf("engine: unknown driver %q (registered: %s)",
+			cfg.Driver, driver.NamesString()))
+	}
+	e := &Engine{
+		cfg:             cfg,
+		sem:             cfg.Pool,
+		backendSessions: make(map[string]int64),
+		driverSessions:  make(map[string]int64),
+	}
 	if e.sem == nil {
 		e.sem = make(chan struct{}, cfg.MaxConcurrent)
 	}
@@ -259,11 +300,48 @@ func New(cfg Config) *Engine {
 		}
 		e.backends[name] = be
 	}
+	// One instance of every registered driver, so per-session driver
+	// switches (?driver=) are map lookups too. Drivers share the engine's
+	// aspiration half-window; the probe-policy knobs keep their defaults.
+	dcfg := driver.Config{Delta: cfg.Delta}
+	e.drivers = make(map[string]driver.Driver)
+	for _, name := range driver.Names() {
+		d, err := driver.New(name, dcfg)
+		if err != nil {
+			panic(err) // unreachable: the name came from the registry
+		}
+		e.drivers[name] = d
+	}
 	return e
 }
 
 // Backend returns the engine's default backend name.
 func (e *Engine) Backend() string { return e.cfg.Backend }
+
+// Driver returns the engine's default root-driver name.
+func (e *Engine) Driver() string { return e.cfg.Driver }
+
+// driverFor resolves a per-session driver override ("" means the engine
+// default) to the prebuilt instance.
+func (e *Engine) driverFor(name string) (driver.Driver, error) {
+	if name == "" {
+		name = e.cfg.Driver
+	}
+	d, ok := e.drivers[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (registered: %s)",
+			ErrUnknownDriver, name, driver.NamesString())
+	}
+	return d, nil
+}
+
+// countDriverSession attributes one admitted session to the root driver
+// resolving its iterations.
+func (e *Engine) countDriverSession(name string) {
+	e.bmu.Lock()
+	e.driverSessions[name]++
+	e.bmu.Unlock()
+}
 
 // backendFor resolves a per-session backend override ("" means the engine
 // default) to the prebuilt instance.
@@ -358,13 +436,17 @@ type Stats struct {
 	ShedTimeout   int64
 	ShedCancelled int64
 	Nodes         int64 // total tree nodes generated across all sessions
-	Researches    int64 // aspiration-window re-searches across all sessions
+	Researches    int64 // wide-window re-searches across all sessions
+	Probes        int64 // root-driver null-window probes across all sessions
 
 	// Backend is the engine's default search backend; BackendSessions counts
 	// admitted sessions per backend actually used (per-request overrides make
-	// mixed-backend traffic, and this is how it stays attributable).
+	// mixed-backend traffic, and this is how it stays attributable). Driver
+	// and DriverSessions are the same pair for the root drivers.
 	Backend         string
 	BackendSessions map[string]int64
+	Driver          string
+	DriverSessions  map[string]int64
 
 	// Core-search aggregates across all sessions.
 	SerialTasks int64 // serial-ER subtree work units
@@ -412,6 +494,7 @@ func (e *Engine) Stats() Stats {
 		ShedCancelled: e.shedCancelled.Load(),
 		Nodes:         e.nodes.Load(),
 		Researches:    e.researches.Load(),
+		Probes:        e.probes.Load(),
 		SerialTasks:   e.serialTasks.Load(),
 		LeafTasks:     e.leafTasks.Load(),
 		SpecPops:      e.specPops.Load(),
@@ -425,12 +508,19 @@ func (e *Engine) Stats() Stats {
 		TTStores:      e.ttStores.Load(),
 		TTCutoffs:     e.ttCutoffs.Load(),
 		Backend:       e.cfg.Backend,
+		Driver:        e.cfg.Driver,
 	}
 	e.bmu.Lock()
 	if len(e.backendSessions) > 0 {
 		s.BackendSessions = make(map[string]int64, len(e.backendSessions))
 		for k, v := range e.backendSessions {
 			s.BackendSessions[k] = v
+		}
+	}
+	if len(e.driverSessions) > 0 {
+		s.DriverSessions = make(map[string]int64, len(e.driverSessions))
+		for k, v := range e.driverSessions {
+			s.DriverSessions[k] = v
 		}
 	}
 	e.bmu.Unlock()

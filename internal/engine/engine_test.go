@@ -216,7 +216,10 @@ func TestConcurrentSessions(t *testing.T) {
 // return legal moves and, re-analyzing shallower than a cached deeper
 // search, answer almost entirely from memory.
 func TestDeeperHitsMode(t *testing.T) {
-	e := New(Config{Workers: 2, SerialDepth: 2, TableBits: 16, DeeperHits: true})
+	// Driver pinned: near-total reuse is an aspiration-loop property — the
+	// probe drivers mostly store bound entries on the first pass, which a
+	// shallower re-analysis cannot answer exact queries from.
+	e := New(Config{Driver: "aspiration", Workers: 2, SerialDepth: 2, TableBits: 16, DeeperHits: true})
 	pos := connect4.New()
 	if _, err := e.Analyze(context.Background(), pos, 8); err != nil {
 		t.Fatal(err)

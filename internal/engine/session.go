@@ -10,6 +10,7 @@ import (
 
 	"ertree/internal/backend"
 	"ertree/internal/core"
+	"ertree/internal/driver"
 	"ertree/internal/game"
 	"ertree/internal/tt"
 )
@@ -19,7 +20,8 @@ type Iteration struct {
 	Depth      int        // search depth of this iteration
 	Move       int        // best child index (natural move order)
 	Value      game.Value // root value, from the side to move
-	Researches int        // aspiration-window re-searches
+	Researches int        // wide-window re-searches (aspiration reopens, probe fallback)
+	Probes     int        // null-window probes (mtdf/bns drivers)
 	Nodes      int64      // tree nodes generated during this iteration
 	Steals     int64      // sharded-heap steals during this iteration
 	// HeapPeak is the largest problem-heap occupancy sampled during this
@@ -35,8 +37,10 @@ type Analysis struct {
 	// Label echoes SessionOptions.Label (e.g. the request id a server
 	// session belongs to), so logs, traces, and flight reports correlate.
 	Label string
-	// Backend names the search backend that served the session.
+	// Backend names the search backend that served the session; Driver names
+	// the root driver that resolved its iterations.
 	Backend    string
+	Driver     string
 	Move       int        // best child index (natural move order)
 	Value      game.Value // value of the deepest completed iteration
 	Depth      int        // deepest completed iteration
@@ -101,6 +105,11 @@ type SessionOptions struct {
 	// unregistered name fails the session with ErrUnknownBackend before
 	// admission.
 	Backend string
+	// Driver overrides the engine's configured root driver for this session
+	// ("aspiration", "mtdf", "bns"); empty uses the engine default. An
+	// unregistered name fails the session with ErrUnknownDriver before
+	// admission.
+	Driver string
 }
 
 // AnalyzeSession is Analyze with per-session observability options.
@@ -118,6 +127,10 @@ func (e *Engine) AnalyzeSession(ctx context.Context, pos game.Position, maxDepth
 		// counters keep meaning "the engine was busy".
 		return nil, err
 	}
+	drv, err := e.driverFor(opts.Driver)
+	if err != nil {
+		return nil, err
+	}
 	if err := e.acquire(ctx); err != nil {
 		e.cfg.Telemetry.recordRejection(e.name())
 		return nil, err
@@ -126,6 +139,8 @@ func (e *Engine) AnalyzeSession(ctx context.Context, pos game.Position, maxDepth
 	e.started.Add(1)
 	e.countBackendSession(be.Name())
 	e.cfg.Telemetry.recordBackendSession(e.name(), be.Name())
+	e.countDriverSession(drv.Name())
+	e.cfg.Telemetry.recordDriverSession(e.name(), drv.Name())
 	if e.table != nil {
 		// One admitted session = one aging tick: entries untouched since
 		// earlier sessions lose replacement priority in the lock-free table
@@ -137,6 +152,7 @@ func (e *Engine) AnalyzeSession(ctx context.Context, pos game.Position, maxDepth
 	s := &session{
 		e:      e,
 		be:     be,
+		drv:    drv,
 		pos:    pos,
 		cancel: ctx.Done(),
 		kids:   kids,
@@ -163,19 +179,20 @@ func (e *Engine) AnalyzeSession(ctx context.Context, pos game.Position, maxDepth
 	}
 	s.primeScores()
 
-	an := &Analysis{Label: opts.Label, Backend: be.Name(), Move: -1}
-	researches := 0
+	an := &Analysis{Label: opts.Label, Backend: be.Name(), Driver: drv.Name(), Move: -1}
+	researches, probes := 0, 0
 	for depth := 1; depth <= maxDepth; depth++ {
 		if ctx.Err() != nil {
 			break
 		}
 		it, err := s.iterate(depth)
 		researches += it.Researches
+		probes += it.Probes
 		if err != nil {
 			if errors.Is(err, core.ErrAborted) {
 				break // deadline hit mid-iteration; keep what we have
 			}
-			s.finish(outcomeFailed, time.Since(start), an.Depth, researches)
+			s.finish(outcomeFailed, time.Since(start), an.Depth, researches, probes)
 			return nil, err
 		}
 		an.Iterations = append(an.Iterations, it)
@@ -195,7 +212,7 @@ func (e *Engine) AnalyzeSession(ctx context.Context, pos game.Position, maxDepth
 	}
 	if len(an.Iterations) == 0 {
 		e.deadlineCut.Add(1)
-		s.finish(outcomeNoResult, an.Elapsed, 0, researches)
+		s.finish(outcomeNoResult, an.Elapsed, 0, researches, probes)
 		return nil, ErrNoResult
 	}
 	an.Completed = an.Depth == maxDepth
@@ -206,22 +223,24 @@ func (e *Engine) AnalyzeSession(ctx context.Context, pos game.Position, maxDepth
 	} else {
 		e.deadlineCut.Add(1)
 	}
-	s.finish(outcome, an.Elapsed, an.Depth, researches)
+	s.finish(outcome, an.Elapsed, an.Depth, researches, probes)
 	return an, nil
 }
 
 // finish folds the session's accumulated counters into the engine and its
 // Telemetry. Called exactly once per admitted session, on every exit path.
-func (s *session) finish(outcome string, elapsed time.Duration, depth, researches int) {
+func (s *session) finish(outcome string, elapsed time.Duration, depth, researches, probes int) {
 	e := s.e
 	if outcome == outcomeFailed {
 		e.failed.Add(1)
 	}
 	e.nodes.Add(s.nodes)
 	e.researches.Add(int64(researches))
+	e.probes.Add(int64(probes))
 	e.addCore(&s.core)
 	tel := e.cfg.Telemetry
 	tel.recordSession(e.name(), outcome, elapsed, depth, researches, s.nodes)
+	tel.recordDriverProbes(e.name(), s.drv.Name(), int64(probes))
 	tel.recordCore(e.name(), &s.core)
 	if e.table != nil {
 		tel.recordTable(e.name(), e.table)
@@ -232,6 +251,7 @@ func (s *session) finish(outcome string, elapsed time.Duration, depth, researche
 type session struct {
 	e      *Engine
 	be     backend.Backend // the search backend serving this session
+	drv    driver.Driver   // the root driver resolving each iteration
 	pos    game.Position   // the analyzed position
 	cancel <-chan struct{}
 	kids   []game.Position // root children, natural order
@@ -263,42 +283,29 @@ func (s *session) observeWorker(wt core.WorkerTelemetry) {
 	s.trace.add(wt)
 }
 
-// iterate completes one depth: an aspiration loop around the previous value
-// that re-searches with a reopened window on failure, so the accepted value
-// is exact and the move proving it is known.
+// iterate completes one depth by handing the fixed-depth root search to the
+// session's driver: the driver decides which windows to search (one wide
+// aspiration window, or a converging sequence of null-window probes) and
+// returns an exact value with a proving move either way.
 func (s *session) iterate(depth int) (Iteration, error) {
 	it := Iteration{Depth: depth}
 	start := time.Now()
 	nodes0 := s.nodes
 	steals0 := s.core.steals
-	w := game.FullWindow()
-	if s.e.cfg.Delta > 0 && s.prev != game.NoValue {
-		w = game.Window{Alpha: s.prev - s.e.cfg.Delta, Beta: s.prev + s.e.cfg.Delta}
+	res, err := s.drv.Resolve(func(w game.Window) (int, game.Value, error) {
+		return s.searchRoot(depth, w)
+	}, s.prev)
+	it.Researches = res.Researches
+	it.Probes = res.Probes
+	if err != nil {
+		return it, err
 	}
-	for {
-		move, v, err := s.searchRoot(depth, w)
-		if err != nil {
-			return it, err
-		}
-		if v <= w.Alpha && w.Alpha > -game.Inf {
-			// Fail low: true value <= v; reopen the lower half.
-			it.Researches++
-			w = game.Window{Alpha: -game.Inf, Beta: v + 1}
-			continue
-		}
-		if v >= w.Beta && w.Beta < game.Inf {
-			// Fail high: true value >= v; reopen the upper half.
-			it.Researches++
-			w = game.Window{Alpha: v - 1, Beta: game.Inf}
-			continue
-		}
-		it.Move, it.Value = move, v
-		it.Nodes = s.nodes - nodes0
-		it.Steals = s.core.steals - steals0
-		it.HeapPeak = int(s.heapPeak.Swap(0))
-		it.Elapsed = time.Since(start)
-		return it, nil
-	}
+	it.Move, it.Value = res.Move, res.Value
+	it.Nodes = s.nodes - nodes0
+	it.Steals = s.core.steals - steals0
+	it.HeapPeak = int(s.heapPeak.Swap(0))
+	it.Elapsed = time.Since(start)
+	return it, nil
 }
 
 // searchRoot runs one fixed-depth search of the session's position through

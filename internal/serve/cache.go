@@ -14,8 +14,9 @@ import (
 // requests skip the engine entirely.
 //
 // The cache key is every request parameter that changes the response body —
-// game, moves, depth, budget, backend, and whether iterations are included —
-// so two requests share a flight only when either answer could serve both.
+// game, moves, depth, budget, backend, driver, and whether iterations are
+// included — so two requests share a flight only when either answer could
+// serve both.
 // Only analyses that reached their full requested depth are retained: a
 // deadline-cut answer depends on how loaded the server was, not just on the
 // request, and must not shadow the deeper answer a retry could earn. Errors
@@ -66,9 +67,9 @@ func newAnswerCache(capacity int) *answerCache {
 }
 
 // answerKey builds the cache key from everything that shapes the response.
-func answerKey(game, moves string, depth int, budgetMS int64, backend string, includeIterations bool) string {
+func answerKey(game, moves string, depth int, budgetMS int64, backend, driver string, includeIterations bool) string {
 	var b strings.Builder
-	b.Grow(len(game) + len(moves) + len(backend) + 32)
+	b.Grow(len(game) + len(moves) + len(backend) + len(driver) + 32)
 	b.WriteString(game)
 	b.WriteByte('|')
 	b.WriteString(moves)
@@ -78,6 +79,8 @@ func answerKey(game, moves string, depth int, budgetMS int64, backend string, in
 	writeInt(&b, budgetMS)
 	b.WriteByte('|')
 	b.WriteString(backend)
+	b.WriteByte('|')
+	b.WriteString(driver)
 	if includeIterations {
 		b.WriteString("|iters")
 	}

@@ -62,20 +62,21 @@ func TestAnswerCacheLRU(t *testing.T) {
 // TestAnswerKeyDiscriminates: any parameter that changes the response body
 // must change the key.
 func TestAnswerKeyDiscriminates(t *testing.T) {
-	base := answerKey("connect4", "3,3", 8, 5000, "", false)
+	base := answerKey("connect4", "3,3", 8, 5000, "", "", false)
 	for name, other := range map[string]string{
-		"game":    answerKey("othello", "3,3", 8, 5000, "", false),
-		"moves":   answerKey("connect4", "3,4", 8, 5000, "", false),
-		"depth":   answerKey("connect4", "3,3", 9, 5000, "", false),
-		"budget":  answerKey("connect4", "3,3", 8, 1000, "", false),
-		"backend": answerKey("connect4", "3,3", 8, 5000, "lazysmp", false),
-		"iters":   answerKey("connect4", "3,3", 8, 5000, "", true),
+		"game":    answerKey("othello", "3,3", 8, 5000, "", "", false),
+		"moves":   answerKey("connect4", "3,4", 8, 5000, "", "", false),
+		"depth":   answerKey("connect4", "3,3", 9, 5000, "", "", false),
+		"budget":  answerKey("connect4", "3,3", 8, 1000, "", "", false),
+		"backend": answerKey("connect4", "3,3", 8, 5000, "lazysmp", "", false),
+		"driver":  answerKey("connect4", "3,3", 8, 5000, "", "mtdf", false),
+		"iters":   answerKey("connect4", "3,3", 8, 5000, "", "", true),
 	} {
 		if other == base {
 			t.Errorf("key ignores %s: %q", name, base)
 		}
 	}
-	if answerKey("connect4", "3,3", 8, 5000, "", false) != base {
+	if answerKey("connect4", "3,3", 8, 5000, "", "", false) != base {
 		t.Fatal("key is not deterministic")
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"ertree/internal/backend"
 	"ertree/internal/checkers"
 	"ertree/internal/connect4"
+	"ertree/internal/driver"
 	"ertree/internal/engine"
 	"ertree/internal/flight"
 	"ertree/internal/game"
@@ -51,6 +52,7 @@ var games = map[string]gameSpec{
 type Config struct {
 	Workers       int           // parallel-ER workers per search
 	Backend       string        // default search backend; empty means the engine default
+	Driver        string        // default root driver; empty means the engine default
 	SerialDepth   int           // serial work grain
 	Sharded       bool          // per-worker work-stealing problem heap
 	TableBits     int           // per-game shared transposition table size
@@ -114,6 +116,7 @@ func New(cfg Config) *Server {
 		s.engines[name] = engine.New(engine.Config{
 			Name:         name,
 			Backend:      cfg.Backend,
+			Driver:       cfg.Driver,
 			Workers:      cfg.Workers,
 			SerialDepth:  cfg.SerialDepth,
 			Sharded:      cfg.Sharded,
@@ -210,6 +213,7 @@ type iterationJSON struct {
 	Move       int   `json:"move"`
 	Value      int   `json:"value"`
 	Researches int   `json:"researches"`
+	Probes     int   `json:"probes"`
 	Nodes      int64 `json:"nodes"`
 	Steals     int64 `json:"steals"`
 	// HeapPeak is the largest problem-heap occupancy sampled during the
@@ -225,6 +229,7 @@ func wireIteration(it engine.Iteration) iterationJSON {
 		Move:       it.Move,
 		Value:      int(it.Value),
 		Researches: it.Researches,
+		Probes:     it.Probes,
 		Nodes:      it.Nodes,
 		Steals:     it.Steals,
 		HeapPeak:   it.HeapPeak,
@@ -236,6 +241,7 @@ func wireIteration(it engine.Iteration) iterationJSON {
 type analysisJSON struct {
 	Game           string          `json:"game"`
 	Backend        string          `json:"backend"`
+	Driver         string          `json:"driver"`
 	RequestedDepth int             `json:"requested_depth"`
 	Depth          int             `json:"depth"`
 	Move           int             `json:"move"`
@@ -329,6 +335,13 @@ func (s *Server) handleAnalyze(includeIterations bool) http.HandlerFunc {
 			s.fail(w, http.StatusBadRequest, "unknown backend %q (valid: %s)", beName, backend.NamesString())
 			return
 		}
+		// driver= swaps the root driver for this request only, under the same
+		// no-silent-fallback rule.
+		dName := firstValue(q, "driver")
+		if dName != "" && !driver.Valid(dName) {
+			s.fail(w, http.StatusBadRequest, "unknown driver %q (valid: %s)", dName, driver.NamesString())
+			return
+		}
 		trace := includeIterations && firstValue(q, "trace") == "1"
 		stream := includeIterations && firstValue(q, "stream") == "1"
 		recordFlight := includeIterations && firstValue(q, "flight") == "1"
@@ -343,7 +356,7 @@ func (s *Server) handleAnalyze(includeIterations bool) http.HandlerFunc {
 		flightLeader := false
 		if s.cache != nil && !trace && !stream && !recordFlight {
 			cacheKey = answerKey(name, firstValue(q, "moves"), depth,
-				budget.Milliseconds(), beName, includeIterations)
+				budget.Milliseconds(), beName, dName, includeIterations)
 			if out, ok := s.cache.get(cacheKey); ok {
 				s.writeJSON(w, http.StatusOK, out)
 				return
@@ -378,7 +391,7 @@ func (s *Server) handleAnalyze(includeIterations bool) http.HandlerFunc {
 		// handler ran; threading it into the session labels its analysis,
 		// trace, and flight report with the same correlation key as the
 		// access-log line.
-		opts := engine.SessionOptions{Trace: trace, Label: w.Header().Get("X-Request-ID"), Backend: beName}
+		opts := engine.SessionOptions{Trace: trace, Label: w.Header().Get("X-Request-ID"), Backend: beName, Driver: dName}
 		switch {
 		case recordFlight:
 			opts.Record = 1 << 16
@@ -440,6 +453,7 @@ func (s *Server) handleAnalyze(includeIterations bool) http.HandlerFunc {
 		out := analysisJSON{
 			Game:           name,
 			Backend:        an.Backend,
+			Driver:         an.Driver,
 			RequestedDepth: depth,
 			Depth:          an.Depth,
 			Move:           an.Move,
@@ -501,6 +515,7 @@ type healthzJSON struct {
 	UptimeMS  int64  `json:"uptime_ms"`
 	Games     int    `json:"games"`
 	Backend   string `json:"backend"`    // resolved default search backend
+	Driver    string `json:"driver"`     // resolved default root driver
 	TableImpl string `json:"table_impl"` // shared-table implementation; "none" when disabled
 	InFlight  int    `json:"in_flight"`  // sessions currently holding a slot
 	Capacity  int    `json:"capacity"`   // session slots
@@ -520,6 +535,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	for _, e := range s.engines {
 		// All engines share the same configuration; any one identifies it.
 		out.Backend = e.Backend()
+		out.Driver = e.Driver()
 		if t := e.Table(); t != nil {
 			out.TableImpl = t.Impl()
 		}
