@@ -1,0 +1,42 @@
+package ertree_test
+
+import (
+	"testing"
+
+	"ertree/internal/benchlog"
+)
+
+// TestBenchHistoryParses guards the committed BENCH_history.jsonl: every line
+// must parse as a history entry with the host metadata that makes its numbers
+// comparable, and the timestamps must be monotone non-decreasing — the file
+// is append-only, so an out-of-order timestamp means something rewrote it.
+func TestBenchHistoryParses(t *testing.T) {
+	entries, err := benchlog.ReadAll("BENCH_history.jsonl")
+	if err != nil {
+		t.Fatalf("missing or corrupt benchmark history: %v", err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("benchmark history is empty")
+	}
+	for i, e := range entries {
+		if e.Source == "" {
+			t.Fatalf("entry %d has no source", i)
+		}
+		if e.GoVersion == "" || e.GOOS == "" || e.GOARCH == "" {
+			t.Fatalf("entry %d missing toolchain metadata: %+v", i, e)
+		}
+		if e.NumCPU < 1 || e.GOMAXPROCS < 1 {
+			t.Fatalf("entry %d missing host metadata: %+v", i, e)
+		}
+		if e.At.IsZero() {
+			t.Fatalf("entry %d has no timestamp", i)
+		}
+		if len(e.Ratios) == 0 {
+			t.Fatalf("entry %d carries no headline numbers", i)
+		}
+		if i > 0 && e.At.Before(entries[i-1].At) {
+			t.Fatalf("entry %d timestamp %v precedes entry %d's %v — history must be append-only",
+				i, e.At, i-1, entries[i-1].At)
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"ertree"
+	"ertree/internal/benchlog"
 	"ertree/internal/engine"
 	"ertree/internal/experiments"
 	"ertree/internal/flight"
@@ -529,6 +530,16 @@ func BenchmarkRealSpeedup(b *testing.B) {
 		b.Fatal(err)
 	}
 	if err := os.WriteFile("BENCH_core.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	// BENCH_core.json is a snapshot each run overwrites; the history file
+	// keeps every run's headline ratios so trends survive.
+	if err := benchlog.Append("BENCH_history.jsonl", "bench-real", map[string]float64{
+		"sharded_vs_global_at_max_p":   shardedVsGlobal,
+		"lazysmp_vs_er_at_max_p":       lazyVsER,
+		"lockfree_vs_striped_at_max_p": lockfreeVsStriped,
+		"mtdf_vs_aspiration_at_max_p":  mtdfVsAspiration,
+	}); err != nil {
 		b.Fatal(err)
 	}
 }

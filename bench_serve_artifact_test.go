@@ -45,6 +45,7 @@ func TestBenchServeArtifactPhases(t *testing.T) {
 			Cache struct {
 				HitRate float64 `json:"hit_rate"`
 			} `json:"answer_cache"`
+			Anomalies map[string]int64 `json:"anomalies"`
 		} `json:"phases"`
 	}
 	if err := json.Unmarshal(raw, &art); err != nil {
@@ -91,6 +92,17 @@ func TestBenchServeArtifactPhases(t *testing.T) {
 		}
 		if p.Cache.HitRate > 0 {
 			sawCacheHits = true
+		}
+		// Every phase carries the self-monitor's anomaly counts — an empty
+		// map when nothing fired, but never absent. json.Unmarshal leaves the
+		// map nil only when the key is missing from the artifact.
+		if p.Anomalies == nil {
+			t.Fatalf("phase %q has no anomalies field — harness ran without per-phase anomaly accounting", p.Name)
+		}
+		for kind, n := range p.Anomalies {
+			if kind == "" || n < 1 {
+				t.Fatalf("phase %q has a malformed anomaly entry %q=%d", p.Name, kind, n)
+			}
 		}
 	}
 	// The scenario always carries a duplicate-mix phase; a run where no phase

@@ -112,4 +112,67 @@ func TestSmokeScenarioInProcess(t *testing.T) {
 	if phases[0].Load.Samples == 0 {
 		t.Errorf("gauge sampler took no samples")
 	}
+	// With the monitor off the anomaly map is present but empty — the field
+	// must exist in every artifact regardless of monitoring.
+	for _, p := range phases {
+		if p.Anomalies == nil {
+			t.Errorf("phase %s: nil anomaly map (artifact consumers rely on the field)", p.Name)
+		}
+	}
+}
+
+// TestAnomalyScenarioInProcess is the acceptance path: the anomaly scenario's
+// shed storm against a deliberately tiny obs-enabled server must produce at
+// least one shed-spike detection with a retained, downloadable pprof capture
+// (runner.run fails the AssertAnomaly phase otherwise), and the per-phase
+// anomaly counts must land in the artifact.
+func TestAnomalyScenarioInProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second load run")
+	}
+	sc := scenarios["anomaly"]
+	if err := sc.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Self == nil {
+		t.Fatal("anomaly scenario must pin the self-server shape")
+	}
+	srv := serve.New(serve.Config{
+		Workers: 2, SerialDepth: 4, TableBits: 14, CacheSize: 64,
+		MaxConcurrent: sc.Self.MaxConcurrent, QueueTimeout: sc.Self.QueueTimeout,
+		WindowTick: time.Second, WindowSlots: 30,
+		ObsSample: 25 * time.Millisecond,
+		Logger:    slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	rng := rand.New(rand.NewSource(7))
+	r := &runner{
+		base:        ts.URL,
+		client:      ts.Client(),
+		rng:         rng,
+		corpus:      buildCorpus(rng, 8),
+		sampleEvery: 50 * time.Millisecond,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if _, err := r.awaitReady(ctx, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	phases, err := r.run(ctx, sc)
+	if err != nil {
+		t.Fatalf("run: %v (phases so far: %+v)", err, phases)
+	}
+	if len(phases) != len(sc.Phases) {
+		t.Fatalf("got %d phase results, want %d", len(phases), len(sc.Phases))
+	}
+	storm := phases[len(phases)-1]
+	if storm.Anomalies["shed-spike"] < 1 {
+		t.Fatalf("shed storm recorded no shed-spike anomaly: %v", storm.Anomalies)
+	}
+	if storm.Shed == 0 {
+		t.Fatalf("shed storm shed nothing (offered=%d) — server shape too large", storm.Offered)
+	}
 }

@@ -31,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"ertree/internal/benchlog"
 	"ertree/internal/serve"
 )
 
@@ -52,6 +53,8 @@ func main() {
 		queueTimeout  = flag.Duration("queue-timeout", 150*time.Millisecond, "in-process server: admission queue wait before 503")
 		tableBits     = flag.Int("table-bits", 16, "in-process server: per-game transposition table bits")
 		cacheSize     = flag.Int("cache-size", 256, "in-process server: answer-cache capacity (0 disables)")
+		obsSample     = flag.Duration("obs-sample", 100*time.Millisecond, "in-process server: self-monitor sampling interval (0 disables anomaly detection)")
+		history       = flag.String("history", "", "append this run's headline throughput/shed numbers to a JSONL history file (e.g. BENCH_history.jsonl)")
 	)
 	flag.Parse()
 
@@ -72,19 +75,27 @@ func main() {
 	targetLabel := base
 	if base == "" {
 		// Self mode: an in-process server on a loopback port, so the harness
-		// (and CI) needs no separately managed process.
+		// (and CI) needs no separately managed process. A scenario that needs
+		// a particular capacity shape (the anomaly storm) overrides the pool
+		// knobs so its assertions hold on any host.
+		mc, qt := *maxConcurrent, *queueTimeout
+		if sc.Self != nil {
+			mc, qt = sc.Self.MaxConcurrent, sc.Self.QueueTimeout
+		}
 		srv := serve.New(serve.Config{
 			Backend:       *backendArg,
 			Workers:       *workers,
 			SerialDepth:   *serialDepth,
-			MaxConcurrent: *maxConcurrent,
-			QueueTimeout:  *queueTimeout,
+			MaxConcurrent: mc,
+			QueueTimeout:  qt,
 			TableBits:     *tableBits,
 			CacheSize:     *cacheSize,
 			WindowTick:    time.Second,
 			WindowSlots:   30,
+			ObsSample:     *obsSample,
 			Logger:        slog.New(slog.NewTextHandler(io.Discard, nil)),
 		})
+		defer srv.Close()
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -146,6 +157,27 @@ func main() {
 		}
 		if *verbose {
 			fmt.Printf("wrote %s (%d phases)\n", *out, len(phases))
+		}
+	}
+	if *history != "" && len(phases) > 0 {
+		// Headline per-phase numbers for the retained history: throughput,
+		// shed rate, and total anomaly detections keyed by phase name.
+		ratios := make(map[string]float64, 3*len(phases))
+		for _, p := range phases {
+			ratios[p.Name+"_throughput_rps"] = p.ThroughputRPS
+			ratios[p.Name+"_shed_rate"] = p.ShedRate
+			var anoms int64
+			for _, n := range p.Anomalies {
+				anoms += n
+			}
+			ratios[p.Name+"_anomalies"] = float64(anoms)
+		}
+		if err := benchlog.Append(*history, "erload-"+sc.Name, ratios); err != nil {
+			fmt.Fprintf(os.Stderr, "appending %s: %v\n", *history, err)
+			os.Exit(1)
+		}
+		if *verbose {
+			fmt.Printf("appended headline numbers to %s\n", *history)
 		}
 	}
 	if runErr != nil {

@@ -22,6 +22,7 @@ type request struct {
 	game, moves string
 	depth       int
 	budgetMS    int
+	driver      string // per-request root driver override ("" = server default)
 	sse         bool
 	dup         bool
 	cancelAfter time.Duration // 0 = patient client
@@ -94,6 +95,29 @@ type statsView struct {
 	} `json:"answer_cache"`
 }
 
+// obsView decodes the /debug/obs fields the harness differences across a
+// phase: the per-kind anomaly totals, plus the anomaly list with profile ids
+// for the assertion path.
+type obsView struct {
+	Enabled   bool             `json:"enabled"`
+	Totals    map[string]int64 `json:"totals"`
+	Anomalies []struct {
+		Kind      string `json:"kind"`
+		ProfileID int64  `json:"profile_id"`
+	} `json:"anomalies"`
+}
+
+// obsTotals snapshots the server's per-kind anomaly counters. A server
+// without the self-monitor (obs disabled, or an older binary without the
+// endpoint) yields ok=false and the phase records an empty anomaly map.
+func (r *runner) obsTotals(ctx context.Context) (map[string]int64, bool) {
+	var v obsView
+	if err := r.getJSON(ctx, "/debug/obs", &v); err != nil || !v.Enabled {
+		return nil, false
+	}
+	return v.Totals, true
+}
+
 // Artifact schema — what lands in BENCH_serve.json.
 
 type latencyMS struct {
@@ -134,6 +158,10 @@ type phaseResult struct {
 	Latency       latencyMS  `json:"latency_ms"`
 	Cache         cacheDelta `json:"answer_cache"`
 	Load          loadGauges `json:"load"`
+	// Anomalies counts the self-monitor detections this phase triggered, by
+	// kind. Always present (empty when the target runs without the monitor)
+	// so artifact consumers can rely on the field existing.
+	Anomalies map[string]int64 `json:"anomalies"`
 }
 
 type serverInfo struct {
@@ -208,12 +236,63 @@ func (r *runner) run(ctx context.Context, sc Scenario) ([]phaseResult, error) {
 			fmt.Printf("phase %-16s offered=%d ok=%d shed=%d err=%d cancel=%d p50=%.1fms p99=%.1fms thr=%.1f/s cache=%.0f%%\n",
 				res.Name, res.Offered, res.Completed, res.Shed, res.Errors, res.Cancelled,
 				res.Latency.P50, res.Latency.P99, res.ThroughputRPS, res.Cache.HitRate*100)
+			if len(res.Anomalies) > 0 {
+				fmt.Printf("phase %-16s anomalies: %v\n", res.Name, res.Anomalies)
+			}
 		}
 		if p.AssertCacheHits && res.Cache.HitRate == 0 {
 			return results, fmt.Errorf("duplicate-mix phase ended with zero answer-cache hit rate (hits=%d misses=%d) — cache disabled or duplicates not coalescing", res.Cache.Hits, res.Cache.Misses)
 		}
+		if p.AssertAnomaly != "" {
+			if res.Anomalies[p.AssertAnomaly] < 1 {
+				return results, fmt.Errorf("phase %q: expected the self-monitor to detect a %q anomaly, saw %v — monitor disabled or thresholds not reached", p.Name, p.AssertAnomaly, res.Anomalies)
+			}
+			if err := r.verifyProfile(ctx, p.AssertAnomaly); err != nil {
+				return results, fmt.Errorf("phase %q: %w", p.Name, err)
+			}
+		}
 	}
 	return results, nil
+}
+
+// verifyProfile closes the acceptance loop on a detected anomaly: the monitor
+// must have retained a pprof capture for it, and the capture must actually
+// download from /debug/obs/profiles/<id>.
+func (r *runner) verifyProfile(ctx context.Context, kind string) error {
+	var v obsView
+	if err := r.getJSON(ctx, "/debug/obs", &v); err != nil {
+		return fmt.Errorf("reading /debug/obs: %w", err)
+	}
+	var profileID int64
+	for _, a := range v.Anomalies {
+		if a.Kind == kind && a.ProfileID != 0 {
+			profileID = a.ProfileID
+		}
+	}
+	if profileID == 0 {
+		return fmt.Errorf("no retained profile for any %q anomaly", kind)
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/debug/obs/profiles/%d?type=goroutine", r.base, profileID), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := r.client.Do(httpReq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK || len(b) == 0 {
+		return fmt.Errorf("profile %d download: status %d, %d bytes", profileID, resp.StatusCode, len(b))
+	}
+	if r.verbose {
+		fmt.Printf("anomaly %q: retained goroutine profile %d downloaded (%d bytes)\n", kind, profileID, len(b))
+	}
+	return nil
 }
 
 // runPhase offers open-loop Poisson load: arrivals follow the clock, not the
@@ -224,6 +303,7 @@ func (r *runner) runPhase(ctx context.Context, p Phase) (phaseResult, error) {
 	if err := r.getJSON(ctx, "/stats", &before); err != nil {
 		return phaseResult{}, fmt.Errorf("reading /stats: %w", err)
 	}
+	obsBefore, obsEnabled := r.obsTotals(ctx)
 
 	hot := r.buildHotSet(p)
 	col := &collector{}
@@ -302,6 +382,29 @@ func (r *runner) runPhase(ctx context.Context, p Phase) (phaseResult, error) {
 	if lookups := res.Cache.Hits + res.Cache.Misses; lookups > 0 {
 		res.Cache.HitRate = float64(res.Cache.Hits) / float64(lookups)
 	}
+	// Anomaly delta: what the self-monitor detected during (or just after)
+	// this phase. Detection is asynchronous — the monitor ticks on its own
+	// sampling clock — so a phase with an anomaly assertion polls briefly
+	// for the expected kind instead of racing the detector.
+	res.Anomalies = map[string]int64{}
+	if obsEnabled {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if obsAfter, ok := r.obsTotals(ctx); ok {
+				clear(res.Anomalies)
+				for k, v := range obsAfter {
+					if d := v - obsBefore[k]; d > 0 {
+						res.Anomalies[k] = d
+					}
+				}
+			}
+			if p.AssertAnomaly == "" || res.Anomalies[p.AssertAnomaly] >= 1 ||
+				time.Now().After(deadline) || ctx.Err() != nil {
+				break
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
 	if col.errors > 0 && col.lastErr != "" && r.verbose {
 		fmt.Printf("phase %s: last error: %s\n", p.Name, col.lastErr)
 	}
@@ -361,6 +464,7 @@ func (r *runner) drawFresh(p Phase) request {
 		moves:    paths[r.rng.Intn(len(paths))],
 		depth:    p.Depth,
 		budgetMS: p.BudgetMS,
+		driver:   p.Driver,
 	}
 }
 
@@ -376,6 +480,9 @@ func (r *runner) do(ctx context.Context, req request, col *collector) {
 	}
 	q.Set("depth", fmt.Sprint(req.depth))
 	q.Set("budget_ms", fmt.Sprint(req.budgetMS))
+	if req.driver != "" {
+		q.Set("driver", req.driver)
+	}
 	path := "/bestmove"
 	if req.sse {
 		path = "/analyze"

@@ -3,6 +3,8 @@ package main
 import (
 	"fmt"
 	"time"
+
+	"ertree"
 )
 
 // stageMix weights the position stages a phase draws from. Weights need not
@@ -24,8 +26,9 @@ type Phase struct {
 	Games []string // games to draw from, uniformly
 	Mix   stageMix // open/mid/end position weights
 
-	Depth    int // requested search depth
-	BudgetMS int // per-request search budget
+	Depth    int    // requested search depth
+	BudgetMS int    // per-request search budget
+	Driver   string // per-request root driver ("" = server default)
 
 	SSEFraction    float64 // fraction using /analyze?stream=1 and reading events
 	DupFraction    float64 // fraction drawn from the hot set instead of fresh
@@ -35,18 +38,33 @@ type Phase struct {
 	// AssertCacheHits makes the run fail if the phase ends with a zero
 	// answer-cache hit rate — the duplicate-mix phase's self-check.
 	AssertCacheHits bool
+
+	// AssertAnomaly makes the run fail unless the server's self-monitor
+	// detects at least one anomaly of this kind during the phase AND retains
+	// a downloadable pprof capture for it — the anomaly scenario's self-check.
+	AssertAnomaly string
+}
+
+// selfServer overrides the in-process server knobs when a scenario needs a
+// particular capacity shape (the anomaly scenario wants a server small enough
+// that its overload phase sheds on any host). Ignored with -url.
+type selfServer struct {
+	MaxConcurrent int
+	QueueTimeout  time.Duration
 }
 
 // Scenario is a named sequence of phases, run back to back against one server.
 type Scenario struct {
 	Name   string
 	Phases []Phase
+	Self   *selfServer // in-process server shape this scenario requires, if any
 }
 
 // scenarios holds the built-in scenarios, selectable with -scenario.
 var scenarios = map[string]Scenario{
 	"default": defaultScenario(),
 	"smoke":   smokeScenario(),
+	"anomaly": anomalyScenario(),
 }
 
 // defaultScenario is the full traffic shape: a warmup of cheap openings, a
@@ -105,6 +123,32 @@ func smokeScenario() Scenario {
 	}}
 }
 
+// anomalyScenario exercises the self-monitor end to end: an MTD(f) probe
+// phase (null-window probing shows up in the probes/iteration gauge), then a
+// shed storm — arrivals far past a deliberately tiny server's capacity — that
+// must trip the shed-spike detector and retain a pprof capture. The Self
+// override pins the in-process server to 2 slots and a short queue so the
+// storm sheds by construction, independent of host core count.
+func anomalyScenario() Scenario {
+	return Scenario{
+		Name: "anomaly",
+		Self: &selfServer{MaxConcurrent: 2, QueueTimeout: 50 * time.Millisecond},
+		Phases: []Phase{
+			{
+				Name: "probe-traffic", Duration: 3 * time.Second, Rate: 6,
+				Games: []string{"connect4"}, Mix: stageMix{Open: 1, Mid: 1},
+				Depth: 8, BudgetMS: 300, Driver: "mtdf",
+			},
+			{
+				Name: "shed-storm", Duration: 4 * time.Second, Rate: 60,
+				Games: []string{"othello", "checkers"}, Mix: stageMix{Mid: 2, End: 1},
+				Depth: 20, BudgetMS: 400,
+				AssertAnomaly: "shed-spike",
+			},
+		},
+	}
+}
+
 // validate rejects phases the runner cannot execute sensibly.
 func (s Scenario) validate() error {
 	if len(s.Phases) == 0 {
@@ -124,6 +168,9 @@ func (s Scenario) validate() error {
 		}
 		if p.Mix.Open+p.Mix.Mid+p.Mix.End <= 0 {
 			return fmt.Errorf("phase %q: empty stage mix", p.Name)
+		}
+		if p.Driver != "" && !ertree.ValidDriver(p.Driver) {
+			return fmt.Errorf("phase %q: unknown driver %q", p.Name, p.Driver)
 		}
 		if p.DupFraction > 0 && p.HotSet <= 0 {
 			return fmt.Errorf("phase %q: duplicate fraction without a hot set", p.Name)

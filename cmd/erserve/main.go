@@ -13,6 +13,8 @@
 //	GET /analyze?game=othello&depth=6&stream=1 (SSE per-iteration progress)
 //	GET /analyze?game=othello&depth=6&flight=1 (record a flight report)
 //	GET /debug/flight                        (retained reports; ?id=<request id>)
+//	GET /debug/obs                           (self-monitor: sample ring, detector states, anomalies)
+//	GET /debug/obs/profiles/<id>             (auto-captured pprof profiles; ?type=goroutine|cpu)
 //	GET /healthz                             (readiness + uptime/backend/table/in-flight)
 //	GET /stats                               (counters + windowed latency quantiles)
 //	GET /metrics                             (Prometheus text; ?format=json)
@@ -57,6 +59,8 @@ func main() {
 		windowTick    = flag.Duration("slo-window-tick", serve.DefaultWindowTick, "interval between windowed-quantile snapshots")
 		windowSlots   = flag.Int("slo-window-slots", serve.DefaultWindowSlots, "snapshots retained per windowed quantile (window ≈ tick × slots)")
 		pprofOn       = flag.Bool("pprof", false, "serve /debug/pprof/ profiling endpoints (enables mutex and block profiling)")
+		obsSample     = flag.Duration("obs-sample", 250*time.Millisecond, "self-monitor sampling interval for /debug/obs (0 disables the anomaly watchdog)")
+		obsRing       = flag.Int("obs-ring", 0, "samples retained by the self-monitor ring (0 = default, ≈1 minute at the sample interval)")
 	)
 	flag.Parse()
 
@@ -90,7 +94,10 @@ func main() {
 		DefaultBudget: *defaultBudget,
 		WindowTick:    *windowTick,
 		WindowSlots:   *windowSlots,
+		ObsSample:     *obsSample,
+		ObsRing:       *obsRing,
 	})
+	defer s.Close()
 	var h http.Handler = s.Handler()
 	if *pprofOn {
 		// Contention on the engine lock is the quantity the paper measures;

@@ -34,10 +34,12 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"ertree"
 	"ertree/internal/engine"
 	"ertree/internal/metrics"
+	"ertree/internal/obs"
 )
 
 func main() {
@@ -62,6 +64,7 @@ func main() {
 		tableBits   = flag.Int("table-bits", 0, "with er-real: back serial tasks with a shared transposition table of 2^bits slots (0 disables)")
 		tableImpl   = flag.String("table-impl", "", "shared table implementation: "+joinTables()+" (empty consults ERTREE_TABLE, then the default)")
 		flightOn    = flag.Bool("flight", false, "with er-real: record the search flight log and print the speculation-waste report")
+		obsOn       = flag.Bool("obs", false, "with -driver: run the self-monitor during the session and print its report after")
 		mutexProf   = flag.String("mutexprofile", "", "write a mutex-contention profile to this file (er-real lock interference)")
 		blockProf   = flag.String("blockprofile", "", "write a blocking profile to this file")
 	)
@@ -105,7 +108,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ertree: unknown backend %q (valid: %s)\n", *backendName, joinBackends())
 			os.Exit(2)
 		}
-		eng := engine.New(engine.Config{
+		ecfg := engine.Config{
 			Backend:     *backendName,
 			Driver:      *driverName,
 			Workers:     *workers,
@@ -114,7 +117,36 @@ func main() {
 			TableBits:   *tableBits,
 			TableImpl:   *tableImpl,
 			Delta:       ertree.Value(*delta),
-		})
+		}
+		var mon *obs.Monitor
+		if *obsOn {
+			// A CLI session is short, so sample fast; the ring easily holds a
+			// whole session at this rate (default slots × 20ms ≈ 4.8s).
+			mon = obs.New(obs.Config{SampleEvery: 20 * time.Millisecond})
+			ecfg.Obs = mon
+		}
+		eng := engine.New(ecfg)
+		if mon != nil {
+			mon.SetSource(func(s *obs.Sample) {
+				g := eng.Gauges()
+				s.InFlight = g.InFlight
+				s.Waiting = g.Waiting
+				s.Sessions = g.Sessions
+				s.Iterations = g.Iterations
+				s.Probes = g.Probes
+				s.ShedFull = g.ShedFull
+				s.ShedTimeout = g.ShedTimeout
+				s.ShedCancelled = g.ShedCancelled
+				s.Steals = g.Steals
+				s.StealFails = g.StealFails
+				s.TTProbes = g.TTProbes
+				s.TTHits = g.TTHits
+				s.TTFill = g.TTFill
+				s.TTLen = g.TTLen
+				s.TTGenerations = g.TTGeneration
+			})
+			mon.Start()
+		}
 		an, err := eng.Analyze(context.Background(), pos, *depth)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ertree:", err)
@@ -131,6 +163,14 @@ func main() {
 				st.TTProbes, st.TTHits,
 				100*float64(st.TTHits)/float64(st.TTProbes),
 				st.TTStores, st.TTCutoffs)
+		}
+		if mon != nil {
+			// One final synchronous sample so the report includes the session's
+			// end state even if it finished between ticker beats.
+			mon.Tick(time.Now())
+			mon.Close()
+			fmt.Println()
+			mon.WriteText(os.Stdout)
 		}
 		return
 	}

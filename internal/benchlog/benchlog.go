@@ -1,0 +1,87 @@
+// Package benchlog appends benchmark headlines to a retained JSONL history
+// file (the committed BENCH_history.jsonl), so speedup ratios and serving
+// throughput can be tracked across commits instead of each run overwriting
+// the last. One line per run: a timestamp, the producing source, host
+// metadata that makes the numbers comparable, and a flat name→value map of
+// the run's headline ratios.
+package benchlog
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Entry is one history line. Ratios is deliberately a flat map rather than a
+// fixed struct: the core benchmark and the load harness record different
+// headlines, and future sources can add theirs without a schema migration.
+type Entry struct {
+	At         time.Time          `json:"at"`
+	Source     string             `json:"source"` // "bench-real", "erload", ...
+	GoVersion  string             `json:"go_version"`
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	NumCPU     int                `json:"num_cpu"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Ratios     map[string]float64 `json:"ratios"`
+}
+
+// Append writes one history line for this host and the given headlines,
+// creating the file if needed. The write is a single buffered append of an
+// already-marshalled line, so concurrent appenders from different processes
+// interleave at line granularity on POSIX filesystems.
+func Append(path, source string, ratios map[string]float64) error {
+	e := Entry{
+		At:         time.Now().UTC(),
+		Source:     source,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Ratios:     ratios,
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(append(line, '\n'))
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// ReadAll parses every line of a history file, rejecting malformed lines with
+// their line number — the artifact guard test's workhorse.
+func ReadAll(path string) ([]Entry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var entries []Entry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for n := 1; sc.Scan(); n++ {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, n, err)
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return entries, nil
+}

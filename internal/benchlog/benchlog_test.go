@@ -1,0 +1,79 @@
+package benchlog
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestAppendAndReadAll(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "history.jsonl")
+	if err := Append(path, "bench-real", map[string]float64{"sharded_vs_global": 1.7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Append(path, "erload", map[string]float64{"smoke_throughput_rps": 12.5, "smoke_shed_rate": 0}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("got %d entries, want 2", len(entries))
+	}
+	if entries[0].Source != "bench-real" || entries[1].Source != "erload" {
+		t.Fatalf("sources: %q, %q", entries[0].Source, entries[1].Source)
+	}
+	if entries[0].Ratios["sharded_vs_global"] != 1.7 {
+		t.Fatalf("ratio lost: %+v", entries[0].Ratios)
+	}
+	for i, e := range entries {
+		if e.GoVersion != runtime.Version() || e.NumCPU != runtime.NumCPU() {
+			t.Fatalf("entry %d missing host metadata: %+v", i, e)
+		}
+		if e.At.IsZero() || time.Since(e.At) > time.Minute {
+			t.Fatalf("entry %d has an implausible timestamp: %v", i, e.At)
+		}
+	}
+	if entries[1].At.Before(entries[0].At) {
+		t.Fatalf("timestamps not monotone: %v then %v", entries[0].At, entries[1].At)
+	}
+}
+
+func TestReadAllRejectsCorruptLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "history.jsonl")
+	if err := Append(path, "bench-real", nil); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("{not json\n")
+	f.Close()
+	if _, err := ReadAll(path); err == nil {
+		t.Fatal("corrupt line parsed without error")
+	}
+}
+
+func TestReadAllSkipsBlankLines(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "history.jsonl")
+	if err := Append(path, "a", nil); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f.WriteString("\n")
+	f.Close()
+	if err := Append(path, "b", nil); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("got %d entries, want 2 (blank line should be skipped)", len(entries))
+	}
+}

@@ -38,6 +38,42 @@ func TestEventRingKeepLast(t *testing.T) {
 	}
 }
 
+// TestEventRingExactDropAccounting: across capacity/push combinations, kept
+// plus dropped always equals pushed, and what survives is exactly the newest
+// cap events — the invariant the waste report relies on when it extrapolates
+// from a wrapped ring.
+func TestEventRingExactDropAccounting(t *testing.T) {
+	for _, capacity := range []int{1, 2, 3, 7, 32} {
+		for _, pushes := range []int{0, 1, capacity - 1, capacity, capacity + 1, 3*capacity + 2} {
+			if pushes < 0 {
+				continue
+			}
+			r := &eventRing{buf: make([]Event, 0, capacity)}
+			for i := 0; i < pushes; i++ {
+				r.add(Event{Seq: uint64(i + 1)})
+			}
+			events, drops := r.drain()
+			if int64(len(events))+drops != int64(pushes) {
+				t.Fatalf("cap=%d pushes=%d: kept %d + dropped %d != pushed",
+					capacity, pushes, len(events), drops)
+			}
+			wantDrops := int64(pushes - capacity)
+			if wantDrops < 0 {
+				wantDrops = 0
+			}
+			if drops != wantDrops {
+				t.Fatalf("cap=%d pushes=%d: drops = %d, want %d", capacity, pushes, drops, wantDrops)
+			}
+			for i, e := range events {
+				if want := uint64(pushes - len(events) + i + 1); e.Seq != want {
+					t.Fatalf("cap=%d pushes=%d: events[%d].Seq = %d, want %d (newest cap, oldest-first)",
+						capacity, pushes, i, e.Seq, want)
+				}
+			}
+		}
+	}
+}
+
 // TestFlightRecorderObservesSearch runs a real search with a generous ring
 // and checks the log's internal consistency: one EvTask per counted task,
 // every spawn introduces a fresh node with its parent already known, and the
@@ -128,6 +164,13 @@ func TestFlightRecorderBounded(t *testing.T) {
 	for _, wt := range sink.tels {
 		if len(wt.Events) > 32 {
 			t.Fatalf("worker %d delivered %d events, ring bound is 32", wt.Worker, len(wt.Events))
+		}
+		// Exact accounting under overflow: a worker that reported drops was
+		// wrapped, so it must deliver precisely the ring capacity — fewer
+		// means drain lost kept events, more means the bound leaked.
+		if wt.EventDrops > 0 && len(wt.Events) != 32 {
+			t.Fatalf("worker %d dropped %d events but delivered %d, want exactly 32",
+				wt.Worker, wt.EventDrops, len(wt.Events))
 		}
 		drops += wt.EventDrops
 	}

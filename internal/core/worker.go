@@ -215,10 +215,14 @@ func (s *state) examineTask(n *node, win game.Window, w *wctx) {
 // protocol orders them by tentative value instead. Returns false if the node
 // died meanwhile. Lock held on entry and exit.
 func (s *state) expandTask(n *node, w *wctx) bool {
+	// Capture the node type before dropping the lock: startRefutation can
+	// retype this node to an r-node concurrently, and the ordering decision
+	// must use one coherent value (the type it had when expansion began).
+	isENode := n.typ == eNode
 	w.rt.Unlock()
 	moves := n.pos.Children()
 	var sortEvals int64
-	if len(moves) > 1 && n.typ != eNode {
+	if len(moves) > 1 && !isENode {
 		o := s.orderer()
 		sortEvals = int64(o.Cost(len(moves), n.ply))
 		moves = o.Order(moves, n.ply)

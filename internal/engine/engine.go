@@ -18,6 +18,7 @@ import (
 	"ertree/internal/backend"
 	"ertree/internal/driver"
 	"ertree/internal/game"
+	"ertree/internal/obs"
 	"ertree/internal/tt"
 
 	// Register the lazysmp backend alongside the in-package er and serial
@@ -141,6 +142,11 @@ type Config struct {
 	// with Name. Engines sharing a registry share one Telemetry. Nil
 	// disables recording; the engine's own Stats counters always run.
 	Telemetry *Telemetry
+	// Obs, if non-nil, is the self-monitor watching this engine: sessions
+	// register stall-watchdog heartbeats with it (start, per-iteration
+	// progress, end), and its sampler reads the engine's Gauges. Nil (the
+	// default) costs one pointer test per session and nothing else.
+	Obs *obs.Monitor
 }
 
 // Pool is a shared set of session slots (a counting semaphore). Engines
@@ -184,6 +190,7 @@ type Engine struct {
 	nodes       atomic.Int64
 	researches  atomic.Int64
 	probes      atomic.Int64
+	iterations  atomic.Int64
 
 	// Shed-by-cause breakdown of rejected: immediate refusals (no queue),
 	// queue-timeout expiries, and callers that cancelled while queued.
@@ -438,6 +445,7 @@ type Stats struct {
 	Nodes         int64 // total tree nodes generated across all sessions
 	Researches    int64 // wide-window re-searches across all sessions
 	Probes        int64 // root-driver null-window probes across all sessions
+	Iterations    int64 // completed deepening iterations across all sessions
 
 	// Backend is the engine's default search backend; BackendSessions counts
 	// admitted sessions per backend actually used (per-request overrides make
@@ -495,6 +503,7 @@ func (e *Engine) Stats() Stats {
 		Nodes:         e.nodes.Load(),
 		Researches:    e.researches.Load(),
 		Probes:        e.probes.Load(),
+		Iterations:    e.iterations.Load(),
 		SerialTasks:   e.serialTasks.Load(),
 		LeafTasks:     e.leafTasks.Load(),
 		SpecPops:      e.specPops.Load(),
@@ -544,3 +553,49 @@ func (e *Engine) Table() tt.SharedTable { return e.table }
 // — the admission queue depth. Cheaper than Stats() (one atomic load), so
 // exposition-time gauges and load-test samplers can poll it freely.
 func (e *Engine) Waiting() int64 { return e.waiting.Load() }
+
+// Gauges is the cheap subset of Stats the self-monitor samples: plain atomic
+// loads plus the table's sampled fill, no maps and no locks, so a 4 Hz
+// background sampler reads it without perturbing the serving path.
+type Gauges struct {
+	InFlight      int64 // sessions holding a slot
+	Waiting       int64 // admission queue depth
+	Sessions      int64 // admitted sessions (cumulative)
+	Iterations    int64 // completed deepening iterations (cumulative)
+	Probes        int64 // root-driver null-window probes (cumulative)
+	ShedFull      int64
+	ShedTimeout   int64
+	ShedCancelled int64
+	Steals        int64
+	StealFails    int64
+	TTProbes      int64
+	TTHits        int64
+	TTFill        int64
+	TTLen         int64
+	TTGeneration  int64 // current aging generation (wraps at 256)
+}
+
+// Gauges returns the engine's self-monitoring gauge snapshot. Safe for
+// concurrent use and cheap enough to poll at sampling rates.
+func (e *Engine) Gauges() Gauges {
+	g := Gauges{
+		InFlight:      int64(len(e.sem)),
+		Waiting:       e.waiting.Load(),
+		Sessions:      e.started.Load(),
+		Iterations:    e.iterations.Load(),
+		Probes:        e.probes.Load(),
+		ShedFull:      e.shedFull.Load(),
+		ShedTimeout:   e.shedTimeout.Load(),
+		ShedCancelled: e.shedCancelled.Load(),
+		Steals:        e.steals.Load(),
+		StealFails:    e.stealFails.Load(),
+		TTProbes:      e.ttProbes.Load(),
+		TTHits:        e.ttHits.Load(),
+	}
+	if e.table != nil {
+		g.TTFill = int64(e.table.Fill())
+		g.TTLen = int64(e.table.Len())
+		g.TTGeneration = int64(e.table.Generation())
+	}
+	return g
+}

@@ -137,6 +137,18 @@ func (e *Engine) AnalyzeSession(ctx context.Context, pos game.Position, maxDepth
 	}
 	defer e.release()
 	e.started.Add(1)
+	// Register with the stall watchdog: the self-monitor fires when a session
+	// makes no iteration progress within a multiple of its budget. Disabled
+	// (the default), this whole block is one nil test.
+	beat := -1
+	if e.cfg.Obs != nil {
+		budget := time.Duration(0)
+		if dl, ok := ctx.Deadline(); ok {
+			budget = time.Until(dl)
+		}
+		beat = e.cfg.Obs.SessionStart(opts.Label, budget)
+		defer e.cfg.Obs.SessionEnd(beat)
+	}
 	e.countBackendSession(be.Name())
 	e.cfg.Telemetry.recordBackendSession(e.name(), be.Name())
 	e.countDriverSession(drv.Name())
@@ -198,6 +210,10 @@ func (e *Engine) AnalyzeSession(ctx context.Context, pos game.Position, maxDepth
 		an.Iterations = append(an.Iterations, it)
 		an.Move, an.Value, an.Depth = it.Move, it.Value, it.Depth
 		s.prev = it.Value
+		e.iterations.Add(1)
+		if beat >= 0 {
+			e.cfg.Obs.SessionProgress(beat)
+		}
 		if opts.OnIteration != nil {
 			opts.OnIteration(it)
 		}

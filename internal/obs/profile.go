@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"bytes"
+	"runtime/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// cpuCaptureBusy guards runtime/pprof's process-global CPU profiler: only one
+// StartCPUProfile may run at a time, across every monitor in the process (and
+// against any -cpuprofile flag the host test binary set — in that case
+// StartCPUProfile errors and the capture records why).
+var cpuCaptureBusy atomic.Bool
+
+// ProfileInfo describes one retained capture for listings.
+type ProfileInfo struct {
+	ID        int64     `json:"id"`
+	Kind      string    `json:"kind"` // anomaly kind that triggered the capture
+	At        time.Time `json:"at"`
+	Goroutine int       `json:"goroutine_bytes"`
+	CPU       int       `json:"cpu_bytes"`     // 0 while pending or skipped
+	CPUState  string    `json:"cpu_state"`     // "done", "pending", "skipped", or an error
+	URL       string    `json:"url,omitempty"` // filled by the serving layer
+}
+
+// profileEntry is one retained capture. The goroutine profile is taken
+// synchronously at anomaly time; the CPU profile streams in from a background
+// goroutine for the configured duration.
+type profileEntry struct {
+	id   int64
+	kind string
+	at   time.Time
+
+	mu        sync.Mutex
+	goroutine []byte
+	cpu       []byte
+	cpuState  string
+}
+
+// profileRing retains the newest N captures.
+type profileRing struct {
+	mu      sync.Mutex
+	entries []*profileEntry
+	max     int
+}
+
+func newProfileRing(max int) *profileRing {
+	if max < 1 {
+		max = 1
+	}
+	return &profileRing{max: max}
+}
+
+// capture takes a goroutine profile now and, when cpuDur > 0 and no other CPU
+// capture is running, starts a cpuDur CPU profile in the background. Returns
+// the capture id (the anomaly's id).
+func (r *profileRing) capture(id int64, kind string, at time.Time, cpuDur time.Duration) int64 {
+	e := &profileEntry{id: id, kind: kind, at: at, cpuState: "skipped"}
+	var buf bytes.Buffer
+	if p := pprof.Lookup("goroutine"); p != nil {
+		_ = p.WriteTo(&buf, 0)
+	}
+	e.goroutine = buf.Bytes()
+
+	if cpuDur > 0 {
+		if cpuCaptureBusy.CompareAndSwap(false, true) {
+			e.cpuState = "pending"
+			go func() {
+				defer cpuCaptureBusy.Store(false)
+				var cb bytes.Buffer
+				if err := pprof.StartCPUProfile(&cb); err != nil {
+					e.setCPU(nil, "error: "+err.Error())
+					return
+				}
+				time.Sleep(cpuDur)
+				pprof.StopCPUProfile()
+				e.setCPU(cb.Bytes(), "done")
+			}()
+		} else {
+			e.cpuState = "skipped: capture already running"
+		}
+	}
+
+	r.mu.Lock()
+	r.entries = append(r.entries, e)
+	if len(r.entries) > r.max {
+		r.entries = r.entries[len(r.entries)-r.max:]
+	}
+	r.mu.Unlock()
+	return id
+}
+
+func (e *profileEntry) setCPU(b []byte, state string) {
+	e.mu.Lock()
+	e.cpu, e.cpuState = b, state
+	e.mu.Unlock()
+}
+
+func (e *profileEntry) info() ProfileInfo {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return ProfileInfo{
+		ID:        e.id,
+		Kind:      e.kind,
+		At:        e.at,
+		Goroutine: len(e.goroutine),
+		CPU:       len(e.cpu),
+		CPUState:  e.cpuState,
+	}
+}
+
+// list returns the retained captures, oldest first.
+func (r *profileRing) list() []ProfileInfo {
+	r.mu.Lock()
+	entries := make([]*profileEntry, len(r.entries))
+	copy(entries, r.entries)
+	r.mu.Unlock()
+	out := make([]ProfileInfo, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, e.info())
+	}
+	return out
+}
+
+// get returns the raw pprof bytes of one retained capture. typ is "goroutine"
+// or "cpu"; ok is false for unknown ids, unknown types, and CPU captures that
+// have not finished (or were skipped).
+func (r *profileRing) get(id int64, typ string) ([]byte, bool) {
+	r.mu.Lock()
+	var e *profileEntry
+	for _, c := range r.entries {
+		if c.id == id {
+			e = c
+			break
+		}
+	}
+	r.mu.Unlock()
+	if e == nil {
+		return nil, false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	switch typ {
+	case "", "goroutine":
+		return e.goroutine, len(e.goroutine) > 0
+	case "cpu":
+		return e.cpu, len(e.cpu) > 0
+	}
+	return nil, false
+}
+
+// Profiles lists the monitor's retained captures, oldest first; nil-safe.
+func (m *Monitor) Profiles() []ProfileInfo {
+	if m == nil {
+		return nil
+	}
+	return m.profiles.list()
+}
+
+// Profile returns the raw pprof bytes of one retained capture ("goroutine" by
+// default, "cpu" for the CPU capture); nil-safe.
+func (m *Monitor) Profile(id int64, typ string) ([]byte, bool) {
+	if m == nil {
+		return nil, false
+	}
+	return m.profiles.get(id, typ)
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/hex"
 	"math/rand"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -38,20 +39,41 @@ func newHTTPMetrics(reg *telemetry.Registry) *httpMetrics {
 var knownPaths = map[string]bool{
 	"/bestmove": true, "/analyze": true, "/healthz": true,
 	"/stats": true, "/metrics": true, "/debug/flight": true,
+	"/debug/obs": true, "/debug/obs/profiles": true,
 }
 
 func pathLabel(p string) string {
 	if knownPaths[p] {
 		return p
 	}
+	// Per-capture profile downloads carry the capture id in the path;
+	// collapse them into one label so retained-profile churn cannot grow
+	// the metric cardinality.
+	if strings.HasPrefix(p, "/debug/obs/profiles/") {
+		return "/debug/obs/profiles"
+	}
 	return "other"
 }
 
-// statusWriter records the status code and body size a handler produced.
+// statusWriter records the status code and body size a handler produced,
+// plus the backend/driver attribution the analyze handler resolves for the
+// access-log line.
 type statusWriter struct {
 	http.ResponseWriter
-	code  int
-	bytes int64
+	code    int
+	bytes   int64
+	backend string
+	driver  string
+}
+
+// attribute records which search backend and root driver served the request;
+// the access-log line picks these up after the handler returns. The writer is
+// the instrument middleware's wrapper for every served request; anything else
+// (a bare handler under test) just drops the attribution.
+func attribute(w http.ResponseWriter, backendName, driverName string) {
+	if sw, ok := w.(*statusWriter); ok {
+		sw.backend, sw.driver = backendName, driverName
+	}
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -143,6 +165,17 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		if sw.code == http.StatusServiceUnavailable {
 			s.metrics.shed.Inc()
 		}
+		// Backend/driver attribution: what the analyze handler resolved for
+		// this request, falling back to the server defaults for everything
+		// else — so mixed ?backend=/?driver= traffic stays attributable from
+		// the access log alone.
+		bk, drv := sw.backend, sw.driver
+		if bk == "" {
+			bk = s.defaultBackend
+		}
+		if drv == "" {
+			drv = s.defaultDriver
+		}
 		s.log.Info("request",
 			"id", id,
 			"method", r.Method,
@@ -152,6 +185,8 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 			"bytes", sw.bytes,
 			"elapsed_ms", elapsed.Milliseconds(),
 			"remote", r.RemoteAddr,
+			"backend", bk,
+			"driver", drv,
 		)
 	})
 }

@@ -27,6 +27,7 @@ import (
 	"ertree/internal/engine"
 	"ertree/internal/flight"
 	"ertree/internal/game"
+	"ertree/internal/obs"
 	"ertree/internal/othello"
 	"ertree/internal/telemetry"
 	"ertree/internal/ttt"
@@ -65,6 +66,15 @@ type Config struct {
 	WindowTick    time.Duration // windowed-quantile snapshot interval; 0 = DefaultWindowTick
 	WindowSlots   int           // snapshots retained per window; 0 = DefaultWindowSlots
 	Logger        *slog.Logger  // structured logs; nil logs JSON to stderr
+
+	// ObsSample enables the self-monitor (internal/obs) and sets its gauge
+	// sampling interval; 0 disables it entirely — no sampler goroutine, no
+	// ring, one nil check per session. ObsRing sizes the retained sample
+	// ring (0 = obs.DefaultRingSlots). ObsDetectors overrides the anomaly
+	// detector set (nil = obs.DefaultDetectors) — tuning and tests only.
+	ObsSample    time.Duration
+	ObsRing      int
+	ObsDetectors []obs.Detector
 }
 
 // server is the HTTP analysis service: one engine per game, all sharing one
@@ -83,6 +93,12 @@ type Server struct {
 	flights *flightRing
 	cache   *answerCache
 	slo     *sloTracker
+	obs     *obs.Monitor // self-monitor; nil when Config.ObsSample is 0
+
+	// Resolved default backend/driver names, cached for access-log
+	// attribution on requests that don't override them.
+	defaultBackend string
+	defaultDriver  string
 }
 
 func New(cfg Config) *Server {
@@ -111,6 +127,7 @@ func New(cfg Config) *Server {
 		cache:   newAnswerCache(cfg.CacheSize),
 	}
 	s.slo = newSLOTracker(reg, s.metrics, cfg.WindowTick, cfg.WindowSlots)
+	s.obs = newObsMonitor(cfg, s)
 	tel := engine.NewTelemetry(reg)
 	for name, spec := range games {
 		s.engines[name] = engine.New(engine.Config{
@@ -127,7 +144,18 @@ func New(cfg Config) *Server {
 			Pool:         pool,
 			QueueTimeout: cfg.QueueTimeout,
 			Telemetry:    tel,
+			Obs:          s.obs,
 		})
+	}
+	for _, e := range s.engines {
+		// All engines resolve the same defaults; any one identifies them.
+		s.defaultBackend = e.Backend()
+		s.defaultDriver = e.Driver()
+		break
+	}
+	if s.obs != nil {
+		s.obs.SetSource(s.obsSample)
+		s.obs.Start()
 	}
 	reg.GaugeFunc("engine_pool_capacity",
 		"Session slots shared by every game engine.",
@@ -161,6 +189,12 @@ func New(cfg Config) *Server {
 	return s
 }
 
+// Close releases the server's background resources (today: the self-monitor's
+// sampler goroutine). Safe on a server built without obs, and idempotent.
+func (s *Server) Close() {
+	s.obs.Close()
+}
+
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/bestmove", s.handleAnalyze(false))
@@ -168,6 +202,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/debug/flight", s.handleDebugFlight)
+	mux.HandleFunc("/debug/obs", s.handleDebugObs)
+	mux.HandleFunc("/debug/obs/profiles", s.handleObsProfiles)
+	mux.HandleFunc("/debug/obs/profiles/", s.handleObsProfiles)
 	// /metrics advances the quantile windows before exposition, so the
 	// slo_latency_window_seconds gauges a scraper reads are at most one
 	// scrape interval stale.
@@ -342,6 +379,12 @@ func (s *Server) handleAnalyze(includeIterations bool) http.HandlerFunc {
 			s.fail(w, http.StatusBadRequest, "unknown driver %q (valid: %s)", dName, driver.NamesString())
 			return
 		}
+		// The request is valid from here on: record which backend/driver will
+		// serve it for the access-log attribution (overrides, or defaults).
+		attribute(w,
+			orDefault(beName, s.defaultBackend),
+			orDefault(dName, s.defaultDriver))
+
 		trace := includeIterations && firstValue(q, "trace") == "1"
 		stream := includeIterations && firstValue(q, "stream") == "1"
 		recordFlight := includeIterations && firstValue(q, "flight") == "1"
@@ -520,6 +563,22 @@ type healthzJSON struct {
 	InFlight  int    `json:"in_flight"`  // sessions currently holding a slot
 	Capacity  int    `json:"capacity"`   // session slots
 	Waiting   int64  `json:"waiting"`    // admission queue depth
+	// Anomalies counts self-monitor detections since start (0 with obs
+	// disabled); TT summarizes the shared-table health. Both let a load
+	// balancer see degradation — a thrashing table or a storming driver —
+	// not just liveness.
+	Anomalies int64          `json:"anomalies"`
+	TT        *healthzTTJSON `json:"tt,omitempty"` // omitted when tables are disabled
+}
+
+// healthzTTJSON is the /healthz transposition-table section, summed across
+// the per-game tables (they share one configuration).
+type healthzTTJSON struct {
+	Impl       string  `json:"impl"`
+	Fill       int64   `json:"fill"` // occupied slots (sampled), all games
+	Len        int64   `json:"len"`  // total slots, all games
+	HitRate    float64 `json:"hit_rate"`
+	Generation int64   `json:"generation"` // aging ticks, summed across games
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -527,19 +586,33 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status:    "ok",
 		UptimeMS:  time.Since(s.start).Milliseconds(),
 		Games:     len(s.engines),
+		Backend:   s.defaultBackend,
+		Driver:    s.defaultDriver,
 		TableImpl: "none",
 		InFlight:  len(s.pool),
 		Capacity:  cap(s.pool),
 		Waiting:   s.queueDepth(),
+		Anomalies: s.obs.AnomalyTotal(),
 	}
+	var ttProbes, ttHits int64
 	for _, e := range s.engines {
-		// All engines share the same configuration; any one identifies it.
-		out.Backend = e.Backend()
-		out.Driver = e.Driver()
-		if t := e.Table(); t != nil {
+		t := e.Table()
+		if t == nil {
+			continue
+		}
+		if out.TT == nil {
+			out.TT = &healthzTTJSON{Impl: t.Impl()}
 			out.TableImpl = t.Impl()
 		}
-		break
+		g := e.Gauges()
+		out.TT.Fill += g.TTFill
+		out.TT.Len += g.TTLen
+		out.TT.Generation += g.TTGeneration
+		ttProbes += g.TTProbes
+		ttHits += g.TTHits
+	}
+	if out.TT != nil && ttProbes > 0 {
+		out.TT.HitRate = float64(ttHits) / float64(ttProbes)
 	}
 	s.writeJSON(w, http.StatusOK, out)
 }

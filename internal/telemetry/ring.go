@@ -1,0 +1,82 @@
+package telemetry
+
+// Ring is a fixed-capacity overwrite ring of values: pushes past capacity
+// replace the oldest entry and count as drops. It is the retention primitive
+// behind the obs sampling ring and the anomaly history — the buffer is
+// allocated once at construction and every Push writes in place, so a
+// steady-state sampler runs without allocating.
+//
+// Ring is not safe for concurrent use; callers hold their own lock (the obs
+// monitor serializes pushes and snapshots under one mutex).
+type Ring[T any] struct {
+	buf []T
+	n   uint64 // total pushes ever
+}
+
+// NewRing creates a ring retaining the newest capacity values (minimum 1).
+func NewRing[T any](capacity int) *Ring[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring[T]{buf: make([]T, 0, capacity)}
+}
+
+// Push appends v, overwriting the oldest value once the ring is full.
+func (r *Ring[T]) Push(v T) {
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, v)
+	} else {
+		r.buf[r.n%uint64(cap(r.buf))] = v
+	}
+	r.n++
+}
+
+// Len returns the number of retained values.
+func (r *Ring[T]) Len() int { return len(r.buf) }
+
+// Cap returns the ring capacity.
+func (r *Ring[T]) Cap() int { return cap(r.buf) }
+
+// Dropped returns how many values have been overwritten.
+func (r *Ring[T]) Dropped() uint64 {
+	if r.n <= uint64(cap(r.buf)) {
+		return 0
+	}
+	return r.n - uint64(cap(r.buf))
+}
+
+// At returns the i-th oldest retained value; i must be in [0, Len).
+func (r *Ring[T]) At(i int) T {
+	if len(r.buf) < cap(r.buf) {
+		return r.buf[i]
+	}
+	return r.buf[(r.n+uint64(i))%uint64(cap(r.buf))]
+}
+
+// Newest returns the most recent value, if any.
+func (r *Ring[T]) Newest() (T, bool) {
+	var zero T
+	if len(r.buf) == 0 {
+		return zero, false
+	}
+	return r.At(len(r.buf) - 1), true
+}
+
+// Oldest returns the oldest retained value, if any.
+func (r *Ring[T]) Oldest() (T, bool) {
+	var zero T
+	if len(r.buf) == 0 {
+		return zero, false
+	}
+	return r.At(0), true
+}
+
+// Snapshot appends the retained values oldest-first to dst and returns the
+// extended slice. Passing a reused dst[:0] makes steady-state snapshots
+// allocation-free once dst has grown to the ring capacity.
+func (r *Ring[T]) Snapshot(dst []T) []T {
+	for i := 0; i < len(r.buf); i++ {
+		dst = append(dst, r.At(i))
+	}
+	return dst
+}

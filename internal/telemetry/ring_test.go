@@ -1,0 +1,61 @@
+package telemetry
+
+import "testing"
+
+func TestRingKeepsNewestInOrder(t *testing.T) {
+	r := NewRing[int](4)
+	if _, ok := r.Newest(); ok {
+		t.Fatal("empty ring reported a newest value")
+	}
+	for i := 1; i <= 10; i++ {
+		r.Push(i)
+	}
+	if r.Len() != 4 || r.Cap() != 4 {
+		t.Fatalf("len=%d cap=%d, want 4/4", r.Len(), r.Cap())
+	}
+	if got := r.Dropped(); got != 6 {
+		t.Fatalf("Dropped=%d, want 6", got)
+	}
+	got := r.Snapshot(nil)
+	want := []int{7, 8, 9, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("snapshot=%v, want %v", got, want)
+		}
+	}
+	if v, _ := r.Oldest(); v != 7 {
+		t.Fatalf("Oldest=%d, want 7", v)
+	}
+	if v, _ := r.Newest(); v != 10 {
+		t.Fatalf("Newest=%d, want 10", v)
+	}
+}
+
+func TestRingPartialFill(t *testing.T) {
+	r := NewRing[string](8)
+	r.Push("a")
+	r.Push("b")
+	if r.Len() != 2 || r.Dropped() != 0 {
+		t.Fatalf("len=%d dropped=%d, want 2/0", r.Len(), r.Dropped())
+	}
+	s := r.Snapshot(nil)
+	if len(s) != 2 || s[0] != "a" || s[1] != "b" {
+		t.Fatalf("snapshot=%v", s)
+	}
+}
+
+// TestRingSnapshotReuse pins the steady-state contract the obs monitor relies
+// on: snapshotting into a warmed reusable buffer does not allocate.
+func TestRingSnapshotReuse(t *testing.T) {
+	r := NewRing[int](16)
+	for i := 0; i < 40; i++ {
+		r.Push(i)
+	}
+	scratch := make([]int, 0, 16)
+	allocs := testing.AllocsPerRun(100, func() {
+		scratch = r.Snapshot(scratch[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("Snapshot into warmed buffer allocated %.1f/op, want 0", allocs)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sync"
 	"testing"
+	"time"
 )
 
 // TestSnapshotDeltaQuantile: differencing two snapshots isolates the
@@ -178,6 +179,62 @@ func TestHistWindowConcurrent(t *testing.T) {
 		w.Quantile(0.99)
 		w.Rate()
 	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestHistWindowConcurrentTickers: multiple goroutines ticking the same
+// window while others record and read. The production shape has one ticker,
+// but nothing in the API says so — a misconfigured deployment with two SLO
+// tickers must corrupt nothing (run under -race).
+func TestHistWindowConcurrentTickers(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("ct", "", ExponentialBuckets(0.001, 2, 12))
+	w := NewHistWindow(h, 8)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(float64(i%50) * 0.002)
+				}
+			}
+		}()
+	}
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				w.Tick()
+			}
+		}()
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if n := w.Count(); n < 0 {
+					t.Errorf("negative window count %d", n)
+					return
+				}
+				if q := w.Quantile(0.5); q < 0 {
+					t.Errorf("negative quantile %v", q)
+					return
+				}
+				w.Rate()
+				w.Span()
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
 	close(stop)
 	wg.Wait()
 }
